@@ -1,0 +1,79 @@
+// Ablation: garbage-collection victim-selection policy (greedy, as in the
+// OpenSSD firmware the paper extends, vs LFS-style cost-benefit vs FIFO)
+// under uniform random overwrites at two utilizations. Reports write
+// amplification, GC activity, achieved victim validity and wear evenness.
+//
+// Flags: --rounds=N (overwrite rounds, default 4)
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "flash/flash_device.h"
+#include "ftl/page_ftl.h"
+
+using namespace xftl;
+using namespace xftl::ftl;
+
+int main(int argc, char** argv) {
+  int rounds = int(bench::FlagInt(argc, argv, "rounds", 4));
+
+  bench::PrintHeader(
+      "Ablation: GC victim selection policy (uniform random overwrites)");
+  std::printf("%-6s %-13s %8s %8s %10s %12s %14s\n", "util", "policy", "WA",
+              "GCs", "validity", "erases", "wear max/min");
+
+  for (double util : {0.70, 0.85}) {
+    for (GcPolicy policy :
+         {GcPolicy::kGreedy, GcPolicy::kCostBenefit, GcPolicy::kFifo}) {
+      flash::FlashConfig fcfg;
+      fcfg.page_size = 4096;
+      fcfg.pages_per_block = 64;
+      fcfg.num_blocks = 256;
+      SimClock clock;
+      flash::FlashDevice dev(fcfg, &clock);
+
+      FtlConfig cfg;
+      cfg.gc_policy = policy;
+      uint64_t data_pages =
+          uint64_t(fcfg.num_blocks - cfg.meta_blocks) * fcfg.pages_per_block;
+      uint64_t reserve =
+          uint64_t(cfg.min_free_blocks + 2) * fcfg.pages_per_block;
+      cfg.num_logical_pages = uint64_t(double(data_pages - reserve) * util);
+      PageFtl ftl(&dev, cfg);
+
+      Rng rng(7);
+      std::vector<uint8_t> page(fcfg.page_size, 0x5A);
+      for (uint64_t lpn = 0; lpn < cfg.num_logical_pages; ++lpn) {
+        CHECK(ftl.Write(lpn, page.data()).ok());
+      }
+      ftl.ResetStats();
+      for (int r = 0; r < rounds; ++r) {
+        for (uint64_t i = 0; i < cfg.num_logical_pages; ++i) {
+          CHECK(ftl.Write(rng.Uniform(cfg.num_logical_pages), page.data())
+                    .ok());
+        }
+      }
+
+      const FtlStats& s = ftl.stats();
+      double wa = double(s.TotalPageWrites()) / double(s.host_page_writes);
+      uint64_t wear_min = ~0ull, wear_max = 0;
+      for (flash::BlockNum b = cfg.meta_blocks; b < fcfg.num_blocks; ++b) {
+        wear_min = std::min(wear_min, dev.EraseCount(b));
+        wear_max = std::max(wear_max, dev.EraseCount(b));
+      }
+      std::printf("%-6.2f %-13s %8.2f %8llu %9.0f%% %12llu %9llu/%llu\n",
+                  util, GcPolicyName(policy), wa,
+                  (unsigned long long)s.gc_runs,
+                  s.MeanGcValidRatio(fcfg.pages_per_block) * 100,
+                  (unsigned long long)s.block_erases,
+                  (unsigned long long)wear_max, (unsigned long long)wear_min);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\ngreedy minimizes write amplification under uniform traffic; "
+              "cost-benefit trades a little WA for better wear spread; FIFO "
+              "levels wear best but copies the most valid data\n");
+  return 0;
+}

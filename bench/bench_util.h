@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction benchmark binaries: flag
+// parsing and table formatting. Every bench prints the paper's reported
+// numbers next to the measured ones so EXPERIMENTS.md can quote the output
+// directly.
+#ifndef XFTL_BENCH_BENCH_UTIL_H_
+#define XFTL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace xftl::bench {
+
+// Parses "--name=value" style flags; returns `def` when absent.
+inline double FlagDouble(int argc, char** argv, const char* name, double def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+inline long FlagInt(int argc, char** argv, const char* name, long def) {
+  return long(FlagDouble(argc, argv, name, double(def)));
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace xftl::bench
+
+#endif  // XFTL_BENCH_BENCH_UTIL_H_

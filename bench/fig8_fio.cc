@@ -1,0 +1,80 @@
+// Figure 8: FIO-style 8 KiB random-write IOPS on the OpenSSD profile with a
+// single thread, sweeping the fsync interval, for ext4 ordered journaling,
+// ext4 full journaling, and journaling-off over X-FTL.
+//
+// Flags: --writes=N (default 4000) --file_pages=N (default 2048)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fs/ext_fs.h"
+#include "storage/sim_ssd.h"
+#include "workload/fio.h"
+
+using namespace xftl;
+using namespace xftl::workload;
+
+namespace {
+
+double RunOne(fs::JournalMode mode, uint32_t per_fsync, uint32_t threads,
+              uint64_t writes, uint64_t file_pages, bool s830) {
+  SimClock clock;
+  storage::SsdSpec spec =
+      s830 ? storage::S830Spec(256) : storage::OpenSsdSpec(256);
+  spec.transactional = mode == fs::JournalMode::kOff;
+  storage::SimSsd ssd(spec, &clock);
+  fs::FsOptions fs_opt;
+  fs_opt.journal_mode = mode;
+  fs_opt.journal_pages = 128;
+  fs_opt.cache_pages = 512;
+  CHECK(fs::ExtFs::Mkfs(ssd.device(), fs_opt).ok());
+  auto fs = std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
+  FioConfig cfg;
+  cfg.threads = threads;
+  cfg.file_pages = file_pages / threads;
+  cfg.writes_per_fsync = per_fsync;
+  cfg.total_writes = writes;
+  auto result = RunFio(fs.get(), cfg);
+  CHECK(result.ok()) << result.status().ToString();
+  return result->Iops();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t writes = uint64_t(bench::FlagInt(argc, argv, "writes", 4000));
+  uint64_t file_pages =
+      uint64_t(bench::FlagInt(argc, argv, "file_pages", 2048));
+
+  bench::PrintHeader(
+      "Figure 8: FIO benchmark, single thread, 8 KiB random writes "
+      "(IOPS vs fsync interval)");
+  std::printf("config: %llu writes over a %llu-page file (the paper used a "
+              "4 GB file for 600 s)\n\n",
+              (unsigned long long)writes, (unsigned long long)file_pages);
+  std::printf("%-26s", "updates per fsync:");
+  for (int k : {1, 5, 10, 15, 20}) std::printf("%9d", k);
+  std::printf("\n");
+
+  struct Row {
+    const char* name;
+    fs::JournalMode mode;
+  };
+  const Row rows[] = {
+      {"X-FTL (journal off)", fs::JournalMode::kOff},
+      {"ordered journaling", fs::JournalMode::kOrdered},
+      {"full journaling", fs::JournalMode::kFull},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-26s", row.name);
+    for (int k : {1, 5, 10, 15, 20}) {
+      std::printf("%9.0f",
+                  RunOne(row.mode, uint32_t(k), 1, writes, file_pages, false));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: IOPS rises with the interval everywhere; X-FTL beats "
+              "ordered by 67-99%% and full by 240-254%% across all "
+              "intervals\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9: FIO with 16 concurrent threads - the OpenSSD running X-FTL
+// compared against a one-generation-newer drive (Samsung S830 profile)
+// running ordered and full journaling. The paper's point: the old research
+// board with X-FTL lands between the much faster consumer SSD's two
+// journaling modes.
+//
+// Flags: --writes=N (default 6000)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fs/ext_fs.h"
+#include "storage/sim_ssd.h"
+#include "workload/fio.h"
+
+using namespace xftl;
+using namespace xftl::workload;
+
+namespace {
+
+double RunOne(fs::JournalMode mode, uint32_t per_fsync, bool s830,
+              uint64_t writes) {
+  SimClock clock;
+  storage::SsdSpec spec =
+      s830 ? storage::S830Spec(256) : storage::OpenSsdSpec(256);
+  spec.transactional = mode == fs::JournalMode::kOff;
+  storage::SimSsd ssd(spec, &clock);
+  fs::FsOptions fs_opt;
+  fs_opt.journal_mode = mode;
+  fs_opt.journal_pages = 384;  // 16 threads x up to 20 writes per commit
+  fs_opt.cache_pages = 1024;
+  CHECK(fs::ExtFs::Mkfs(ssd.device(), fs_opt).ok());
+  auto fs = std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
+  FioConfig cfg;
+  cfg.threads = 16;
+  cfg.file_pages = 128;  // per thread
+  cfg.writes_per_fsync = per_fsync;
+  cfg.total_writes = writes;
+  auto result = RunFio(fs.get(), cfg);
+  CHECK(result.ok()) << result.status().ToString();
+  return result->Iops();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t writes = uint64_t(bench::FlagInt(argc, argv, "writes", 6000));
+  bench::PrintHeader(
+      "Figure 9: FIO with 16 concurrent threads - OpenSSD + X-FTL vs Samsung "
+      "S830");
+  std::printf("config: %llu writes total\n\n", (unsigned long long)writes);
+  std::printf("%-30s", "updates per fsync:");
+  for (int k : {1, 5, 10, 15, 20}) std::printf("%9d", k);
+  std::printf("\n");
+
+  struct Row {
+    const char* name;
+    fs::JournalMode mode;
+    bool s830;
+  };
+  const Row rows[] = {
+      {"S830, ordered journaling", fs::JournalMode::kOrdered, true},
+      {"OpenSSD with X-FTL", fs::JournalMode::kOff, false},
+      {"S830, full journaling", fs::JournalMode::kFull, true},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-30s", row.name);
+    for (int k : {1, 5, 10, 15, 20}) {
+      std::printf("%9.0f", RunOne(row.mode, uint32_t(k), row.s830, writes));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: the OpenSSD+X-FTL curve sits between S830 ordered "
+              "(above it) and S830 full journaling (below it); OpenSSD "
+              "throughput is <25%% of S830's in ordered mode but >35%% in "
+              "full mode.\n"
+              "note: our file system group-commits all 16 threads into one "
+              "journal transaction, which flatters full journaling relative "
+              "to the paper's ext4 (see EXPERIMENTS.md)\n");
+  return 0;
+}

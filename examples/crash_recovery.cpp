@@ -1,0 +1,70 @@
+// Crash-recovery scenario (paper §5.4, §6.4): pull the plug in the middle of
+// a transaction under each setup and show that (a) the committed prefix
+// survives, (b) the in-flight transaction rolls back, and (c) how long each
+// mode's host-side restart takes - a miniature of Table 5.
+//
+//   $ ./crash_recovery
+#include <cstdio>
+
+#include "workload/harness.h"
+
+using namespace xftl;
+using namespace xftl::workload;
+
+int main() {
+  std::printf("Crash in the middle of transaction #11; the first 10 are "
+              "committed.\n\n");
+  std::printf("%-8s %10s %12s %16s\n", "setup", "rows", "balance-ok",
+              "restart (ms)");
+
+  for (Setup setup : {Setup::kRbj, Setup::kWal, Setup::kXftl}) {
+    HarnessConfig cfg;
+    cfg.setup = setup;
+    cfg.device_blocks = 128;
+    Harness h(cfg);
+    CHECK(h.Setup().ok());
+    {
+      auto* db = h.OpenDatabase("bank.db").value();
+      CHECK(db->Exec("CREATE TABLE ledger (id INTEGER PRIMARY KEY, v INT)")
+                .ok());
+      for (int i = 1; i <= 10; ++i) {
+        CHECK(db->Exec("INSERT INTO ledger VALUES (" + std::to_string(i) +
+                       ", " + std::to_string(i * 100) + ")")
+                  .ok());
+      }
+      // Quiesce so the 10 committed transactions are fully durable (in
+      // rollback mode the journal unlink must persist, like SQLite on ext4).
+      CHECK(h.fs()->SyncAll().ok());
+      // Transaction #11 starts and dirties a lot of state (some of it is
+      // stolen to the device), but never commits...
+      CHECK(db->Begin().ok());
+      for (int i = 11; i <= 60; ++i) {
+        CHECK(db->Exec("INSERT INTO ledger VALUES (" + std::to_string(i) +
+                       ", 0)")
+                  .ok());
+      }
+      CHECK(db->Exec("UPDATE ledger SET v = 0").ok());
+    }
+    // ...because the power fails now.
+    CHECK(h.CrashAndRecover().ok());
+
+    auto* db = h.OpenDatabase("bank.db").value();  // runs restart recovery
+    // Host-side restart work for RBJ/WAL; X-L2P load + reflect for X-FTL
+    // (the common FTL recovery is excluded, as in the paper's Table 5).
+    SimNanos restart = db->last_recovery_nanos();
+    if (setup == Setup::kXftl && h.ssd()->xftl() != nullptr) {
+      restart += h.ssd()->xftl()->xstats().last_recovery_nanos;
+    }
+    auto rows = db->Exec("SELECT COUNT(*), SUM(v) FROM ledger");
+    CHECK(rows.ok());
+    long long count = rows->rows[0][0].AsInt();
+    long long sum = rows->rows[0][1].AsInt();
+    bool balance_ok = sum == 100 * (10 * 11) / 2;  // 1..10 * 100
+    std::printf("%-8s %10lld %12s %16.3f\n", SetupName(setup), count,
+                balance_ok ? "yes" : "NO", NanosToMillis(restart));
+  }
+  std::printf("\nEvery mode preserves atomicity; X-FTL restarts fastest "
+              "because recovery is just reloading the X-L2P table "
+              "(paper Table 5: 20.1 / 153.0 / 3.5 ms).\n");
+  return 0;
+}

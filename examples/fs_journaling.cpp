@@ -1,0 +1,67 @@
+// File-system scenario (paper §6.3.4): the same random-write + fsync
+// workload on ext4-style ordered journaling, full (data) journaling, and
+// journaling-off over X-FTL. Shows IOPS and where the writes went - a
+// miniature of Figure 8.
+//
+//   $ ./fs_journaling
+#include <cstdio>
+
+#include "workload/fio.h"
+#include "workload/harness.h"
+
+using namespace xftl;
+using namespace xftl::workload;
+
+namespace {
+
+struct ModeRun {
+  const char* name;
+  Setup setup;
+  fs::JournalMode fs_mode;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("8 KiB random writes, fsync every 5 writes (FIO-style)\n\n");
+  std::printf("%-22s %10s %14s %12s %10s\n", "configuration", "IOPS",
+              "fs-journal-w", "barriers", "commits");
+
+  const ModeRun runs[] = {
+      {"ordered journaling", Setup::kRbj, fs::JournalMode::kOrdered},
+      {"full journaling", Setup::kRbj, fs::JournalMode::kFull},
+      {"X-FTL (journal off)", Setup::kXftl, fs::JournalMode::kOff},
+  };
+  for (const ModeRun& run : runs) {
+    // Build the device and file system by hand so full-journal mode is
+    // reachable (the SQLite harness only uses ordered/off).
+    SimClock clock;
+    storage::SsdSpec spec = storage::OpenSsdSpec(128);
+    spec.transactional = run.fs_mode == fs::JournalMode::kOff;
+    storage::SimSsd ssd(spec, &clock);
+    fs::FsOptions fs_opt;
+    fs_opt.journal_mode = run.fs_mode;
+    fs_opt.journal_pages = 128;  // full mode journals data pages too
+    CHECK(fs::ExtFs::Mkfs(ssd.device(), fs_opt).ok());
+    auto fs =
+        std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
+
+    FioConfig cfg;
+    cfg.threads = 1;
+    cfg.file_pages = 512;
+    cfg.writes_per_fsync = 5;
+    cfg.total_writes = 3000;
+    auto result = RunFio(fs.get(), cfg);
+    CHECK(result.ok()) << result.status().ToString();
+
+    std::printf("%-22s %10.0f %14llu %12llu %10llu\n", run.name,
+                result->Iops(),
+                (unsigned long long)fs->journal_stats().journal_page_writes,
+                (unsigned long long)ssd.device()->stats().barrier_commands,
+                (unsigned long long)ssd.device()->stats().commit_commands);
+    CHECK(fs->Unmount().ok());
+  }
+  std::printf("\nX-FTL reaches full-journaling consistency at below "
+              "ordered-journaling cost (paper Figure 8).\n");
+  return 0;
+}

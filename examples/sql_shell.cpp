@@ -1,0 +1,199 @@
+// Interactive MiniSQLite shell over the full simulated stack - the closest
+// thing to `sqlite3` for this repository. SQL statements are read from
+// stdin (or from a script passed as argv[1] contents via '-e'); results
+// print as aligned tables, and dot-commands expose the stack:
+//
+//   .tables            list tables
+//   .schema            dump CREATE statements
+//   .stats             pager / FS / FTL counters and simulated time
+//   .mode              show the journal mode
+//   .checkpoint        force a WAL checkpoint
+//   .crash             power-fail the device and recover (!)
+//   .quit
+//
+// Usage:  ./sql_shell [rbj|wal|off]          (default off = X-FTL)
+//         echo "SELECT 1;" | ./sql_shell
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fs/ext_fs.h"
+#include "sql/database.h"
+#include "storage/sim_ssd.h"
+
+using namespace xftl;
+
+namespace {
+
+struct Shell {
+  SimClock clock;
+  std::unique_ptr<storage::SimSsd> ssd;
+  std::unique_ptr<fs::ExtFs> fs;
+  std::unique_ptr<sql::Database> db;
+  sql::SqlJournalMode mode = sql::SqlJournalMode::kOff;
+
+  fs::FsOptions FsOpt() const {
+    fs::FsOptions opt;
+    opt.journal_mode = mode == sql::SqlJournalMode::kOff
+                           ? fs::JournalMode::kOff
+                           : fs::JournalMode::kOrdered;
+    return opt;
+  }
+
+  void Open(bool format) {
+    storage::SsdSpec spec = storage::OpenSsdSpec(/*num_blocks=*/192);
+    spec.transactional = mode == sql::SqlJournalMode::kOff;
+    if (ssd == nullptr) ssd = std::make_unique<storage::SimSsd>(spec, &clock);
+    if (format) CHECK(fs::ExtFs::Mkfs(ssd->device(), FsOpt()).ok());
+    fs = std::move(fs::ExtFs::Mount(ssd->device(), FsOpt(), &clock)).value();
+    sql::DbOptions opt;
+    opt.journal_mode = mode;
+    db = std::move(sql::Database::Open(fs.get(), "shell.db", opt)).value();
+  }
+
+  void Crash() {
+    std::printf("-- power failure! recovering...\n");
+    db->Abandon();
+    db.reset();
+    fs.reset();
+    CHECK(ssd->PowerCycle().ok());
+    Open(/*format=*/false);
+    std::printf("-- recovered in %.3f ms (host-side)\n",
+                NanosToMillis(db->last_recovery_nanos()));
+  }
+
+  void PrintResult(const sql::ResultSet& r) {
+    if (r.columns.empty() && r.rows.empty()) {
+      if (r.rows_affected > 0) {
+        std::printf("-- %llu row(s) affected\n",
+                    (unsigned long long)r.rows_affected);
+      }
+      return;
+    }
+    // Column widths.
+    std::vector<size_t> width(r.columns.size());
+    for (size_t c = 0; c < r.columns.size(); ++c) width[c] = r.columns[c].size();
+    std::vector<std::vector<std::string>> cells;
+    for (const auto& row : r.rows) {
+      std::vector<std::string> line;
+      for (size_t c = 0; c < row.size(); ++c) {
+        line.push_back(row[c].AsText());
+        if (c < width.size()) width[c] = std::max(width[c], line.back().size());
+      }
+      cells.push_back(std::move(line));
+    }
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+      std::printf("%-*s  ", int(width[c]), r.columns[c].c_str());
+    }
+    std::printf("\n");
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+      std::printf("%s  ", std::string(width[c], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& line : cells) {
+      for (size_t c = 0; c < line.size(); ++c) {
+        std::printf("%-*s  ", int(c < width.size() ? width[c] : 0),
+                    line[c].c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  bool DotCommand(const std::string& cmd) {
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".tables") {
+      for (const std::string& name : db->schema()->TableNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+    } else if (cmd == ".mode") {
+      std::printf("journal mode: %s\n", sql::SqlJournalModeName(mode));
+    } else if (cmd == ".checkpoint") {
+      Status s = db->Checkpoint();
+      std::printf("%s\n", s.ToString().c_str());
+    } else if (cmd == ".crash") {
+      Crash();
+    } else if (cmd == ".stats") {
+      const auto& p = db->pager()->stats();
+      const auto& f = fs->stats();
+      const auto& d = ssd->ftl()->stats();
+      std::printf("pager:  db-writes=%llu journal-writes=%llu reads=%llu "
+                  "commits=%llu steals=%llu\n",
+                  (unsigned long long)p.db_page_writes,
+                  (unsigned long long)p.journal_page_writes,
+                  (unsigned long long)p.page_reads,
+                  (unsigned long long)p.commits,
+                  (unsigned long long)p.cache_steals);
+      std::printf("fs:     fsyncs=%llu data-w=%llu meta-w=%llu\n",
+                  (unsigned long long)f.fsync_calls,
+                  (unsigned long long)f.data_page_writes,
+                  (unsigned long long)f.metadata_page_writes);
+      std::printf("ftl:    writes=%llu reads=%llu gc=%llu erases=%llu\n",
+                  (unsigned long long)d.TotalPageWrites(),
+                  (unsigned long long)d.TotalPageReads(),
+                  (unsigned long long)d.gc_runs,
+                  (unsigned long long)d.block_erases);
+      std::printf("clock:  %.3f simulated ms\n", NanosToMillis(clock.Now()));
+    } else if (cmd == ".schema") {
+      for (const std::string& name : db->schema()->TableNames()) {
+        const auto* info = db->schema()->FindTable(name);
+        std::printf("CREATE TABLE %s (", name.c_str());
+        for (size_t i = 0; i < info->columns.size(); ++i) {
+          const auto& col = info->columns[i];
+          std::printf("%s%s%s%s%s", i > 0 ? ", " : "", col.name.c_str(),
+                      col.type.empty() ? "" : " ", col.type.c_str(),
+                      col.primary_key ? " PRIMARY KEY" : "");
+        }
+        std::printf(");\n");
+      }
+    } else {
+      std::printf("unknown command: %s\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void Repl() {
+    std::string buffer;
+    std::string line;
+    bool tty = isatty(0);
+    if (tty) std::printf("MiniSQLite on X-FTL - .quit to exit\n");
+    while (true) {
+      if (tty) std::printf(buffer.empty() ? "xftl> " : " ...> ");
+      if (!std::getline(std::cin, line)) break;
+      if (buffer.empty() && !line.empty() && line[0] == '.') {
+        if (!DotCommand(line)) break;
+        continue;
+      }
+      buffer += line + "\n";
+      // Execute when the statement list is ';'-terminated.
+      auto trimmed = buffer.find_last_not_of(" \t\n");
+      if (trimmed == std::string::npos || buffer[trimmed] != ';') continue;
+      auto r = db->Exec(buffer);
+      if (r.ok()) {
+        PrintResult(*r);
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+      buffer.clear();
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "rbj") == 0) {
+      shell.mode = sql::SqlJournalMode::kDelete;
+    } else if (std::strcmp(argv[1], "wal") == 0) {
+      shell.mode = sql::SqlJournalMode::kWal;
+    }
+  }
+  shell.Open(/*format=*/true);
+  shell.Repl();
+  return 0;
+}

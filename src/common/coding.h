@@ -1,0 +1,34 @@
+// Little-endian fixed-width integer encode/decode helpers for on-"flash"
+// formats (journal records, WAL frames, B-tree pages, inodes, mapping table
+// snapshots).
+#ifndef XFTL_COMMON_CODING_H_
+#define XFTL_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace xftl {
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_CODING_H_

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) used to detect torn/corrupt pages in journal, WAL and
+// mapping-table snapshots.
+#ifndef XFTL_COMMON_CRC32_H_
+#define XFTL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xftl {
+
+// Computes CRC-32C of data[0, n), extending `init` (pass 0 for a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_CRC32_H_

@@ -1,0 +1,71 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xftl {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  int b = 64 - __builtin_clzll(value);
+  return std::min(b, kNumBuckets - 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  uint64_t target = uint64_t(p / 100.0 * double(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (seen + buckets_[i] >= target) {
+      // Interpolate inside bucket [2^(i-1), 2^i).
+      double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      double hi = std::ldexp(1.0, i);
+      double frac = buckets_[i] == 0
+                        ? 0.0
+                        : double(target - seen) / double(buckets_[i]);
+      // Interpolation can overshoot the true extremes of the bucket.
+      return std::clamp(lo + frac * (hi - lo), double(min()), double(max_));
+    }
+    seen += buckets_[i];
+  }
+  return double(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " min=" << min()
+     << " p50=" << Percentile(50) << " p99=" << Percentile(99)
+     << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace xftl

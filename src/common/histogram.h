@@ -1,0 +1,43 @@
+// A simple fixed-bucket latency histogram for benchmark reporting.
+#ifndef XFTL_COMMON_HISTOGRAM_H_
+#define XFTL_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xftl {
+
+// Records non-negative samples (typically nanoseconds) into power-of-two
+// buckets and reports count/mean/percentiles.
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets, 0) {}
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // Linear interpolation within the containing bucket; p in [0, 100].
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_HISTOGRAM_H_

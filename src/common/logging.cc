@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace xftl {
+namespace internal_logging {
+namespace {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kDebug:
+      return "D";
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+Severity& MinLogSeverity() {
+  static Severity min_severity = Severity::kWarning;
+  return min_severity;
+}
+
+void LogMessage::Flush() {
+  std::cerr << "[" << SeverityName(severity_) << " " << Basename(file_) << ":"
+            << line_ << "] " << stream_.str() << std::endl;
+}
+
+}  // namespace internal_logging
+}  // namespace xftl

@@ -1,0 +1,127 @@
+// Minimal logging and assertion macros (glog-flavoured, header-only).
+//
+//   LOG(INFO) << "loaded " << n << " pages";
+//   CHECK(ptr != nullptr) << "null page";
+//   CHECK_EQ(a, b);    DCHECK_LT(i, size);
+//
+// CHECK failures abort the process; DCHECKs compile out in NDEBUG builds.
+#ifndef XFTL_COMMON_LOGGING_H_
+#define XFTL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace xftl {
+namespace internal_logging {
+
+enum class Severity { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Process-wide minimum severity printed to stderr. Tests raise it to silence
+// expected warnings.
+Severity& MinLogSeverity();
+
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    if (severity_ >= MinLogSeverity() || severity_ == Severity::kFatal) {
+      Flush();
+    }
+    if (severity_ == Severity::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  void Flush();
+
+  Severity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when a DCHECK is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+struct Voidify {
+  // Lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace xftl
+
+#define XFTL_LOG_DEBUG ::xftl::internal_logging::Severity::kDebug
+#define XFTL_LOG_INFO ::xftl::internal_logging::Severity::kInfo
+#define XFTL_LOG_WARNING ::xftl::internal_logging::Severity::kWarning
+#define XFTL_LOG_ERROR ::xftl::internal_logging::Severity::kError
+#define XFTL_LOG_FATAL ::xftl::internal_logging::Severity::kFatal
+
+#define LOG(severity)                                                     \
+  ::xftl::internal_logging::LogMessage(XFTL_LOG_##severity, __FILE__, \
+                                       __LINE__)                          \
+      .stream()
+
+#define CHECK(condition)                                             \
+  (condition) ? (void)0                                              \
+              : ::xftl::internal_logging::Voidify() &                \
+                    ::xftl::internal_logging::LogMessage(            \
+                        XFTL_LOG_FATAL, __FILE__, __LINE__)          \
+                            .stream()                                \
+                        << "Check failed: " #condition " "
+
+#define XFTL_CHECK_OP(name, op, a, b)                                 \
+  CHECK((a)op(b)) << "(" #a " " #op " " #b "), with lhs=" << (a)      \
+                  << " rhs=" << (b) << ". "
+
+#define CHECK_EQ(a, b) XFTL_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) XFTL_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) XFTL_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) XFTL_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) XFTL_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) XFTL_CHECK_OP(GE, >=, a, b)
+
+#ifdef NDEBUG
+#define XFTL_DCHECK_ACTIVE 0
+#else
+#define XFTL_DCHECK_ACTIVE 1
+#endif
+
+#if XFTL_DCHECK_ACTIVE
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define XFTL_NULL_STREAM_                                  \
+  true ? (void)0                                           \
+       : ::xftl::internal_logging::Voidify() &             \
+             *(new ::xftl::internal_logging::NullStream())
+#define DCHECK(condition) \
+  true ? (void)0 : ::xftl::internal_logging::Voidify() & LOG(DEBUG)
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#endif
+
+#endif  // XFTL_COMMON_LOGGING_H_

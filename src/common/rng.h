@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+// xoshiro256** — fast, high quality, reproducible across platforms.
+#ifndef XFTL_COMMON_RNG_H_
+#define XFTL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace xftl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread the seed over the full state.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    DCHECK_GT(n, 0u);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    DCHECK_LE(lo, hi);
+    return lo + int64_t(Uniform(uint64_t(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return double(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // TPC-C NURand non-uniform random, per clause 2.1.6.
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  // Random lowercase alphanumeric string of length n.
+  std::string AlphaString(size_t n) {
+    static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(n, ' ');
+    for (auto& ch : s) ch = kChars[Uniform(sizeof(kChars) - 1)];
+    return s;
+  }
+
+  // Fills a buffer with random bytes.
+  void FillBytes(void* data, size_t n) {
+    auto* p = static_cast<uint8_t*>(data);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      uint64_t v = Next();
+      __builtin_memcpy(p + i, &v, 8);
+    }
+    if (i < n) {
+      uint64_t v = Next();
+      __builtin_memcpy(p + i, &v, n - i);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_RNG_H_

@@ -1,0 +1,40 @@
+// A discrete-event simulated clock. All latencies in the system (flash
+// operations, bus transfers, host syscall overheads) advance this clock;
+// elapsed-time results reported by the benchmarks are differences of
+// SimClock::Now() values.
+#ifndef XFTL_COMMON_SIM_CLOCK_H_
+#define XFTL_COMMON_SIM_CLOCK_H_
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace xftl {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Non-copyable: a clock is shared by reference across the whole stack.
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  SimNanos Now() const { return now_; }
+
+  // Moves time forward by `ns`.
+  void Advance(SimNanos ns) { now_ += ns; }
+
+  // Moves time forward to `t` if `t` is in the future; never moves backward.
+  void AdvanceTo(SimNanos t) { now_ = std::max(now_, t); }
+
+  // Resets to zero (tests only).
+  void Reset() { now_ = 0; }
+
+ private:
+  SimNanos now_ = 0;
+};
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,156 @@
+// Status and StatusOr<T>: exception-free error propagation in the style of
+// Arrow / RocksDB. Every fallible operation in this library returns a Status
+// (or StatusOr when there is a value to return).
+#ifndef XFTL_COMMON_STATUS_H_
+#define XFTL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace xftl {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,   // no free blocks, table full, disk full, ...
+  kFailedPrecondition,  // operation illegal in current state
+  kCorruption,          // checksum mismatch, torn page, bad format
+  kIoError,             // simulated device failure
+  kNotSupported,
+  kAborted,  // transaction aborted (e.g., by recovery)
+  kBusy,     // lock held / conflicting transaction
+};
+
+// Returns a short name like "InvalidArgument" for diagnostics.
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK (cheap, no allocation) or an error code plus a
+// human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  // "OK" or "Corruption: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T> holds either a T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl
+      : rep_(std::move(status)) {
+    DCHECK(!std::get<Status>(rep_).ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit by design
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates a non-OK status to the caller.
+#define XFTL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::xftl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// assigns the value to `lhs`. `lhs` may include a declaration.
+#define XFTL_ASSIGN_OR_RETURN(lhs, expr)                     \
+  XFTL_ASSIGN_OR_RETURN_IMPL_(                               \
+      XFTL_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define XFTL_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define XFTL_STATUS_CONCAT_(a, b) XFTL_STATUS_CONCAT_IMPL_(a, b)
+#define XFTL_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+// Size and time unit helpers used throughout the simulator.
+#ifndef XFTL_COMMON_UNITS_H_
+#define XFTL_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace xftl {
+
+// Simulated time is measured in nanoseconds.
+using SimNanos = uint64_t;
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+constexpr SimNanos Nanos(uint64_t n) { return n; }
+constexpr SimNanos Micros(uint64_t n) { return n * 1000ull; }
+constexpr SimNanos Millis(uint64_t n) { return n * 1000000ull; }
+constexpr SimNanos Seconds(uint64_t n) { return n * 1000000000ull; }
+
+constexpr double NanosToMillis(SimNanos ns) { return double(ns) / 1e6; }
+constexpr double NanosToSeconds(SimNanos ns) { return double(ns) / 1e9; }
+
+}  // namespace xftl
+
+#endif  // XFTL_COMMON_UNITS_H_

@@ -1,0 +1,72 @@
+// Geometry and timing parameters of the simulated NAND flash array.
+//
+// Defaults model the Samsung K9LCG08U1M MLC chips on the OpenSSD board used
+// in the paper: 8 KB pages, 128 pages per block, with the Barefoot
+// controller's 4-way bank interleaving.
+#ifndef XFTL_FLASH_FLASH_CONFIG_H_
+#define XFTL_FLASH_FLASH_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace xftl::flash {
+
+// Physical page number: linear index over the whole device.
+using Ppn = uint32_t;
+// Block number: ppn / pages_per_block.
+using BlockNum = uint32_t;
+
+inline constexpr Ppn kInvalidPpn = ~Ppn{0};
+inline constexpr uint64_t kInvalidLpn = ~uint64_t{0};
+
+struct FlashTimings {
+  SimNanos read_page = Micros(200);     // tR, cell array -> page register
+  SimNanos program_page = Micros(1300); // tPROG (MLC)
+  SimNanos erase_block = Micros(3000);  // tBERS
+  SimNanos bus_per_page = Micros(50);   // 8 KB over the flash channel
+};
+
+struct FlashConfig {
+  uint32_t page_size = 8192;
+  uint32_t pages_per_block = 128;
+  uint32_t num_blocks = 1024;  // whole device
+  uint32_t num_banks = 4;      // interleaved block-wise
+  // Maximum programs in flight before the issuer must stall (controller
+  // write-buffer depth).
+  uint32_t write_buffer_pages = 16;
+  FlashTimings timings;
+
+  uint64_t TotalPages() const {
+    return uint64_t(num_blocks) * pages_per_block;
+  }
+  uint64_t TotalBytes() const { return TotalPages() * page_size; }
+  BlockNum BlockOf(Ppn ppn) const { return ppn / pages_per_block; }
+  uint32_t PageInBlock(Ppn ppn) const { return ppn % pages_per_block; }
+  uint32_t BankOf(BlockNum block) const { return block % num_banks; }
+};
+
+// Out-of-band (spare-area) metadata stored with each physical page. The FTL
+// uses it for reverse mapping and power-failure recovery scans. The link
+// fields are used by cyclic-commit schemes (TxFlash/SCC): each page of a
+// transaction names the (lpn, seq) of the next page, and a complete cycle is
+// the commit record.
+struct PageOob {
+  uint64_t lpn = kInvalidLpn;  // logical page this physical page holds
+  uint64_t seq = 0;            // monotonically increasing write sequence
+  uint64_t tag = 0;            // layer-specific (e.g., meta-page kind)
+  uint64_t link_lpn = kInvalidLpn;
+  uint64_t link_seq = 0;
+};
+
+// Counters of raw flash activity.
+struct FlashStats {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+  uint64_t torn_programs = 0;  // programs destroyed by power failure
+};
+
+}  // namespace xftl::flash
+
+#endif  // XFTL_FLASH_FLASH_CONFIG_H_

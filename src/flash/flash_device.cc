@@ -1,0 +1,199 @@
+#include "flash/flash_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xftl::flash {
+
+FlashDevice::FlashDevice(const FlashConfig& config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  CHECK_GT(config_.num_blocks, 0u);
+  CHECK_GT(config_.pages_per_block, 0u);
+  CHECK_GT(config_.num_banks, 0u);
+  CHECK_GT(config_.write_buffer_pages, 0u);
+  blocks_.resize(config_.num_blocks);
+  bank_busy_until_.assign(config_.num_banks, 0);
+}
+
+Status FlashDevice::CheckAlive() const {
+  if (failed_) return Status::IoError("device lost power");
+  return Status::OK();
+}
+
+Status FlashDevice::CheckPpn(Ppn ppn) const {
+  if (ppn >= config_.TotalPages()) {
+    return Status::OutOfRange("ppn " + std::to_string(ppn) +
+                              " beyond device");
+  }
+  return Status::OK();
+}
+
+void FlashDevice::EnsureAllocated(Block& blk) {
+  if (blk.data.empty()) {
+    blk.data.assign(size_t(config_.pages_per_block) * config_.page_size, 0xff);
+    blk.page_state.assign(config_.pages_per_block, PageState::kErased);
+    blk.oob.assign(config_.pages_per_block, PageOob{});
+  }
+}
+
+uint8_t* FlashDevice::PageData(Block& blk, uint32_t page) {
+  return blk.data.data() + size_t(page) * config_.page_size;
+}
+
+SimNanos FlashDevice::ScheduleOnBank(uint32_t bank, SimNanos latency) {
+  SimNanos start = std::max(clock_->Now(), bank_busy_until_[bank]);
+  bank_busy_until_[bank] = start + latency;
+  return bank_busy_until_[bank];
+}
+
+void FlashDevice::StallIfBufferFull() {
+  if (inflight_.size() < config_.write_buffer_pages) return;
+  // Wait for the earliest completion, then retire everything done by then.
+  auto it = std::min_element(inflight_.begin(), inflight_.end());
+  clock_->AdvanceTo(*it);
+  SimNanos now = clock_->Now();
+  inflight_.erase(
+      std::remove_if(inflight_.begin(), inflight_.end(),
+                     [now](SimNanos t) { return t <= now; }),
+      inflight_.end());
+}
+
+Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob) {
+  XFTL_RETURN_IF_ERROR(CheckAlive());
+  XFTL_RETURN_IF_ERROR(CheckPpn(ppn));
+  Block& blk = blocks_[config_.BlockOf(ppn)];
+  uint32_t page = config_.PageInBlock(ppn);
+
+  // The read must wait for the bank (covers read-after-in-flight-program).
+  uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
+  SimNanos done = ScheduleOnBank(
+      bank, config_.timings.read_page + config_.timings.bus_per_page);
+  clock_->AdvanceTo(done);
+  stats_.page_reads++;
+
+  if (blk.data.empty() || blk.page_state[page] == PageState::kErased) {
+    std::memset(data, 0xff, config_.page_size);
+    if (oob != nullptr) *oob = PageOob{};
+    return Status::OK();
+  }
+  if (blk.page_state[page] == PageState::kTorn) {
+    // The caller still sees the garbled bytes — checksums upstream are what
+    // detect this in real systems; the explicit status makes tests crisper.
+    std::memcpy(data, PageData(blk, page), config_.page_size);
+    if (oob != nullptr) *oob = blk.oob[page];
+    return Status::Corruption("torn page " + std::to_string(ppn));
+  }
+  std::memcpy(data, PageData(blk, page), config_.page_size);
+  if (oob != nullptr) *oob = blk.oob[page];
+  return Status::OK();
+}
+
+StatusOr<std::optional<PageOob>> FlashDevice::ReadOob(Ppn ppn) {
+  XFTL_RETURN_IF_ERROR(CheckAlive());
+  XFTL_RETURN_IF_ERROR(CheckPpn(ppn));
+  Block& blk = blocks_[config_.BlockOf(ppn)];
+  uint32_t page = config_.PageInBlock(ppn);
+  // OOB-only reads still pay tR but almost no transfer time.
+  uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
+  clock_->AdvanceTo(ScheduleOnBank(bank, config_.timings.read_page));
+  if (blk.data.empty() || blk.page_state[page] == PageState::kErased) {
+    return std::optional<PageOob>{};
+  }
+  return std::optional<PageOob>{blk.oob[page]};
+}
+
+Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
+                                const PageOob& oob) {
+  XFTL_RETURN_IF_ERROR(CheckAlive());
+  XFTL_RETURN_IF_ERROR(CheckPpn(ppn));
+  BlockNum block = config_.BlockOf(ppn);
+  Block& blk = blocks_[block];
+  uint32_t page = config_.PageInBlock(ppn);
+  EnsureAllocated(blk);
+
+  if (blk.page_state[page] != PageState::kErased) {
+    return Status::FailedPrecondition("program of non-erased page " +
+                                      std::to_string(ppn));
+  }
+  if (page != blk.next_page) {
+    return Status::FailedPrecondition(
+        "out-of-order program: block " + std::to_string(block) + " page " +
+        std::to_string(page) + " (next is " + std::to_string(blk.next_page) +
+        ")");
+  }
+
+  StallIfBufferFull();
+
+  // Power-failure injection: the program starts and the cells are left in an
+  // indeterminate state.
+  if (fail_after_programs_ > 0 && --fail_after_programs_ == 0) {
+    garbage_rng_.FillBytes(PageData(blk, page), config_.page_size);
+    blk.page_state[page] = PageState::kTorn;
+    blk.oob[page] = oob;  // OOB may or may not have landed; keep it but the
+                          // data checksum is what recovery must rely on.
+    blk.next_page = page + 1;
+    stats_.torn_programs++;
+    failed_ = true;
+    return Status::IoError("power failure during program of page " +
+                           std::to_string(ppn));
+  }
+
+  std::memcpy(PageData(blk, page), data, config_.page_size);
+  blk.page_state[page] = PageState::kProgrammed;
+  blk.oob[page] = oob;
+  blk.next_page = page + 1;
+  stats_.page_programs++;
+
+  uint32_t bank = config_.BankOf(block);
+  SimNanos done = ScheduleOnBank(
+      bank, config_.timings.bus_per_page + config_.timings.program_page);
+  inflight_.push_back(done);
+  return Status::OK();
+}
+
+Status FlashDevice::EraseBlock(BlockNum block) {
+  XFTL_RETURN_IF_ERROR(CheckAlive());
+  if (block >= config_.num_blocks) {
+    return Status::OutOfRange("block " + std::to_string(block));
+  }
+  Block& blk = blocks_[block];
+  if (!blk.data.empty()) {
+    std::fill(blk.data.begin(), blk.data.end(), 0xff);
+    std::fill(blk.page_state.begin(), blk.page_state.end(),
+              PageState::kErased);
+    std::fill(blk.oob.begin(), blk.oob.end(), PageOob{});
+  }
+  blk.next_page = 0;
+  blk.erase_count++;
+  stats_.block_erases++;
+  uint32_t bank = config_.BankOf(block);
+  clock_->AdvanceTo(ScheduleOnBank(bank, config_.timings.erase_block));
+  return Status::OK();
+}
+
+void FlashDevice::SyncAll() {
+  for (SimNanos t : bank_busy_until_) clock_->AdvanceTo(t);
+  inflight_.clear();
+}
+
+bool FlashDevice::IsProgrammed(Ppn ppn) const {
+  const Block& blk = blocks_[config_.BlockOf(ppn)];
+  if (blk.data.empty()) return false;
+  return blk.page_state[config_.PageInBlock(ppn)] != PageState::kErased;
+}
+
+uint64_t FlashDevice::EraseCount(BlockNum block) const {
+  return blocks_[block].erase_count;
+}
+
+uint32_t FlashDevice::NextProgramPage(BlockNum block) const {
+  return blocks_[block].next_page;
+}
+
+void FlashDevice::ClearFailure() {
+  failed_ = false;
+  fail_after_programs_ = 0;
+  inflight_.clear();
+}
+
+}  // namespace xftl::flash

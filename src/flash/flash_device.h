@@ -1,0 +1,114 @@
+// In-memory simulation of a bank-interleaved NAND flash array.
+//
+// The simulator enforces the physical constraints real firmware must respect:
+//   * a page can only be programmed once after an erase (no overwrite),
+//   * pages within a block must be programmed in order (MLC constraint),
+//   * erases operate on whole blocks.
+//
+// Timing: reads and erases are synchronous; programs are issued
+// asynchronously onto their bank and retire in the background, so sequential
+// writes striped across banks overlap (this is what gives the device its
+// write bandwidth). A bounded write buffer stalls the issuer when full, and
+// SyncAll() models a flush barrier that waits for every in-flight program.
+//
+// Power-failure injection: ArmPowerFailure(n) makes the n-th subsequent
+// program "tear" — the page contents are destroyed mid-write and the device
+// refuses further work until ClearFailure() (the reboot). Flash contents
+// survive, which is exactly what crash-recovery code must cope with.
+#ifndef XFTL_FLASH_FLASH_DEVICE_H_
+#define XFTL_FLASH_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/flash_config.h"
+
+namespace xftl::flash {
+
+class FlashDevice {
+ public:
+  FlashDevice(const FlashConfig& config, SimClock* clock);
+
+  FlashDevice(const FlashDevice&) = delete;
+  FlashDevice& operator=(const FlashDevice&) = delete;
+
+  const FlashConfig& config() const { return config_; }
+  const FlashStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FlashStats{}; }
+  SimClock* clock() const { return clock_; }
+
+  // Reads one page into `data` (page_size bytes) and, optionally, its OOB.
+  // Reading an erased page fills `data` with 0xff. Reading a torn page
+  // returns Corruption.
+  Status ReadPage(Ppn ppn, uint8_t* data, PageOob* oob = nullptr);
+
+  // Reads only the OOB metadata (cheap recovery scan; charged a fraction of
+  // a full page read). Returns nullopt for erased pages.
+  StatusOr<std::optional<PageOob>> ReadOob(Ppn ppn);
+
+  // Programs one page. Fails if the page is not erased or out of program
+  // order within its block. The data is latched immediately; the program
+  // time is scheduled on the page's bank.
+  Status ProgramPage(Ppn ppn, const uint8_t* data, const PageOob& oob);
+
+  // Erases a whole block (synchronous).
+  Status EraseBlock(BlockNum block);
+
+  // Waits for all in-flight programs to retire (flush barrier).
+  void SyncAll();
+
+  // True if the page has been programmed since its block's last erase.
+  bool IsProgrammed(Ppn ppn) const;
+  // Per-block erase count (wear).
+  uint64_t EraseCount(BlockNum block) const;
+  // Next in-order programmable page index within `block`, or
+  // pages_per_block if the block is full.
+  uint32_t NextProgramPage(BlockNum block) const;
+
+  // --- power-failure injection -------------------------------------------
+  // The `countdown`-th program from now (1 = the very next) tears.
+  void ArmPowerFailure(uint64_t countdown) { fail_after_programs_ = countdown; }
+  void DisarmPowerFailure() { fail_after_programs_ = 0; }
+  bool HasFailed() const { return failed_; }
+  // Simulated reboot: the device accepts commands again; flash contents are
+  // untouched and all RAM-side (in-flight) state is gone.
+  void ClearFailure();
+
+ private:
+  enum class PageState : uint8_t { kErased, kProgrammed, kTorn };
+
+  struct Block {
+    std::vector<uint8_t> data;   // allocated lazily, pages_per_block pages
+    std::vector<PageState> page_state;
+    std::vector<PageOob> oob;
+    uint32_t next_page = 0;      // in-order program cursor
+    uint64_t erase_count = 0;
+  };
+
+  Status CheckAlive() const;
+  Status CheckPpn(Ppn ppn) const;
+  void EnsureAllocated(Block& blk);
+  uint8_t* PageData(Block& blk, uint32_t page);
+  // Schedules `latency` on `bank`; returns completion time.
+  SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency);
+  void StallIfBufferFull();
+
+  const FlashConfig config_;
+  SimClock* const clock_;
+  std::vector<Block> blocks_;
+  std::vector<SimNanos> bank_busy_until_;
+  // Completion times of in-flight programs (bounded by write_buffer_pages).
+  std::vector<SimNanos> inflight_;
+  FlashStats stats_;
+  uint64_t fail_after_programs_ = 0;  // 0 = disarmed
+  bool failed_ = false;
+  Rng garbage_rng_{0xdeadbeef};
+};
+
+}  // namespace xftl::flash
+
+#endif  // XFTL_FLASH_FLASH_DEVICE_H_

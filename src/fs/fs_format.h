@@ -1,0 +1,140 @@
+// On-disk format of the mini-ext4 file system: superblock, inode table,
+// page-allocation bitmap, journal region, data region. All multi-byte fields
+// little-endian; all structures page-aligned.
+//
+//   page 0                superblock
+//   [1, 1+inode_pages)    inode table (128-byte inodes)
+//   [.., +bitmap_pages)   allocation bitmap (1 bit per device page)
+//   [.., +journal_pages)  journal (holds one transaction at a time)
+//   [.., num_pages)       data
+#ifndef XFTL_FS_FS_FORMAT_H_
+#define XFTL_FS_FS_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/coding.h"
+
+namespace xftl::fs {
+
+using Ino = uint32_t;
+inline constexpr Ino kRootIno = 0;
+inline constexpr uint32_t kNoPage = 0;  // page 0 is the superblock
+
+inline constexpr uint32_t kSuperMagic = 0x58463445;    // "XF4E"
+inline constexpr uint32_t kInodeSize = 128;
+inline constexpr uint32_t kDirentSize = 64;
+inline constexpr uint32_t kMaxNameLen = kDirentSize - 6;
+inline constexpr uint32_t kDirectPointers = 12;
+
+enum class InodeMode : uint32_t { kFree = 0, kFile = 1, kDir = 2 };
+
+struct Superblock {
+  uint32_t magic = kSuperMagic;
+  uint32_t page_size = 0;
+  uint64_t num_pages = 0;
+  uint32_t inode_count = 0;
+  uint32_t inode_start = 0;   // first inode-table page
+  uint32_t inode_pages = 0;
+  uint32_t bitmap_start = 0;
+  uint32_t bitmap_pages = 0;
+  uint32_t journal_start = 0;
+  uint32_t journal_pages = 0;
+  uint32_t data_start = 0;
+
+  void EncodeTo(uint8_t* page) const {
+    EncodeFixed32(page + 0, magic);
+    EncodeFixed32(page + 4, page_size);
+    EncodeFixed64(page + 8, num_pages);
+    EncodeFixed32(page + 16, inode_count);
+    EncodeFixed32(page + 20, inode_start);
+    EncodeFixed32(page + 24, inode_pages);
+    EncodeFixed32(page + 28, bitmap_start);
+    EncodeFixed32(page + 32, bitmap_pages);
+    EncodeFixed32(page + 36, journal_start);
+    EncodeFixed32(page + 40, journal_pages);
+    EncodeFixed32(page + 44, data_start);
+  }
+  void DecodeFrom(const uint8_t* page) {
+    magic = DecodeFixed32(page + 0);
+    page_size = DecodeFixed32(page + 4);
+    num_pages = DecodeFixed64(page + 8);
+    inode_count = DecodeFixed32(page + 16);
+    inode_start = DecodeFixed32(page + 20);
+    inode_pages = DecodeFixed32(page + 24);
+    bitmap_start = DecodeFixed32(page + 28);
+    bitmap_pages = DecodeFixed32(page + 32);
+    journal_start = DecodeFixed32(page + 36);
+    journal_pages = DecodeFixed32(page + 40);
+    data_start = DecodeFixed32(page + 44);
+  }
+};
+
+// 128-byte on-disk inode: mode, link count, size in bytes, 12 direct page
+// pointers, one single-indirect and one double-indirect pointer page.
+struct Inode {
+  InodeMode mode = InodeMode::kFree;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  uint32_t direct[kDirectPointers] = {0};
+  uint32_t indirect = 0;
+  uint32_t dindirect = 0;
+  // Modification time (simulated nanos). Every write dirties the inode via
+  // mtime, which is what makes ordered-mode fsync always journal metadata -
+  // the behaviour the paper measures on ext4.
+  uint64_t mtime = 0;
+
+  void EncodeTo(uint8_t* dst) const {
+    std::memset(dst, 0, kInodeSize);
+    EncodeFixed32(dst + 0, uint32_t(mode));
+    EncodeFixed32(dst + 4, nlink);
+    EncodeFixed64(dst + 8, size);
+    for (uint32_t i = 0; i < kDirectPointers; ++i) {
+      EncodeFixed32(dst + 16 + i * 4, direct[i]);
+    }
+    EncodeFixed32(dst + 64, indirect);
+    EncodeFixed32(dst + 68, dindirect);
+    EncodeFixed64(dst + 72, mtime);
+  }
+  void DecodeFrom(const uint8_t* src) {
+    mode = InodeMode(DecodeFixed32(src + 0));
+    nlink = DecodeFixed32(src + 4);
+    size = DecodeFixed64(src + 8);
+    for (uint32_t i = 0; i < kDirectPointers; ++i) {
+      direct[i] = DecodeFixed32(src + 16 + i * 4);
+    }
+    indirect = DecodeFixed32(src + 64);
+    dindirect = DecodeFixed32(src + 68);
+    mtime = DecodeFixed64(src + 72);
+  }
+};
+
+// 64-byte directory entry slot.
+struct Dirent {
+  Ino ino = 0;
+  bool in_use = false;
+  std::string name;
+
+  void EncodeTo(uint8_t* dst) const {
+    std::memset(dst, 0, kDirentSize);
+    EncodeFixed32(dst + 0, ino);
+    dst[4] = in_use ? 1 : 0;
+    dst[5] = uint8_t(name.size());
+    std::memcpy(dst + 6, name.data(), name.size());
+  }
+  void DecodeFrom(const uint8_t* src) {
+    ino = DecodeFixed32(src + 0);
+    in_use = src[4] != 0;
+    uint8_t len = src[5];
+    name.assign(reinterpret_cast<const char*>(src + 6), len);
+  }
+};
+
+// Journal page headers.
+inline constexpr uint32_t kJournalDescMagic = 0x4a44534b;    // "JDSK"
+inline constexpr uint32_t kJournalCommitMagic = 0x4a434d54;  // "JCMT"
+
+}  // namespace xftl::fs
+
+#endif  // XFTL_FS_FS_FORMAT_H_

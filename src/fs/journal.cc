@@ -1,0 +1,111 @@
+#include "fs/journal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "fs/fs_format.h"
+
+namespace xftl::fs {
+
+Journal::Journal(storage::BlockDevice* dev, uint32_t start, uint32_t pages)
+    : dev_(dev), start_(start), pages_(pages) {
+  CHECK_GE(pages_, 3u);
+}
+
+Status Journal::CommitTransaction(
+    const std::vector<std::pair<uint64_t, const uint8_t*>>& pages) {
+  if (pages.empty()) return Status::OK();
+  if (pages.size() > capacity()) {
+    return Status::ResourceExhausted("journal transaction too large");
+  }
+  const uint32_t page_size = dev_->page_size();
+
+  // Barrier 1: everything written before (in-place data, the previous
+  // transaction's checkpoint writes) must be durable before this journal
+  // write can overwrite the previous transaction.
+  XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
+
+  // Descriptor.
+  std::vector<uint8_t> buf(page_size, 0);
+  uint64_t txid = next_txid_++;
+  EncodeFixed32(buf.data(), kJournalDescMagic);
+  EncodeFixed64(buf.data() + 4, txid);
+  EncodeFixed32(buf.data() + 12, uint32_t(pages.size()));
+  size_t off = 16;
+  uint32_t content_crc = 0;
+  for (const auto& [home, data] : pages) {
+    EncodeFixed64(buf.data() + off, home);
+    off += 8;
+    content_crc = Crc32c(data, page_size, content_crc);
+  }
+  EncodeFixed32(buf.data() + page_size - 4,
+                Crc32c(buf.data(), page_size - 4));
+  XFTL_RETURN_IF_ERROR(dev_->Write(start_, buf.data()));
+  stats_.journal_page_writes++;
+
+  // Copies.
+  uint32_t jp = start_ + 1;
+  for (const auto& [home, data] : pages) {
+    XFTL_RETURN_IF_ERROR(dev_->Write(jp++, data));
+    stats_.journal_page_writes++;
+  }
+
+  // Commit page: its checksum covers the copies, so a torn copy invalidates
+  // the whole transaction.
+  std::memset(buf.data(), 0, page_size);
+  EncodeFixed32(buf.data(), kJournalCommitMagic);
+  EncodeFixed64(buf.data() + 4, txid);
+  EncodeFixed32(buf.data() + 12, content_crc);
+  XFTL_RETURN_IF_ERROR(dev_->Write(jp, buf.data()));
+  stats_.journal_page_writes++;
+
+  // Barrier 2: the commit record is durable; checkpointing may begin.
+  XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
+  stats_.commits++;
+  return Status::OK();
+}
+
+Status Journal::Recover() {
+  const uint32_t page_size = dev_->page_size();
+  std::vector<uint8_t> desc(page_size);
+  Status s = dev_->Read(start_, desc.data());
+  if (!s.ok()) return Status::OK();  // torn descriptor: nothing committed
+  if (DecodeFixed32(desc.data()) != kJournalDescMagic) return Status::OK();
+  if (DecodeFixed32(desc.data() + page_size - 4) !=
+      Crc32c(desc.data(), page_size - 4)) {
+    return Status::OK();
+  }
+  uint64_t txid = DecodeFixed64(desc.data() + 4);
+  uint32_t count = DecodeFixed32(desc.data() + 12);
+  if (count > capacity()) return Status::OK();
+
+  // Read all copies and validate against the commit page.
+  std::vector<std::vector<uint8_t>> copies(count,
+                                           std::vector<uint8_t>(page_size));
+  uint32_t content_crc = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Status rs = dev_->Read(start_ + 1 + i, copies[i].data());
+    if (!rs.ok()) return Status::OK();  // torn copy: not committed
+    content_crc = Crc32c(copies[i].data(), page_size, content_crc);
+  }
+  std::vector<uint8_t> commit(page_size);
+  Status cs = dev_->Read(start_ + 1 + count, commit.data());
+  if (!cs.ok()) return Status::OK();
+  if (DecodeFixed32(commit.data()) != kJournalCommitMagic) return Status::OK();
+  if (DecodeFixed64(commit.data() + 4) != txid) return Status::OK();
+  if (DecodeFixed32(commit.data() + 12) != content_crc) return Status::OK();
+
+  // Complete transaction: replay to home locations.
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t home = DecodeFixed64(desc.data() + 16 + size_t(i) * 8);
+    XFTL_RETURN_IF_ERROR(dev_->Write(home, copies[i].data()));
+    stats_.replayed_pages++;
+  }
+  XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
+  stats_.replayed_transactions++;
+  next_txid_ = txid + 1;
+  return Status::OK();
+}
+
+}  // namespace xftl::fs

@@ -1,0 +1,47 @@
+// Abstract interface of a flash translation layer as seen from the storage
+// interface (SATA) layer: a logical page space with read/write/trim, plus a
+// flush barrier that makes both data and the mapping table durable.
+#ifndef XFTL_FTL_FTL_INTERFACE_H_
+#define XFTL_FTL_FTL_INTERFACE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ftl/ftl_stats.h"
+
+namespace xftl::ftl {
+
+// Logical page number as exposed to the host.
+using Lpn = uint64_t;
+
+class FtlInterface {
+ public:
+  virtual ~FtlInterface() = default;
+
+  virtual uint32_t page_size() const = 0;
+  virtual uint32_t pages_per_block() const = 0;
+  virtual uint64_t num_logical_pages() const = 0;
+
+  // Reads the committed content of `lpn` (0xff-filled if never written).
+  virtual Status Read(Lpn lpn, uint8_t* data) = 0;
+
+  // Copy-on-write update of `lpn`. Durable only after Flush().
+  virtual Status Write(Lpn lpn, const uint8_t* data) = 0;
+
+  // Drops the mapping of `lpn`; the physical page becomes garbage.
+  virtual Status Trim(Lpn lpn) = 0;
+
+  // Write barrier: waits for in-flight programs and persists the mapping
+  // table (dirty segments + root record).
+  virtual Status Flush() = 0;
+
+  // Rebuilds all volatile state from flash after a power failure.
+  virtual Status Recover() = 0;
+
+  virtual const FtlStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace xftl::ftl
+
+#endif  // XFTL_FTL_FTL_INTERFACE_H_

@@ -1,0 +1,45 @@
+// Counters of FTL-side activity, matching the "FTL-side" columns of the
+// paper's Table 1: pages written and read (including internal copy-backs),
+// garbage-collection runs and block erases.
+#ifndef XFTL_FTL_FTL_STATS_H_
+#define XFTL_FTL_FTL_STATS_H_
+
+#include <cstdint>
+
+namespace xftl::ftl {
+
+struct FtlStats {
+  // Host-initiated traffic.
+  uint64_t host_page_writes = 0;
+  uint64_t host_page_reads = 0;
+  // Garbage collection.
+  uint64_t gc_runs = 0;
+  uint64_t gc_copyback_reads = 0;
+  uint64_t gc_copyback_writes = 0;
+  uint64_t gc_valid_pages_seen = 0;  // valid pages across all victims
+  // Mapping-table persistence (segments + roots + transactional tables).
+  uint64_t meta_page_writes = 0;
+  // Block erases (data blocks collected + meta blocks recycled).
+  uint64_t block_erases = 0;
+  // Barriers / commits.
+  uint64_t flush_barriers = 0;
+
+  // Total physical page programs, as the paper's Table 1 "Write" column
+  // counts them (host + copied-back + metadata).
+  uint64_t TotalPageWrites() const {
+    return host_page_writes + gc_copyback_writes + meta_page_writes;
+  }
+  uint64_t TotalPageReads() const {
+    return host_page_reads + gc_copyback_reads;
+  }
+  // Mean fraction of valid pages carried over per collected block.
+  double MeanGcValidRatio(uint32_t pages_per_block) const {
+    if (gc_runs == 0) return 0.0;
+    return double(gc_valid_pages_seen) /
+           (double(gc_runs) * double(pages_per_block));
+  }
+};
+
+}  // namespace xftl::ftl
+
+#endif  // XFTL_FTL_FTL_STATS_H_

@@ -1,0 +1,736 @@
+#include "ftl/page_ftl.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace xftl::ftl {
+
+namespace {
+constexpr uint32_t kRootMagic = 0x5846524f;  // "XFRO"
+// Root record layout: magic(4) seq(8) num_segments(4) ppn[num_segments](4*)
+// crc(4). Everything little-endian.
+constexpr size_t kRootHeaderSize = 4 + 8 + 4;
+}  // namespace
+
+PageFtl::PageFtl(flash::FlashDevice* device, const FtlConfig& config)
+    : device_(device), config_(config) {
+  const auto& fc = device_->config();
+  CHECK_GT(config_.num_logical_pages, 0u);
+  CHECK_GE(config_.meta_blocks, 2u);
+  CHECK_GE(config_.min_free_blocks, 2u);
+  CHECK_LT(config_.meta_blocks + config_.min_free_blocks + 2, fc.num_blocks);
+
+  entries_per_segment_ = fc.page_size / 4;
+  uint64_t data_pages =
+      uint64_t(fc.num_blocks - config_.meta_blocks) * fc.pages_per_block;
+  // Leave GC headroom: the logical space must be strictly smaller than the
+  // physical data space minus the free reserve.
+  uint64_t reserve =
+      uint64_t(config_.min_free_blocks + 2) * fc.pages_per_block;
+  CHECK_LE(config_.num_logical_pages + reserve, data_pages)
+      << "logical space too large for device (no over-provisioning left)";
+  // All live meta pages (segments + root + a subclass table) must fit in one
+  // meta block, or compaction could not make progress.
+  CHECK_LE(num_segments() + 4, fc.pages_per_block)
+      << "L2P too large for single-block meta compaction";
+
+  InitLayout();
+}
+
+void PageFtl::InitLayout() {
+  const auto& fc = device_->config();
+  l2p_.assign(config_.num_logical_pages, flash::kInvalidPpn);
+  blocks_.assign(fc.num_blocks, BlockInfo{});
+  free_blocks_.clear();
+  for (flash::BlockNum b = 0; b < fc.num_blocks; ++b) {
+    if (b < config_.meta_blocks) {
+      blocks_[b].kind = BlockInfo::Kind::kMeta;
+    } else {
+      blocks_[b].kind = BlockInfo::Kind::kFree;
+      free_blocks_.push_back(b);
+    }
+  }
+  active_blocks_.assign(fc.num_banks, flash::kInvalidPpn);
+  active_next_page_.assign(fc.num_banks, 0);
+  bank_cursor_ = 0;
+  segment_dirty_.assign(num_segments(), false);
+  segment_snapshot_ppn_.assign(num_segments(), flash::kInvalidPpn);
+  last_root_seq_ = 0;
+  meta_active_ = 0;
+  meta_next_page_ = 0;
+}
+
+flash::Ppn PageFtl::MappingOf(Lpn lpn) const {
+  CHECK_LT(lpn, l2p_.size());
+  return l2p_[lpn];
+}
+
+Status PageFtl::Read(Lpn lpn, uint8_t* data) {
+  if (lpn >= config_.num_logical_pages) {
+    return Status::OutOfRange("lpn " + std::to_string(lpn));
+  }
+  stats_.host_page_reads++;
+  flash::Ppn ppn = l2p_[lpn];
+  if (ppn == flash::kInvalidPpn) {
+    std::memset(data, 0xff, page_size());
+    return Status::OK();
+  }
+  return device_->ReadPage(ppn, data);
+}
+
+Status PageFtl::Write(Lpn lpn, const uint8_t* data) {
+  if (lpn >= config_.num_logical_pages) {
+    return Status::OutOfRange("lpn " + std::to_string(lpn));
+  }
+  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, ProgramDataPage(lpn, data));
+  if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpn(l2p_[lpn]);
+  SetMapping(lpn, ppn);
+  stats_.host_page_writes++;
+  return Status::OK();
+}
+
+Status PageFtl::Trim(Lpn lpn) {
+  if (lpn >= config_.num_logical_pages) {
+    return Status::OutOfRange("lpn " + std::to_string(lpn));
+  }
+  if (l2p_[lpn] != flash::kInvalidPpn) {
+    InvalidatePpn(l2p_[lpn]);
+    ClearMapping(lpn);
+  }
+  return Status::OK();
+}
+
+Status PageFtl::Flush() {
+  // Data first: the mapping must never point at pages that did not finish
+  // programming.
+  device_->SyncAll();
+  if (!config_.fast_barrier) {
+    XFTL_RETURN_IF_ERROR(PersistMapping());
+    XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
+    device_->SyncAll();
+  }
+  stats_.flush_barriers++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+StatusOr<flash::Ppn> PageFtl::ProgramDataPage(Lpn lpn, const uint8_t* data,
+                                              uint64_t tag) {
+  XFTL_RETURN_IF_ERROR(MaybeGarbageCollect());
+  flash::Ppn ppn;
+  XFTL_RETURN_IF_ERROR(ProgramDataPageNoGc(lpn, data, tag, &ppn));
+  return ppn;
+}
+
+StatusOr<flash::Ppn> PageFtl::ProgramDataPageOob(const uint8_t* data,
+                                                 const flash::PageOob& oob) {
+  XFTL_RETURN_IF_ERROR(MaybeGarbageCollect());
+  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextDataPpnNoGc());
+  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
+  const auto& fc = device_->config();
+  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  uint32_t page = fc.PageInBlock(ppn);
+  blk.valid[page] = true;
+  blk.valid_count++;
+  blk.rmap[page] = oob.lpn;
+  return ppn;
+}
+
+Status PageFtl::ProgramDataPageNoGc(Lpn lpn, const uint8_t* data, uint64_t tag,
+                                    flash::Ppn* out) {
+  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextDataPpnNoGc());
+  flash::PageOob oob;
+  oob.lpn = lpn;
+  oob.seq = next_seq_++;
+  oob.tag = tag;
+  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
+  const auto& fc = device_->config();
+  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  uint32_t page = fc.PageInBlock(ppn);
+  blk.valid[page] = true;
+  blk.valid_count++;
+  blk.rmap[page] = lpn;
+  *out = ppn;
+  return Status::OK();
+}
+
+StatusOr<flash::Ppn> PageFtl::NextDataPpnNoGc() {
+  const auto& fc = device_->config();
+  for (uint32_t attempt = 0; attempt < fc.num_banks; ++attempt) {
+    uint32_t bank = (bank_cursor_ + attempt) % fc.num_banks;
+    // Seal a filled active block.
+    if (active_blocks_[bank] != flash::kInvalidPpn &&
+        active_next_page_[bank] >= fc.pages_per_block) {
+      blocks_[active_blocks_[bank]].kind = BlockInfo::Kind::kSealed;
+      blocks_[active_blocks_[bank]].sealed_seq = next_seq_;
+      active_blocks_[bank] = flash::kInvalidPpn;
+    }
+    if (active_blocks_[bank] == flash::kInvalidPpn) {
+      // Prefer a free block on this bank to keep programs overlapping.
+      auto it = std::find_if(
+          free_blocks_.begin(), free_blocks_.end(),
+          [&](flash::BlockNum b) { return fc.BankOf(b) == bank; });
+      if (it == free_blocks_.end() && !free_blocks_.empty()) {
+        it = free_blocks_.begin();
+      }
+      if (it == free_blocks_.end()) continue;  // try another bank
+      flash::BlockNum b = *it;
+      free_blocks_.erase(it);
+      BlockInfo& blk = blocks_[b];
+      blk.kind = BlockInfo::Kind::kActive;
+      blk.valid.assign(fc.pages_per_block, false);
+      blk.rmap.assign(fc.pages_per_block, flash::kInvalidLpn);
+      blk.valid_count = 0;
+      active_blocks_[bank] = b;
+      active_next_page_[bank] = 0;
+    }
+    bank_cursor_ = (bank + 1) % fc.num_banks;
+    flash::BlockNum b = active_blocks_[bank];
+    return flash::Ppn(uint64_t(b) * fc.pages_per_block +
+                      active_next_page_[bank]++);
+  }
+  return Status::ResourceExhausted("no free flash blocks");
+}
+
+void PageFtl::InvalidatePpn(flash::Ppn ppn) {
+  const auto& fc = device_->config();
+  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  uint32_t page = fc.PageInBlock(ppn);
+  if (!blk.valid.empty() && blk.valid[page]) {
+    blk.valid[page] = false;
+    DCHECK_GT(blk.valid_count, 0u);
+    blk.valid_count--;
+  }
+}
+
+void PageFtl::MarkPpnValid(flash::Ppn ppn, Lpn lpn) {
+  const auto& fc = device_->config();
+  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  uint32_t page = fc.PageInBlock(ppn);
+  if (blk.valid.empty()) {
+    blk.valid.assign(fc.pages_per_block, false);
+    blk.rmap.assign(fc.pages_per_block, flash::kInvalidLpn);
+  }
+  if (!blk.valid[page]) {
+    blk.valid[page] = true;
+    blk.valid_count++;
+  }
+  blk.rmap[page] = lpn;
+}
+
+void PageFtl::SetMapping(Lpn lpn, flash::Ppn ppn) {
+  DCHECK_LT(lpn, l2p_.size());
+  l2p_[lpn] = ppn;
+  segment_dirty_[SegmentOf(lpn)] = true;
+}
+
+void PageFtl::ClearMapping(Lpn lpn) {
+  DCHECK_LT(lpn, l2p_.size());
+  l2p_[lpn] = flash::kInvalidPpn;
+  segment_dirty_[SegmentOf(lpn)] = true;
+}
+
+bool PageFtl::IsPpnLive(flash::Ppn ppn, Lpn lpn) const {
+  return lpn < l2p_.size() && l2p_[lpn] == ppn;
+}
+
+void PageFtl::OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to) {}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+Status PageFtl::MaybeGarbageCollect() {
+  while (free_blocks_.size() < config_.min_free_blocks) {
+    XFTL_RETURN_IF_ERROR(CollectOneBlock());
+  }
+  return Status::OK();
+}
+
+const char* GcPolicyName(GcPolicy policy) {
+  switch (policy) {
+    case GcPolicy::kGreedy:
+      return "greedy";
+    case GcPolicy::kCostBenefit:
+      return "cost-benefit";
+    case GcPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+StatusOr<flash::BlockNum> PageFtl::PickVictim() {
+  const auto& fc = device_->config();
+  flash::BlockNum best = flash::kInvalidPpn;
+  double best_score = -1;
+  for (flash::BlockNum b = config_.meta_blocks; b < fc.num_blocks; ++b) {
+    const BlockInfo& blk = blocks_[b];
+    if (blk.kind != BlockInfo::Kind::kSealed) continue;
+    if (blk.valid_count >= fc.pages_per_block) continue;  // nothing to gain
+    double score = 0;
+    switch (config_.gc_policy) {
+      case GcPolicy::kGreedy:
+        score = double(fc.pages_per_block - blk.valid_count);
+        break;
+      case GcPolicy::kCostBenefit: {
+        // LFS: benefit/cost = age * (1 - u) / 2u; a fully invalid block is
+        // free to collect, so give it the maximal score.
+        double u = double(blk.valid_count) / double(fc.pages_per_block);
+        double age = double(next_seq_ - blk.sealed_seq);
+        score = u == 0 ? 1e18 : age * (1.0 - u) / (2.0 * u);
+        break;
+      }
+      case GcPolicy::kFifo:
+        score = 1e18 - double(blk.sealed_seq);  // oldest first
+        break;
+    }
+    if (best == flash::kInvalidPpn || score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  if (best == flash::kInvalidPpn) {
+    return Status::ResourceExhausted("garbage collection found no victim");
+  }
+  return best;
+}
+
+Status PageFtl::CollectOneBlock() {
+  const auto& fc = device_->config();
+  XFTL_ASSIGN_OR_RETURN(flash::BlockNum victim, PickVictim());
+  BlockInfo& blk = blocks_[victim];
+  stats_.gc_runs++;
+  stats_.gc_valid_pages_seen += blk.valid_count;
+
+  std::vector<uint8_t> buf(fc.page_size);
+  for (uint32_t p = 0; p < fc.pages_per_block; ++p) {
+    if (!blk.valid[p]) continue;
+    flash::Ppn from = flash::Ppn(uint64_t(victim) * fc.pages_per_block + p);
+    Lpn lpn = blk.rmap[p];
+    flash::PageOob old_oob;
+    XFTL_RETURN_IF_ERROR(device_->ReadPage(from, buf.data(), &old_oob));
+    stats_.gc_copyback_reads++;
+
+    XFTL_ASSIGN_OR_RETURN(flash::Ppn to, NextDataPpnNoGc());
+    flash::PageOob oob;
+    oob.lpn = lpn;
+    oob.seq = next_seq_++;
+    // A page whose transaction has committed (the L2P points at it) is
+    // ordinary data from now on; roll-forward must be able to find the moved
+    // copy without the transactional table. Uncommitted pages keep their
+    // transactional tag and are re-pointed via OnPageRelocated.
+    bool in_l2p = lpn < l2p_.size() && l2p_[lpn] == from;
+    oob.tag = in_l2p ? kTagData : old_oob.tag;
+    if (!in_l2p && old_oob.tag == kTagSccData) {
+      // Cyclic-commit pages are identified by (lpn, seq) from other pages'
+      // links; relocation must preserve that identity or in-flash cycles
+      // would break (TxFlash's firmware does the same).
+      oob.seq = old_oob.seq;
+      oob.link_lpn = old_oob.link_lpn;
+      oob.link_seq = old_oob.link_seq;
+    }
+    XFTL_RETURN_IF_ERROR(device_->ProgramPage(to, buf.data(), oob));
+    stats_.gc_copyback_writes++;
+    BlockInfo& to_blk = blocks_[fc.BlockOf(to)];
+    uint32_t to_page = fc.PageInBlock(to);
+    to_blk.valid[to_page] = true;
+    to_blk.valid_count++;
+    to_blk.rmap[to_page] = lpn;
+
+    if (lpn < l2p_.size() && l2p_[lpn] == from) SetMapping(lpn, to);
+    OnPageRelocated(lpn, from, to);
+  }
+
+  XFTL_RETURN_IF_ERROR(device_->EraseBlock(victim));
+  stats_.block_erases++;
+  blk.kind = BlockInfo::Kind::kFree;
+  blk.valid.clear();
+  blk.rmap.clear();
+  blk.valid_count = 0;
+  free_blocks_.push_back(victim);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Meta region (mapping persistence)
+// ---------------------------------------------------------------------------
+
+StatusOr<flash::Ppn> PageFtl::NextMetaPpn() {
+  const auto& fc = device_->config();
+  if (meta_next_page_ >= fc.pages_per_block ||
+      device_->NextProgramPage(meta_active_) != meta_next_page_) {
+    meta_next_page_ = device_->NextProgramPage(meta_active_);
+  }
+  if (meta_next_page_ >= fc.pages_per_block) {
+    // Current block is full: move to an erased meta block, compacting when
+    // only the reserve block remains.
+    std::vector<flash::BlockNum> erased;
+    for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+      if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+        erased.push_back(b);
+      }
+    }
+    if (erased.empty()) {
+      if (getenv("XFTL_DEBUG_META")) {
+        fprintf(stderr, "WEDGE: meta_active_=%u next=%u states:", meta_active_,
+                meta_next_page_);
+        for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+          fprintf(stderr, " %u", device_->NextProgramPage(b));
+        }
+        fprintf(stderr, "\n");
+      }
+      return Status::ResourceExhausted("meta region wedged (no erased block)");
+    }
+    if (erased.size() == 1) {
+      XFTL_RETURN_IF_ERROR(CompactMetaRegion());
+    } else {
+      meta_active_ = erased.front();
+      meta_next_page_ = 0;
+    }
+  }
+  flash::Ppn ppn =
+      flash::Ppn(uint64_t(meta_active_) * fc.pages_per_block + meta_next_page_);
+  meta_next_page_++;
+  return ppn;
+}
+
+Status PageFtl::ProgramMetaPage(uint64_t tag, uint64_t aux,
+                                const uint8_t* data) {
+  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextMetaPpn());
+  flash::PageOob oob;
+  oob.lpn = aux;
+  oob.seq = next_seq_++;
+  oob.tag = tag;
+  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
+  stats_.meta_page_writes++;
+  if (tag == kTagMetaSegment) {
+    DCHECK_LT(aux, segment_snapshot_ppn_.size());
+    segment_snapshot_ppn_[uint32_t(aux)] = ppn;
+  }
+  return Status::OK();
+}
+
+Status PageFtl::CompactMetaRegion() {
+  // RAM state (l2p_ and subclass tables) is authoritative, so compaction
+  // simply rewrites everything into the reserve block and erases the rest.
+  // Crash safety: the new root is written before any erase, and roots are
+  // ordered by sequence number.
+  flash::BlockNum target = flash::kInvalidPpn;
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+      target = b;
+      break;
+    }
+  }
+  if (target == flash::kInvalidPpn) {
+    return Status::ResourceExhausted("meta compaction has no target");
+  }
+  meta_active_ = target;
+  meta_next_page_ = 0;
+  std::fill(segment_dirty_.begin(), segment_dirty_.end(), true);
+  XFTL_RETURN_IF_ERROR(PersistMapping());
+  XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
+  device_->SyncAll();
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    if (b == target) continue;
+    if (device_->NextProgramPage(b) == 0) continue;
+    XFTL_RETURN_IF_ERROR(device_->EraseBlock(b));
+    stats_.block_erases++;
+  }
+  return Status::OK();
+}
+
+Status PageFtl::PersistMapping() {
+  const auto& fc = device_->config();
+  std::vector<uint8_t> buf(fc.page_size, 0);
+  bool wrote_segment = false;
+  for (uint32_t seg = 0; seg < num_segments(); ++seg) {
+    if (!segment_dirty_[seg]) continue;
+    std::memset(buf.data(), 0xff, buf.size());
+    uint64_t base = uint64_t(seg) * entries_per_segment_;
+    for (uint32_t i = 0; i < entries_per_segment_; ++i) {
+      uint64_t lpn = base + i;
+      uint32_t v = lpn < l2p_.size() ? l2p_[lpn] : flash::kInvalidPpn;
+      EncodeFixed32(buf.data() + size_t(i) * 4, v);
+    }
+    XFTL_RETURN_IF_ERROR(ProgramMetaPage(kTagMetaSegment, seg, buf.data()));
+    segment_dirty_[seg] = false;
+    wrote_segment = true;
+  }
+  if (wrote_segment || last_root_seq_ == 0) {
+    XFTL_RETURN_IF_ERROR(WriteRootRecord());
+  }
+  return Status::OK();
+}
+
+Status PageFtl::WriteRootRecord() {
+  const auto& fc = device_->config();
+  std::vector<uint8_t> buf(fc.page_size, 0);
+  uint64_t seq = next_seq_;  // ProgramMetaPage will consume this value
+  EncodeFixed32(buf.data(), kRootMagic);
+  EncodeFixed64(buf.data() + 4, seq);
+  EncodeFixed32(buf.data() + 12, num_segments());
+  size_t off = kRootHeaderSize;
+  for (uint32_t seg = 0; seg < num_segments(); ++seg) {
+    EncodeFixed32(buf.data() + off, segment_snapshot_ppn_[seg]);
+    off += 4;
+  }
+  uint32_t crc = Crc32c(buf.data(), off);
+  EncodeFixed32(buf.data() + off, crc);
+  XFTL_RETURN_IF_ERROR(ProgramMetaPage(kTagMetaRoot, 0, buf.data()));
+  last_root_seq_ = seq;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+Status PageFtl::Recover() {
+  const auto& fc = device_->config();
+  device_->ClearFailure();
+  InitLayout();
+  next_seq_ = 1;
+  scan_oob_.clear();
+  XFTL_RETURN_IF_ERROR(ScanMetaRegion());
+  XFTL_RETURN_IF_ERROR(RollForwardDataBlocks());
+  RebuildBlockState();
+  XFTL_RETURN_IF_ERROR(FinishRecovery());
+  scan_oob_.clear();
+
+  // The meta ring's compaction invariant requires at least one ERASED
+  // reserve block at all times. A crash can leave the region without one
+  // (mid-compaction, or with only partially-written blocks). RAM is now
+  // authoritative, so recycle the region: erase everything and write a
+  // fresh checkpoint.
+  bool has_erased_reserve = false;
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+      has_erased_reserve = true;
+      break;
+    }
+  }
+  if (!has_erased_reserve) {
+    for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+      XFTL_RETURN_IF_ERROR(device_->EraseBlock(b));
+      stats_.block_erases++;
+    }
+    meta_active_ = 0;
+    meta_next_page_ = 0;
+    std::fill(segment_snapshot_ppn_.begin(), segment_snapshot_ppn_.end(),
+              flash::kInvalidPpn);
+    std::fill(segment_dirty_.begin(), segment_dirty_.end(), true);
+    XFTL_RETURN_IF_ERROR(PersistMapping());
+    XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
+    device_->SyncAll();
+  }
+  return Status::OK();
+}
+
+Status PageFtl::ScanMetaRegion() {
+  const auto& fc = device_->config();
+  std::vector<uint8_t> buf(fc.page_size);
+  flash::Ppn best_root = flash::kInvalidPpn;
+  uint64_t best_seq = 0;
+  uint64_t max_seq = 0;
+
+  struct MetaPage {
+    flash::PageOob oob;
+    flash::Ppn ppn;
+  };
+  std::vector<MetaPage> subclass_pages;
+
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    uint32_t np = device_->NextProgramPage(b);
+    for (uint32_t p = 0; p < np; ++p) {
+      flash::Ppn ppn = flash::Ppn(uint64_t(b) * fc.pages_per_block + p);
+      XFTL_ASSIGN_OR_RETURN(auto oob_opt, device_->ReadOob(ppn));
+      if (!oob_opt.has_value()) continue;
+      const flash::PageOob& oob = *oob_opt;
+      max_seq = std::max(max_seq, oob.seq);
+      if (oob.tag == kTagMetaRoot) {
+        if (oob.seq > best_seq && device_->ReadPage(ppn, buf.data()).ok()) {
+          uint32_t nseg = DecodeFixed32(buf.data() + 12);
+          if (DecodeFixed32(buf.data()) == kRootMagic &&
+              nseg == num_segments()) {
+            size_t crc_off = kRootHeaderSize + size_t(nseg) * 4;
+            uint32_t crc = DecodeFixed32(buf.data() + crc_off);
+            if (crc == Crc32c(buf.data(), crc_off)) {
+              best_seq = oob.seq;
+              best_root = ppn;
+            }
+          }
+        }
+      } else if (oob.tag != kTagMetaSegment) {
+        subclass_pages.push_back({oob, ppn});
+      }
+    }
+  }
+  next_seq_ = max_seq + 1;
+
+  if (best_root != flash::kInvalidPpn) {
+    XFTL_RETURN_IF_ERROR(LoadRootAndSegments(best_root));
+  }
+
+  // Hand subclass meta pages over in sequence order.
+  std::sort(subclass_pages.begin(), subclass_pages.end(),
+            [](const MetaPage& a, const MetaPage& b) {
+              return a.oob.seq < b.oob.seq;
+            });
+  std::vector<uint8_t> page(fc.page_size);
+  for (const MetaPage& mp : subclass_pages) {
+    if (!device_->ReadPage(mp.ppn, page.data()).ok()) continue;  // torn
+    OnMetaPageScanned(mp.oob, page);
+  }
+
+  // Position the meta cursor on a block with erased space.
+  meta_active_ = 0;
+  meta_next_page_ = fc.pages_per_block;
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    uint32_t np = device_->NextProgramPage(b);
+    if (np < fc.pages_per_block) {
+      // Prefer a partially written block; else any erased one.
+      if (np > 0 || meta_next_page_ >= fc.pages_per_block) {
+        meta_active_ = b;
+        meta_next_page_ = np;
+        if (np > 0) break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
+  const auto& fc = device_->config();
+  std::vector<uint8_t> buf(fc.page_size);
+  XFTL_RETURN_IF_ERROR(device_->ReadPage(root_ppn, buf.data()));
+  last_root_seq_ = DecodeFixed64(buf.data() + 4);
+  uint32_t nseg = DecodeFixed32(buf.data() + 12);
+  std::vector<uint8_t> seg_buf(fc.page_size);
+  for (uint32_t seg = 0; seg < nseg; ++seg) {
+    flash::Ppn sppn = DecodeFixed32(buf.data() + kRootHeaderSize + size_t(seg) * 4);
+    segment_snapshot_ppn_[seg] = sppn;
+    if (sppn == flash::kInvalidPpn) continue;
+    Status s = device_->ReadPage(sppn, seg_buf.data());
+    if (!s.ok()) {
+      return Status::Corruption("unreadable L2P segment " +
+                                std::to_string(seg) + ": " + s.ToString());
+    }
+    uint64_t base = uint64_t(seg) * entries_per_segment_;
+    for (uint32_t i = 0; i < entries_per_segment_; ++i) {
+      uint64_t lpn = base + i;
+      if (lpn >= l2p_.size()) break;
+      l2p_[lpn] = DecodeFixed32(seg_buf.data() + size_t(i) * 4);
+    }
+  }
+  return Status::OK();
+}
+
+Status PageFtl::RollForwardDataBlocks() {
+  const auto& fc = device_->config();
+  // Newest-wins per lpn among data pages written after the checkpoint; a
+  // candidate must be readable (not torn) to win.
+  struct Candidate {
+    uint64_t seq;
+    flash::Ppn ppn;
+  };
+  std::unordered_map<Lpn, std::vector<Candidate>> cands;
+  for (flash::BlockNum b = config_.meta_blocks; b < fc.num_blocks; ++b) {
+    uint32_t np = device_->NextProgramPage(b);
+    for (uint32_t p = 0; p < np; ++p) {
+      flash::Ppn ppn = flash::Ppn(uint64_t(b) * fc.pages_per_block + p);
+      XFTL_ASSIGN_OR_RETURN(auto oob_opt, device_->ReadOob(ppn));
+      if (!oob_opt.has_value()) continue;
+      const flash::PageOob& oob = *oob_opt;
+      scan_oob_[ppn] = oob;
+      next_seq_ = std::max(next_seq_, oob.seq + 1);
+      if (oob.tag != kTagData) continue;  // tx pages resolve via X-L2P
+      if (oob.seq <= last_root_seq_) continue;
+      if (oob.lpn >= config_.num_logical_pages) continue;
+      cands[oob.lpn].push_back({oob.seq, ppn});
+    }
+  }
+  std::vector<uint8_t> buf(fc.page_size);
+  for (auto& [lpn, list] : cands) {
+    std::sort(list.begin(), list.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.seq > b.seq;
+              });
+    for (const Candidate& c : list) {
+      if (device_->ReadPage(c.ppn, buf.data()).ok()) {
+        l2p_[lpn] = c.ppn;
+        segment_dirty_[SegmentOf(lpn)] = true;
+        break;
+      }
+      // Torn page: fall through to the next-newest copy. The pre-crash copy
+      // is intact because flash never overwrites in place.
+    }
+  }
+  return Status::OK();
+}
+
+void PageFtl::RebuildBlockState() {
+  const auto& fc = device_->config();
+  // First pass: rebuild per-block reverse maps from OOB and classify blocks.
+  std::vector<uint64_t> page_lpn(fc.TotalPages(), flash::kInvalidLpn);
+  std::vector<uint64_t> page_tag(fc.TotalPages(), 0);
+  free_blocks_.clear();
+  for (flash::BlockNum b = config_.meta_blocks; b < fc.num_blocks; ++b) {
+    BlockInfo& blk = blocks_[b];
+    uint32_t np = device_->NextProgramPage(b);
+    if (np == 0) {
+      blk.kind = BlockInfo::Kind::kFree;
+      blk.valid.clear();
+      blk.rmap.clear();
+      blk.valid_count = 0;
+      free_blocks_.push_back(b);
+      continue;
+    }
+    blk.kind = BlockInfo::Kind::kSealed;  // partial blocks are not resumed
+    blk.sealed_seq = next_seq_;
+    blk.valid.assign(fc.pages_per_block, false);
+    blk.rmap.assign(fc.pages_per_block, flash::kInvalidLpn);
+    blk.valid_count = 0;
+    for (uint32_t p = 0; p < np; ++p) {
+      flash::Ppn ppn = flash::Ppn(uint64_t(b) * fc.pages_per_block + p);
+      auto oob_or = device_->ReadOob(ppn);
+      if (!oob_or.ok() || !oob_or.value().has_value()) continue;
+      const flash::PageOob& oob = *oob_or.value();
+      blk.rmap[p] = oob.lpn;
+      page_lpn[ppn] = oob.lpn;
+      page_tag[ppn] = oob.tag;
+    }
+  }
+
+  // Validate checkpointed mappings: a checkpoint may reference a page whose
+  // block was collected and reprogrammed with unrelated data (the logical
+  // page was trimmed afterwards, so no newer copy exists to win roll-
+  // forward). Such stale entries are dropped.
+  for (Lpn lpn = 0; lpn < l2p_.size(); ++lpn) {
+    flash::Ppn ppn = l2p_[lpn];
+    if (ppn == flash::kInvalidPpn) continue;
+    if (page_lpn[ppn] != lpn ||
+        (page_tag[ppn] != kTagData && page_tag[ppn] != kTagTxData &&
+         page_tag[ppn] != kTagSccData)) {
+      l2p_[lpn] = flash::kInvalidPpn;
+      segment_dirty_[SegmentOf(lpn)] = true;
+      continue;
+    }
+    BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+    uint32_t page = fc.PageInBlock(ppn);
+    if (!blk.valid[page]) {
+      blk.valid[page] = true;
+      blk.valid_count++;
+    }
+  }
+  for (auto& a : active_blocks_) a = flash::kInvalidPpn;
+}
+
+}  // namespace xftl::ftl

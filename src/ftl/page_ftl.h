@@ -1,0 +1,237 @@
+// A page-mapping FTL in the style of the OpenSSD Barefoot firmware the paper
+// extends: a DRAM-resident logical-to-physical table (L2P), bank-striped
+// active write blocks, greedy garbage collection, and mapping-table
+// persistence into a reserved meta-block region.
+//
+// Durability contract (mirrors a real drive's volatile write cache):
+//   * Write() is acknowledged once the data is latched; it survives power
+//     loss only after a Flush() barrier, which persists dirty L2P segments
+//     and a root record.
+//   * Recover() rebuilds the L2P from the latest root + segment snapshots and
+//     rolls forward using per-page OOB sequence numbers, so writes that did
+//     reach the flash after the last barrier are not lost.
+//
+// Subclass hooks (protected virtuals) let X-FTL pin uncommitted pages during
+// garbage collection and relocate its X-L2P references.
+#ifndef XFTL_FTL_PAGE_FTL_H_
+#define XFTL_FTL_PAGE_FTL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "flash/flash_device.h"
+#include "ftl/ftl_interface.h"
+
+namespace xftl::ftl {
+
+// OOB tag values identifying what a physical page holds.
+inline constexpr uint64_t kTagData = 1;
+inline constexpr uint64_t kTagMetaRoot = 2;
+inline constexpr uint64_t kTagMetaSegment = 3;  // oob.lpn = segment index
+inline constexpr uint64_t kTagXl2p = 4;         // used by X-FTL
+// Data written under an open transaction (X-FTL). Such pages never roll
+// forward into the L2P by sequence number alone; they become reachable only
+// through a durable X-L2P entry, or are retagged to kTagData when garbage
+// collection moves them after their transaction committed.
+inline constexpr uint64_t kTagTxData = 5;
+// Data written under a cyclic-commit (TxFlash/SCC) transaction: recoverable
+// only as part of a complete link cycle. Garbage collection preserves the
+// (lpn, seq, link) identity when it relocates an unfolded SCC page, so
+// in-flash cycles survive; folded pages are retagged to kTagData like
+// kTagTxData pages.
+inline constexpr uint64_t kTagSccData = 7;
+
+// Garbage-collection victim selection policy.
+enum class GcPolicy {
+  kGreedy,       // fewest valid pages (OpenSSD firmware default)
+  kCostBenefit,  // age * (1-u) / 2u  (LFS-style)
+  kFifo,         // oldest sealed block
+};
+const char* GcPolicyName(GcPolicy policy);
+
+struct FtlConfig {
+  // Blocks reserved (at the start of the device) for mapping persistence.
+  uint32_t meta_blocks = 8;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  // GC keeps at least this many erased data blocks in reserve.
+  uint32_t min_free_blocks = 4;
+  // Size of the logical space exposed to the host. The ratio of this to the
+  // physical data-page count is the utilization knob that controls
+  // steady-state GC victim validity (the paper's "GC valid page ratio").
+  uint64_t num_logical_pages = 0;
+  // Consumer-drive behaviour: the flush barrier only drains the write
+  // buffer; mapping-table durability is provided by a power-loss-protected
+  // cache (recovery still works - the OOB roll-forward scan reconstructs
+  // any mapping that was not checkpointed). Research firmware like the
+  // OpenSSD's persists the mapping synchronously instead.
+  bool fast_barrier = false;
+};
+
+class PageFtl : public FtlInterface {
+ public:
+  PageFtl(flash::FlashDevice* device, const FtlConfig& config);
+  ~PageFtl() override = default;
+
+  PageFtl(const PageFtl&) = delete;
+  PageFtl& operator=(const PageFtl&) = delete;
+
+  uint32_t page_size() const override { return device_->config().page_size; }
+  uint32_t pages_per_block() const override {
+    return device_->config().pages_per_block;
+  }
+  uint64_t num_logical_pages() const override {
+    return config_.num_logical_pages;
+  }
+
+  Status Read(Lpn lpn, uint8_t* data) override;
+  Status Write(Lpn lpn, const uint8_t* data) override;
+  Status Trim(Lpn lpn) override;
+  Status Flush() override;
+  Status Recover() override;
+
+  const FtlStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = FtlStats{}; }
+
+  flash::FlashDevice* device() const { return device_; }
+  const FtlConfig& ftl_config() const { return config_; }
+
+  // Number of currently erased data blocks (observability/tests).
+  size_t free_block_count() const { return free_blocks_.size(); }
+  // Current mapping of `lpn` (kInvalidPpn if unmapped). Tests only.
+  flash::Ppn MappingOf(Lpn lpn) const;
+
+ protected:
+  // --- hooks overridden by X-FTL ------------------------------------------
+  // True if physical page `ppn` (holding logical page `lpn`) must be kept
+  // alive. The base implementation consults the L2P table.
+  virtual bool IsPpnLive(flash::Ppn ppn, Lpn lpn) const;
+  // Called when GC moves a live page so subclasses can re-point their own
+  // references.
+  virtual void OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to);
+  // Extra meta pages a subclass persists inside Flush() (e.g., X-L2P).
+  virtual Status FlushSubclassMeta() { return Status::OK(); }
+  // Invoked by Recover() with every surviving meta page so subclasses can
+  // pick up their own snapshots (called in increasing seq order).
+  virtual void OnMetaPageScanned(const flash::PageOob& oob,
+                                 const std::vector<uint8_t>& data) {}
+  // Invoked at the end of Recover(); subclasses reconcile their state.
+  virtual Status FinishRecovery() { return Status::OK(); }
+
+  // OOB metadata of `ppn` as captured by the recovery scan (the scan reads
+  // every programmed data page's OOB anyway); null outside recovery or for
+  // unscanned pages. Lets subclasses validate their references without
+  // re-reading flash.
+  const flash::PageOob* ScannedOob(flash::Ppn ppn) const {
+    auto it = scan_oob_.find(ppn);
+    return it == scan_oob_.end() ? nullptr : &it->second;
+  }
+  // The full recovery-scan OOB cache (valid only during Recover()).
+  const std::unordered_map<flash::Ppn, flash::PageOob>& ScannedOobs() const {
+    return scan_oob_;
+  }
+
+  // --- services exposed to subclasses -------------------------------------
+  // Allocates and programs the next data page; returns its ppn. Runs GC if
+  // the free pool is low. The new page's valid bit is set and rmap updated;
+  // L2P is NOT touched (callers decide, so X-FTL can defer to commit).
+  StatusOr<flash::Ppn> ProgramDataPage(Lpn lpn, const uint8_t* data,
+                                       uint64_t tag = kTagData);
+  // Same, but with a caller-supplied full OOB (cyclic-commit schemes control
+  // the sequence number and link fields). The caller must have reserved the
+  // sequence numbers via ReserveSeqs.
+  StatusOr<flash::Ppn> ProgramDataPageOob(const uint8_t* data,
+                                          const flash::PageOob& oob);
+  // Reserves `n` consecutive write sequence numbers; returns the first.
+  uint64_t ReserveSeqs(uint64_t n) {
+    uint64_t first = next_seq_;
+    next_seq_ += n;
+    return first;
+  }
+  // Clears the valid bit of `ppn` so GC can reclaim it.
+  void InvalidatePpn(flash::Ppn ppn);
+  // Re-marks `ppn` (holding `lpn`) valid; used by subclass recovery when a
+  // page is reachable only through a transactional table.
+  void MarkPpnValid(flash::Ppn ppn, Lpn lpn);
+  // Points the L2P entry of `lpn` at `ppn` (invalidating nothing) and marks
+  // the containing segment dirty.
+  void SetMapping(Lpn lpn, flash::Ppn ppn);
+  // Clears the L2P entry.
+  void ClearMapping(Lpn lpn);
+  // Writes one meta page (root/segment/x-l2p payload) into the meta region.
+  Status ProgramMetaPage(uint64_t tag, uint64_t aux, const uint8_t* data);
+  // Persists dirty L2P segments and the root record. Shared by Flush() and
+  // subclass commit paths.
+  Status PersistMapping();
+
+  // Number of L2P segment pages. Subclasses use this to validate that their
+  // own meta footprint still fits single-block meta compaction.
+  uint32_t num_segments() const {
+    return uint32_t((config_.num_logical_pages + entries_per_segment_ - 1) /
+                    entries_per_segment_);
+  }
+
+  flash::FlashDevice* const device_;
+  const FtlConfig config_;
+  FtlStats stats_;
+  uint64_t next_seq_ = 1;
+
+ private:
+  struct BlockInfo {
+    enum class Kind : uint8_t { kMeta, kFree, kActive, kSealed };
+    Kind kind = Kind::kFree;
+    uint32_t valid_count = 0;
+    uint64_t sealed_seq = 0;  // write sequence when sealed (GC age)
+    std::vector<bool> valid;
+    std::vector<Lpn> rmap;  // lpn per page (RAM mirror of OOB)
+  };
+
+  uint32_t SegmentOf(Lpn lpn) const { return uint32_t(lpn / entries_per_segment_); }
+
+  void InitLayout();
+  // Ensures the free pool holds > min_free_blocks erased blocks.
+  Status MaybeGarbageCollect();
+  Status CollectOneBlock();
+  StatusOr<flash::BlockNum> PickVictim();
+  // Allocates the next programmable data ppn without triggering GC.
+  StatusOr<flash::Ppn> NextDataPpnNoGc();
+  Status ProgramDataPageNoGc(Lpn lpn, const uint8_t* data, uint64_t tag,
+                             flash::Ppn* out);
+
+  // Meta-region management.
+  StatusOr<flash::Ppn> NextMetaPpn();
+  Status CompactMetaRegion();
+  Status WriteRootRecord();
+
+  // Recovery helpers.
+  Status ScanMetaRegion();
+  Status LoadRootAndSegments(flash::Ppn root_ppn);
+  Status RollForwardDataBlocks();
+  void RebuildBlockState();
+
+  std::vector<flash::Ppn> l2p_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<flash::BlockNum> free_blocks_;
+  // One active block per bank, kInvalid when none; round-robin cursor.
+  std::vector<flash::BlockNum> active_blocks_;
+  std::vector<uint32_t> active_next_page_;
+  uint32_t bank_cursor_ = 0;
+
+  uint32_t entries_per_segment_ = 0;
+  std::vector<bool> segment_dirty_;
+  // Latest durable snapshot ppn per segment (kInvalidPpn = never written).
+  std::vector<flash::Ppn> segment_snapshot_ppn_;
+  uint64_t last_root_seq_ = 0;
+
+  // Meta-region cursor.
+  flash::BlockNum meta_active_ = 0;
+  uint32_t meta_next_page_ = 0;
+
+  // Recovery-scan OOB cache (valid only during Recover()).
+  std::unordered_map<flash::Ppn, flash::PageOob> scan_oob_;
+};
+
+}  // namespace xftl::ftl
+
+#endif  // XFTL_FTL_PAGE_FTL_H_

@@ -1,0 +1,131 @@
+// Abstract syntax tree for the MiniSQLite SQL subset: CREATE TABLE/INDEX,
+// DROP, INSERT, SELECT (joins, WHERE, aggregates, ORDER BY, LIMIT), UPDATE,
+// DELETE, BEGIN/COMMIT/ROLLBACK, PRAGMA.
+#ifndef XFTL_SQL_AST_H_
+#define XFTL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace xftl::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kLiteral,   // literal value
+    kColumn,    // [table.]column reference
+    kBinary,    // lhs op rhs
+    kUnary,     // op rhs (-, NOT)
+    kFunction,  // aggregate or scalar function call
+    kStar,      // * (only inside COUNT(*))
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string table;   // optional qualifier of a column ref
+  std::string column;
+  std::string op;      // =, !=, <, <=, >, >=, AND, OR, +, -, *, /, %, LIKE
+  ExprPtr lhs, rhs;
+  std::string func;    // upper-cased function name
+  bool distinct = false;
+  std::vector<ExprPtr> args;
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type;  // free-form type name (INTEGER, TEXT, ...)
+  bool primary_key = false;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool if_not_exists = false;
+};
+
+struct DropStmt {
+  bool is_index = false;
+  std::string name;
+  bool if_exists = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = all, in schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderTerm {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderTerm> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct BeginStmt {};
+struct CommitStmt {};
+struct RollbackStmt {};
+
+struct PragmaStmt {
+  std::string name;
+  std::string value;  // empty when reading
+};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, DropStmt, InsertStmt,
+                 SelectStmt, UpdateStmt, DeleteStmt, BeginStmt, CommitStmt,
+                 RollbackStmt, PragmaStmt>;
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_AST_H_

@@ -1,0 +1,634 @@
+#include "sql/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace xftl::sql {
+
+namespace {
+// Page types.
+constexpr uint8_t kTableLeaf = 1;
+constexpr uint8_t kTableInterior = 2;
+constexpr uint8_t kIndexLeaf = 3;
+constexpr uint8_t kIndexInterior = 4;
+constexpr uint8_t kOverflow = 5;
+
+constexpr size_t kPageHeader = 9;  // type(1) ncells(2) right_child(4) pad(2)
+constexpr size_t kOverflowHeader = 12;  // type(1) pad(3) next(4) len(4)
+
+bool IsLeafType(uint8_t t) { return t == kTableLeaf || t == kIndexLeaf; }
+
+}  // namespace
+
+uint32_t BTree::MaxLocal() const { return pager_->page_size() / 4; }
+
+// ---------------------------------------------------------------------------
+// page (de)serialization
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<BTree::Cell>> BTree::ReadCells(const uint8_t* page,
+                                                    bool* leaf,
+                                                    Pgno* right_child) const {
+  uint8_t type = page[0];
+  if ((is_index_ && type != kIndexLeaf && type != kIndexInterior) ||
+      (!is_index_ && type != kTableLeaf && type != kTableInterior)) {
+    return Status::Corruption("unexpected btree page type " +
+                              std::to_string(type));
+  }
+  *leaf = IsLeafType(type);
+  uint16_t ncells = DecodeFixed16(page + 1);
+  *right_child = DecodeFixed32(page + 3);
+  std::vector<Cell> cells;
+  cells.reserve(ncells);
+  size_t off = kPageHeader;
+  for (uint16_t i = 0; i < ncells; ++i) {
+    Cell c;
+    if (!*leaf) {
+      c.child = DecodeFixed32(page + off);
+      off += 4;
+    }
+    if (!is_index_) {
+      c.rowid = int64_t(DecodeFixed64(page + off));
+      off += 8;
+    }
+    if (is_index_ || *leaf) {
+      c.payload_total = DecodeFixed32(page + off);
+      uint16_t local = DecodeFixed16(page + off + 4);
+      c.overflow = DecodeFixed32(page + off + 6);
+      off += 10;
+      c.local.assign(page + off, page + off + local);
+      off += local;
+    }
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+Status BTree::WriteCells(uint8_t* page, bool leaf, Pgno right_child,
+                         const std::vector<Cell>& cells) const {
+  const uint32_t page_size = pager_->page_size();
+  size_t off = kPageHeader;
+  for (const Cell& c : cells) {
+    size_t sz = 0;
+    if (!leaf) sz += 4;
+    if (!is_index_) sz += 8;
+    if (is_index_ || leaf) sz += 10 + c.local.size();
+    if (off + sz > page_size) {
+      return Status::ResourceExhausted("btree page overflow");
+    }
+    off += sz;
+  }
+  std::memset(page, 0, page_size);
+  page[0] = leaf ? (is_index_ ? kIndexLeaf : kTableLeaf)
+                 : (is_index_ ? kIndexInterior : kTableInterior);
+  EncodeFixed16(page + 1, uint16_t(cells.size()));
+  EncodeFixed32(page + 3, right_child);
+  off = kPageHeader;
+  for (const Cell& c : cells) {
+    if (!leaf) {
+      EncodeFixed32(page + off, c.child);
+      off += 4;
+    }
+    if (!is_index_) {
+      EncodeFixed64(page + off, uint64_t(c.rowid));
+      off += 8;
+    }
+    if (is_index_ || leaf) {
+      EncodeFixed32(page + off, c.payload_total);
+      EncodeFixed16(page + off + 4, uint16_t(c.local.size()));
+      EncodeFixed32(page + off + 6, c.overflow);
+      off += 10;
+      std::memcpy(page + off, c.local.data(), c.local.size());
+      off += c.local.size();
+    }
+  }
+  return Status::OK();
+}
+
+int BTree::CompareToCell(int64_t rowid, const std::vector<uint8_t>* key,
+                         const Cell& cell) const {
+  if (is_index_) {
+    DCHECK(key != nullptr);
+    return CompareEncodedRecords(key->data(), key->size(), cell.local.data(),
+                                 cell.local.size());
+  }
+  return rowid < cell.rowid ? -1 : (rowid > cell.rowid ? 1 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// create / drop
+// ---------------------------------------------------------------------------
+
+StatusOr<Pgno> BTree::Create(Pager* pager, bool is_index) {
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, pager->Allocate());
+  ref.data()[0] = is_index ? kIndexLeaf : kTableLeaf;
+  EncodeFixed16(ref.data() + 1, 0);
+  EncodeFixed32(ref.data() + 3, kNoPgno);
+  return ref.pgno();
+}
+
+Status BTree::Drop(Pager* pager, Pgno root) {
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, pager->Get(root));
+  uint8_t type = ref.data()[0];
+  uint16_t ncells = DecodeFixed16(ref.data() + 1);
+  Pgno right_child = DecodeFixed32(ref.data() + 3);
+  bool leaf = IsLeafType(type);
+  bool index = type == kIndexLeaf || type == kIndexInterior;
+
+  // Collect child pages and overflow heads before freeing this page.
+  std::vector<Pgno> children;
+  std::vector<Pgno> overflows;
+  size_t off = kPageHeader;
+  for (uint16_t i = 0; i < ncells; ++i) {
+    if (!leaf) {
+      children.push_back(DecodeFixed32(ref.data() + off));
+      off += 4;
+    }
+    if (!index) off += 8;  // rowid
+    if (index || leaf) {
+      uint16_t local = DecodeFixed16(ref.data() + off + 4);
+      Pgno ovfl = DecodeFixed32(ref.data() + off + 6);
+      if (ovfl != kNoPgno) overflows.push_back(ovfl);
+      off += 10 + local;
+    }
+  }
+  if (!leaf && right_child != kNoPgno) children.push_back(right_child);
+  ref = PageRef();  // release the pin before recursing
+
+  for (Pgno child : children) XFTL_RETURN_IF_ERROR(Drop(pager, child));
+  for (Pgno ovfl : overflows) {
+    Pgno p = ovfl;
+    while (p != kNoPgno) {
+      XFTL_ASSIGN_OR_RETURN(PageRef o, pager->Get(p));
+      Pgno next = DecodeFixed32(o.data() + 4);
+      o = PageRef();
+      XFTL_RETURN_IF_ERROR(pager->Free(p));
+      p = next;
+    }
+  }
+  return pager->Free(root);
+}
+
+// ---------------------------------------------------------------------------
+// overflow chains
+// ---------------------------------------------------------------------------
+
+StatusOr<BTree::Cell> BTree::MakeLeafCell(int64_t rowid,
+                                          const std::vector<uint8_t>& payload) {
+  Cell cell;
+  cell.rowid = rowid;
+  cell.payload_total = uint32_t(payload.size());
+  uint32_t max_local = MaxLocal();
+  if (payload.size() <= max_local) {
+    cell.local = payload;
+    return cell;
+  }
+  cell.local.assign(payload.begin(), payload.begin() + max_local);
+  const uint32_t chunk_cap = pager_->page_size() - kOverflowHeader;
+  size_t pos = max_local;
+  Pgno prev = kNoPgno;
+  while (pos < payload.size()) {
+    size_t n = std::min<size_t>(chunk_cap, payload.size() - pos);
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Allocate());
+    ref.data()[0] = kOverflow;
+    EncodeFixed32(ref.data() + 4, kNoPgno);
+    EncodeFixed32(ref.data() + 8, uint32_t(n));
+    std::memcpy(ref.data() + kOverflowHeader, payload.data() + pos, n);
+    if (prev == kNoPgno) {
+      cell.overflow = ref.pgno();
+    } else {
+      XFTL_ASSIGN_OR_RETURN(PageRef pref, pager_->Get(prev));
+      XFTL_RETURN_IF_ERROR(pref.MarkDirty());
+      EncodeFixed32(pref.data() + 4, ref.pgno());
+    }
+    prev = ref.pgno();
+    pos += n;
+  }
+  return cell;
+}
+
+Status BTree::FreeOverflowChain(Pgno first) {
+  Pgno p = first;
+  while (p != kNoPgno) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Get(p));
+    Pgno next = DecodeFixed32(ref.data() + 4);
+    ref = PageRef();
+    XFTL_RETURN_IF_ERROR(pager_->Free(p));
+    p = next;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> BTree::AssemblePayload(const Cell& cell) {
+  std::vector<uint8_t> out = cell.local;
+  out.reserve(cell.payload_total);
+  Pgno p = cell.overflow;
+  while (p != kNoPgno && out.size() < cell.payload_total) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Get(p));
+    if (ref.data()[0] != kOverflow) {
+      return Status::Corruption("bad overflow page");
+    }
+    uint32_t len = DecodeFixed32(ref.data() + 8);
+    out.insert(out.end(), ref.data() + kOverflowHeader,
+               ref.data() + kOverflowHeader + len);
+    p = DecodeFixed32(ref.data() + 4);
+  }
+  if (out.size() != cell.payload_total) {
+    return Status::Corruption("truncated overflow chain");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// insert
+// ---------------------------------------------------------------------------
+
+Status BTree::Insert(int64_t rowid, const std::vector<uint8_t>& payload) {
+  CHECK(!is_index_);
+  XFTL_ASSIGN_OR_RETURN(Cell cell, MakeLeafCell(rowid, payload));
+  XFTL_ASSIGN_OR_RETURN(auto split, InsertInto(root_, std::move(cell)));
+  if (!split.has_value()) return Status::OK();
+
+  // Root split: move the lower half (currently in the root page) to a fresh
+  // page, then turn the root into an interior node over {left, right}.
+  XFTL_ASSIGN_OR_RETURN(PageRef root_ref, pager_->Get(root_));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, ReadCells(root_ref.data(), &leaf, &rc));
+  XFTL_ASSIGN_OR_RETURN(PageRef left, pager_->Allocate());
+  XFTL_RETURN_IF_ERROR(WriteCells(left.data(), leaf, rc, cells));
+  Cell sep = std::move(split->separator);
+  sep.child = left.pgno();
+  XFTL_RETURN_IF_ERROR(root_ref.MarkDirty());
+  XFTL_RETURN_IF_ERROR(
+      WriteCells(root_ref.data(), /*leaf=*/false, split->right, {sep}));
+  return Status::OK();
+}
+
+Status BTree::InsertKey(const std::vector<uint8_t>& key) {
+  CHECK(is_index_);
+  if (key.size() > MaxLocal()) {
+    return Status::InvalidArgument("index key exceeds local payload budget");
+  }
+  Cell cell;
+  cell.payload_total = uint32_t(key.size());
+  cell.local = key;
+  XFTL_ASSIGN_OR_RETURN(auto split, InsertInto(root_, std::move(cell)));
+  if (!split.has_value()) return Status::OK();
+  XFTL_ASSIGN_OR_RETURN(PageRef root_ref, pager_->Get(root_));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, ReadCells(root_ref.data(), &leaf, &rc));
+  XFTL_ASSIGN_OR_RETURN(PageRef left, pager_->Allocate());
+  XFTL_RETURN_IF_ERROR(WriteCells(left.data(), leaf, rc, cells));
+  Cell sep = std::move(split->separator);
+  sep.child = left.pgno();
+  XFTL_RETURN_IF_ERROR(root_ref.MarkDirty());
+  XFTL_RETURN_IF_ERROR(
+      WriteCells(root_ref.data(), /*leaf=*/false, split->right, {sep}));
+  return Status::OK();
+}
+
+StatusOr<std::optional<BTree::SplitResult>> BTree::InsertInto(Pgno pgno,
+                                                              Cell cell) {
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Get(pgno));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, ReadCells(ref.data(), &leaf, &rc));
+
+  if (leaf) {
+    // Find insertion position / existing entry.
+    size_t pos = 0;
+    bool replace = false;
+    for (; pos < cells.size(); ++pos) {
+      int c = CompareToCell(cell.rowid, is_index_ ? &cell.local : nullptr,
+                            cells[pos]);
+      if (c == 0) {
+        replace = true;
+        break;
+      }
+      if (c < 0) break;
+    }
+    if (replace) {
+      if (cells[pos].overflow != kNoPgno) {
+        XFTL_RETURN_IF_ERROR(FreeOverflowChain(cells[pos].overflow));
+      }
+      cells[pos] = std::move(cell);
+    } else {
+      cells.insert(cells.begin() + pos, std::move(cell));
+    }
+    XFTL_RETURN_IF_ERROR(ref.MarkDirty());
+    Status s = WriteCells(ref.data(), true, rc, cells);
+    if (s.ok()) return std::optional<SplitResult>{};
+    if (s.code() != StatusCode::kResourceExhausted) return s;
+
+    // Split the leaf: lower half stays, upper half moves right.
+    size_t mid = cells.size() / 2;
+    std::vector<Cell> left_cells(cells.begin(), cells.begin() + mid);
+    std::vector<Cell> right_cells(cells.begin() + mid, cells.end());
+    XFTL_ASSIGN_OR_RETURN(PageRef right, pager_->Allocate());
+    XFTL_RETURN_IF_ERROR(WriteCells(right.data(), true, kNoPgno, right_cells));
+    XFTL_RETURN_IF_ERROR(WriteCells(ref.data(), true, kNoPgno, left_cells));
+
+    SplitResult split;
+    split.right = right.pgno();
+    split.separator.child = pgno;
+    if (is_index_) {
+      split.separator.local = left_cells.back().local;
+      split.separator.payload_total = uint32_t(split.separator.local.size());
+    } else {
+      split.separator.rowid = left_cells.back().rowid;
+    }
+    return std::optional<SplitResult>{std::move(split)};
+  }
+
+  // Interior: route to the child covering the key.
+  size_t pos = 0;
+  for (; pos < cells.size(); ++pos) {
+    int c = CompareToCell(cell.rowid, is_index_ ? &cell.local : nullptr,
+                          cells[pos]);
+    if (c <= 0) break;
+  }
+  Pgno child = pos < cells.size() ? cells[pos].child : rc;
+  ref = PageRef();  // release pin during recursion
+  XFTL_ASSIGN_OR_RETURN(auto sub, InsertInto(child, std::move(cell)));
+  if (!sub.has_value()) return std::optional<SplitResult>{};
+
+  // The child split into child (lower) and sub->right (upper): insert the
+  // new separator and redirect the old route to the upper half.
+  XFTL_ASSIGN_OR_RETURN(ref, pager_->Get(pgno));
+  XFTL_ASSIGN_OR_RETURN(cells, ReadCells(ref.data(), &leaf, &rc));
+  Cell sep = std::move(sub->separator);
+  sep.child = child;
+  if (pos < cells.size()) {
+    cells[pos].child = sub->right;
+  } else {
+    rc = sub->right;
+  }
+  cells.insert(cells.begin() + pos, std::move(sep));
+  XFTL_RETURN_IF_ERROR(ref.MarkDirty());
+  Status s = WriteCells(ref.data(), false, rc, cells);
+  if (s.ok()) return std::optional<SplitResult>{};
+  if (s.code() != StatusCode::kResourceExhausted) return s;
+
+  // Split the interior node: promote the middle cell.
+  size_t mid = cells.size() / 2;
+  Cell promoted = cells[mid];
+  std::vector<Cell> left_cells(cells.begin(), cells.begin() + mid);
+  std::vector<Cell> right_cells(cells.begin() + mid + 1, cells.end());
+  XFTL_ASSIGN_OR_RETURN(PageRef right, pager_->Allocate());
+  XFTL_RETURN_IF_ERROR(WriteCells(right.data(), false, rc, right_cells));
+  XFTL_RETURN_IF_ERROR(WriteCells(ref.data(), false, promoted.child,
+                                  left_cells));
+  SplitResult split;
+  split.right = right.pgno();
+  split.separator = std::move(promoted);
+  split.separator.child = pgno;
+  return std::optional<SplitResult>{std::move(split)};
+}
+
+// ---------------------------------------------------------------------------
+// delete
+// ---------------------------------------------------------------------------
+
+Status BTree::Delete(int64_t rowid) {
+  CHECK(!is_index_);
+  bool emptied = false;
+  return DeleteFrom(root_, rowid, nullptr, &emptied);
+}
+
+Status BTree::DeleteKey(const std::vector<uint8_t>& key) {
+  CHECK(is_index_);
+  bool emptied = false;
+  return DeleteFrom(root_, 0, &key, &emptied);
+}
+
+Status BTree::DeleteFrom(Pgno pgno, int64_t rowid,
+                         const std::vector<uint8_t>* key, bool* emptied) {
+  *emptied = false;
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Get(pgno));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, ReadCells(ref.data(), &leaf, &rc));
+
+  if (leaf) {
+    for (size_t pos = 0; pos < cells.size(); ++pos) {
+      int c = CompareToCell(rowid, key, cells[pos]);
+      if (c == 0) {
+        if (cells[pos].overflow != kNoPgno) {
+          XFTL_RETURN_IF_ERROR(FreeOverflowChain(cells[pos].overflow));
+        }
+        cells.erase(cells.begin() + pos);
+        XFTL_RETURN_IF_ERROR(ref.MarkDirty());
+        XFTL_RETURN_IF_ERROR(WriteCells(ref.data(), true, rc, cells));
+        *emptied = cells.empty() && pgno != root_;
+        return Status::OK();
+      }
+      if (c < 0) break;
+    }
+    return Status::NotFound("btree entry not found");
+  }
+
+  size_t pos = 0;
+  for (; pos < cells.size(); ++pos) {
+    int c = CompareToCell(rowid, key, cells[pos]);
+    if (c <= 0) break;
+  }
+  Pgno child = pos < cells.size() ? cells[pos].child : rc;
+  ref = PageRef();
+  bool child_emptied = false;
+  XFTL_RETURN_IF_ERROR(DeleteFrom(child, rowid, key, &child_emptied));
+  if (!child_emptied) return Status::OK();
+
+  // Unlink the emptied child.
+  XFTL_RETURN_IF_ERROR(pager_->Free(child));
+  XFTL_ASSIGN_OR_RETURN(ref, pager_->Get(pgno));
+  XFTL_ASSIGN_OR_RETURN(cells, ReadCells(ref.data(), &leaf, &rc));
+  if (pos < cells.size()) {
+    cells.erase(cells.begin() + pos);
+  } else if (!cells.empty()) {
+    rc = cells.back().child;
+    cells.pop_back();
+  } else {
+    // Interior node whose only subtree vanished: it is empty itself.
+    XFTL_RETURN_IF_ERROR(ref.MarkDirty());
+    if (pgno == root_) {
+      // Empty tree again: turn the root back into an empty leaf.
+      XFTL_RETURN_IF_ERROR(WriteCells(ref.data(), true, kNoPgno, {}));
+    } else {
+      *emptied = true;
+    }
+    return Status::OK();
+  }
+  XFTL_RETURN_IF_ERROR(ref.MarkDirty());
+
+  if (cells.empty() && pgno == root_) {
+    // Collapse: the root routes everything to rc; pull rc's content up so
+    // the root page number stays stable.
+    XFTL_ASSIGN_OR_RETURN(PageRef child_ref, pager_->Get(rc));
+    std::memcpy(ref.data(), child_ref.data(), pager_->page_size());
+    child_ref = PageRef();
+    return pager_->Free(rc);
+  }
+  return WriteCells(ref.data(), false, rc, cells);
+}
+
+// ---------------------------------------------------------------------------
+// queries
+// ---------------------------------------------------------------------------
+
+StatusOr<int64_t> BTree::MaxRowid() {
+  CHECK(!is_index_);
+  Pgno pgno = root_;
+  while (true) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, pager_->Get(pgno));
+    bool leaf;
+    Pgno rc;
+    XFTL_ASSIGN_OR_RETURN(auto cells, ReadCells(ref.data(), &leaf, &rc));
+    if (leaf) {
+      return cells.empty() ? 0 : cells.back().rowid;
+    }
+    pgno = rc != kNoPgno ? rc : cells.back().child;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cursor
+// ---------------------------------------------------------------------------
+
+Status BTree::Cursor::DescendLeftmost(Pgno pgno) {
+  while (true) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(pgno));
+    bool leaf;
+    Pgno rc;
+    XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+    stack_.push_back({pgno, 0});
+    if (leaf) {
+      if (!cells.empty()) {
+        valid_ = true;
+        return Status::OK();
+      }
+      return AdvanceFromLeafEnd();
+    }
+    pgno = cells.empty() ? rc : cells[0].child;
+  }
+}
+
+Status BTree::Cursor::First() {
+  stack_.clear();
+  valid_ = false;
+  return DescendLeftmost(tree_->root_);
+}
+
+Status BTree::Cursor::SeekGE(int64_t rowid) {
+  CHECK(!tree_->is_index_);
+  stack_.clear();
+  valid_ = false;
+  Pgno pgno = tree_->root_;
+  while (true) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(pgno));
+    bool leaf;
+    Pgno rc;
+    XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+    size_t pos = 0;
+    for (; pos < cells.size(); ++pos) {
+      if (tree_->CompareToCell(rowid, nullptr, cells[pos]) <= 0) break;
+    }
+    stack_.push_back({pgno, int(pos)});
+    if (leaf) {
+      if (pos < cells.size()) {
+        valid_ = true;
+        return Status::OK();
+      }
+      return AdvanceFromLeafEnd();
+    }
+    pgno = pos < cells.size() ? cells[pos].child : rc;
+  }
+}
+
+Status BTree::Cursor::SeekGEKey(const std::vector<uint8_t>& key) {
+  CHECK(tree_->is_index_);
+  stack_.clear();
+  valid_ = false;
+  Pgno pgno = tree_->root_;
+  while (true) {
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(pgno));
+    bool leaf;
+    Pgno rc;
+    XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+    size_t pos = 0;
+    for (; pos < cells.size(); ++pos) {
+      if (tree_->CompareToCell(0, &key, cells[pos]) <= 0) break;
+    }
+    stack_.push_back({pgno, int(pos)});
+    if (leaf) {
+      if (pos < cells.size()) {
+        valid_ = true;
+        return Status::OK();
+      }
+      return AdvanceFromLeafEnd();
+    }
+    pgno = pos < cells.size() ? cells[pos].child : rc;
+  }
+}
+
+Status BTree::Cursor::AdvanceFromLeafEnd() {
+  // The leaf frame is exhausted; climb until an interior frame has a next
+  // child, then descend its leftmost path.
+  stack_.pop_back();
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(f.pgno));
+    bool leaf;
+    Pgno rc;
+    XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+    f.index++;
+    if (f.index <= int(cells.size())) {
+      Pgno child = f.index < int(cells.size()) ? cells[f.index].child : rc;
+      return DescendLeftmost(child);
+    }
+    stack_.pop_back();
+  }
+  valid_ = false;
+  return Status::OK();
+}
+
+Status BTree::Cursor::Next() {
+  CHECK(valid_);
+  Frame& f = stack_.back();
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(f.pgno));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+  f.index++;
+  if (f.index < int(cells.size())) return Status::OK();
+  valid_ = false;
+  return AdvanceFromLeafEnd();
+}
+
+int64_t BTree::Cursor::rowid() const {
+  CHECK(valid_);
+  const Frame& f = stack_.back();
+  auto ref = tree_->pager_->Get(f.pgno);
+  CHECK(ref.ok());
+  bool leaf;
+  Pgno rc;
+  auto cells = tree_->ReadCells(ref.value().data(), &leaf, &rc);
+  CHECK(cells.ok());
+  return cells.value()[f.index].rowid;
+}
+
+StatusOr<std::vector<uint8_t>> BTree::Cursor::Payload() {
+  CHECK(valid_);
+  const Frame& f = stack_.back();
+  XFTL_ASSIGN_OR_RETURN(PageRef ref, tree_->pager_->Get(f.pgno));
+  bool leaf;
+  Pgno rc;
+  XFTL_ASSIGN_OR_RETURN(auto cells, tree_->ReadCells(ref.data(), &leaf, &rc));
+  ref = PageRef();
+  return tree_->AssemblePayload(cells[f.index]);
+}
+
+}  // namespace xftl::sql

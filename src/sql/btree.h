@@ -1,0 +1,134 @@
+// B+tree on pager pages, in the spirit of SQLite's btree layer.
+//
+// Two flavours share the implementation:
+//  * table trees: rowid (int64) -> record payload, payload may spill into a
+//    chain of overflow pages;
+//  * index trees: the encoded key record IS the payload; keys must fit a
+//    page's local-payload budget (our upper layers guarantee that).
+//
+// Interior pages hold separator cells {child, key}: the child subtree
+// contains keys <= separator; the right_child pointer covers everything
+// greater. The root page number never changes (a root split pushes its
+// contents down), so catalog entries stay valid.
+//
+// Deletion is lazy: empty pages are unlinked and freed, but underfull pages
+// are not rebalanced (a correct and common B+tree variant; SQLite's
+// balance-on-delete is an optimization we do not reproduce).
+#ifndef XFTL_SQL_BTREE_H_
+#define XFTL_SQL_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/pager.h"
+#include "sql/record.h"
+
+namespace xftl::sql {
+
+class BTree {
+ public:
+  // Allocates an empty leaf as the tree root.
+  static StatusOr<Pgno> Create(Pager* pager, bool is_index);
+  // Frees every page of the tree (including overflow chains).
+  static Status Drop(Pager* pager, Pgno root);
+
+  BTree(Pager* pager, Pgno root, bool is_index)
+      : pager_(pager), root_(root), is_index_(is_index) {}
+
+  Pgno root() const { return root_; }
+
+  // --- table trees ----------------------------------------------------------
+  // Inserts or replaces the record for `rowid`.
+  Status Insert(int64_t rowid, const std::vector<uint8_t>& payload);
+  Status Delete(int64_t rowid);  // NotFound if absent
+  // Largest rowid in the tree (0 when empty).
+  StatusOr<int64_t> MaxRowid();
+
+  // --- index trees -----------------------------------------------------------
+  Status InsertKey(const std::vector<uint8_t>& key);
+  Status DeleteKey(const std::vector<uint8_t>& key);
+
+  // --- cursor ----------------------------------------------------------------
+  // Cursors are invalidated by any write to the tree.
+  class Cursor {
+   public:
+    explicit Cursor(BTree* tree) : tree_(tree) {}
+
+    Status First();
+    // Positions at the first entry with rowid >= target (table trees).
+    Status SeekGE(int64_t rowid);
+    // Positions at the first entry with key >= target (index trees).
+    Status SeekGEKey(const std::vector<uint8_t>& key);
+    Status Next();
+    bool valid() const { return valid_; }
+
+    int64_t rowid() const;
+    // Full payload, overflow chain included.
+    StatusOr<std::vector<uint8_t>> Payload();
+
+   private:
+    friend class BTree;
+    struct Frame {
+      Pgno pgno = 0;
+      int index = 0;  // cell index; == ncells means "in right_child"
+    };
+    Status DescendLeftmost(Pgno pgno);
+    Status AdvanceFromLeafEnd();
+
+    BTree* tree_;
+    std::vector<Frame> stack_;
+    bool valid_ = false;
+  };
+
+  Cursor NewCursor() { return Cursor(this); }
+
+ private:
+  friend class Cursor;
+
+  struct Cell {
+    int64_t rowid = 0;              // table trees
+    Pgno child = kNoPgno;           // interior cells
+    uint32_t payload_total = 0;     // full payload length
+    Pgno overflow = kNoPgno;        // first overflow page
+    std::vector<uint8_t> local;     // local payload part
+  };
+
+  struct SplitResult {
+    Cell separator;  // cell pointing at the left page
+    Pgno right;      // page that takes the upper half
+  };
+
+  uint32_t MaxLocal() const;
+  // Key comparison between a probe and a cell (rowid or encoded record).
+  int CompareToCell(int64_t rowid, const std::vector<uint8_t>* key,
+                    const Cell& cell) const;
+
+  // Page (de)serialization.
+  StatusOr<std::vector<Cell>> ReadCells(const uint8_t* page, bool* leaf,
+                                        Pgno* right_child) const;
+  // Fails with ResourceExhausted when the cells do not fit.
+  Status WriteCells(uint8_t* page, bool leaf, Pgno right_child,
+                    const std::vector<Cell>& cells) const;
+
+  // Builds a leaf cell, spilling payload to overflow pages as needed.
+  StatusOr<Cell> MakeLeafCell(int64_t rowid,
+                              const std::vector<uint8_t>& payload);
+  Status FreeOverflowChain(Pgno first);
+  StatusOr<std::vector<uint8_t>> AssemblePayload(const Cell& cell);
+
+  // Recursive insert; returns a split description when `pgno` split.
+  StatusOr<std::optional<SplitResult>> InsertInto(Pgno pgno, Cell cell);
+  // Recursive delete; sets *emptied when `pgno` became empty and was freed.
+  Status DeleteFrom(Pgno pgno, int64_t rowid, const std::vector<uint8_t>* key,
+                    bool* emptied);
+
+  Pager* const pager_;
+  const Pgno root_;
+  const bool is_index_;
+};
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_BTREE_H_

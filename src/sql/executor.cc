@@ -1,0 +1,884 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "sql/btree.h"
+
+namespace xftl::sql {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return char(std::tolower(c)); });
+  return out;
+}
+
+bool NameEq(const std::string& a, const std::string& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(x) == std::tolower(y);
+         });
+}
+
+// One table instance visible to expression evaluation.
+struct CtxEntry {
+  std::string alias;  // lower-cased
+  const TableInfo* table = nullptr;
+  const Row* row = nullptr;
+  int64_t rowid = 0;
+};
+using RowContext = std::vector<CtxEntry>;
+
+// SQL LIKE with % and _, ASCII case-insensitive.
+bool LikeMatch(const std::string& pattern, const std::string& text,
+               size_t pi = 0, size_t ti = 0) {
+  while (pi < pattern.size()) {
+    char p = pattern[pi];
+    if (p == '%') {
+      for (size_t skip = ti; skip <= text.size(); ++skip) {
+        if (LikeMatch(pattern, text, pi + 1, skip)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (p != '_' && std::tolower(p) != std::tolower(text[ti])) return false;
+    pi++;
+    ti++;
+  }
+  return ti == text.size();
+}
+
+class Executor {
+ public:
+  Executor(Pager* pager, Schema* schema) : pager_(pager), schema_(schema) {}
+
+  StatusOr<ResultSet> Run(const Statement& stmt) {
+    auto annotate = [this](StatusOr<ResultSet> r) {
+      if (r.ok()) r.value().rows_scanned = rows_scanned_;
+      return r;
+    };
+    if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
+      XFTL_RETURN_IF_ERROR(schema_->CreateTable(*s));
+      return ResultSet{};
+    }
+    if (const auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
+      XFTL_RETURN_IF_ERROR(schema_->CreateIndex(*s));
+      return ResultSet{};
+    }
+    if (const auto* s = std::get_if<DropStmt>(&stmt)) return RunDrop(*s);
+    if (const auto* s = std::get_if<InsertStmt>(&stmt)) return RunInsert(*s);
+    if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+      return annotate(RunSelect(*s));
+    }
+    if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+      return annotate(RunUpdate(*s));
+    }
+    if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+      return annotate(RunDelete(*s));
+    }
+    return Status::InvalidArgument("statement not executable here");
+  }
+
+ private:
+  // Aggregate accumulator (single group).
+  struct Agg {
+    uint64_t count = 0;
+    double sum = 0;
+    bool sum_is_int = true;
+    int64_t isum = 0;
+    Value min, max;
+    std::set<std::string> distinct;
+  };
+
+  // --- expression evaluation ------------------------------------------------
+
+  StatusOr<Value> Eval(const Expr& e, const RowContext& ctx) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return e.literal;
+      case Expr::Kind::kColumn:
+        return ResolveColumn(e, ctx);
+      case Expr::Kind::kUnary:
+        return EvalUnary(e, ctx);
+      case Expr::Kind::kBinary:
+        return EvalBinary(e, ctx);
+      case Expr::Kind::kFunction:
+        if (agg_values_ != nullptr && IsAggregate(e)) {
+          auto it = agg_values_->find(&e);
+          if (it != agg_values_->end()) return it->second;
+        }
+        return EvalScalarFunction(e, ctx);
+      case Expr::Kind::kStar:
+        return Status::InvalidArgument("'*' not valid in this context");
+    }
+    return Status::InvalidArgument("bad expression");
+  }
+
+  StatusOr<Value> ResolveColumn(const Expr& e, const RowContext& ctx) {
+    std::string want_table = Lower(e.table);
+    for (const CtxEntry& entry : ctx) {
+      if (!want_table.empty() && entry.alias != want_table) continue;
+      if (NameEq(e.column, "rowid")) return Value::Int(entry.rowid);
+      int idx = entry.table->ColumnIndex(e.column);
+      if (idx >= 0) {
+        if (idx == entry.table->rowid_alias) return Value::Int(entry.rowid);
+        if (idx < int(entry.row->size())) return (*entry.row)[idx];
+        return Value::Null();
+      }
+      if (!want_table.empty()) break;
+    }
+    return Status::NotFound("no such column: " +
+                            (e.table.empty() ? e.column
+                                             : e.table + "." + e.column));
+  }
+
+  StatusOr<Value> EvalUnary(const Expr& e, const RowContext& ctx) {
+    XFTL_ASSIGN_OR_RETURN(Value v, Eval(*e.rhs, ctx));
+    if (e.op == "-") {
+      if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+      return Value::Real(-v.AsReal());
+    }
+    if (e.op == "NOT") return Value::Int(v.Truthy() ? 0 : 1);
+    if (e.op == "ISNULL") return Value::Int(v.is_null() ? 1 : 0);
+    if (e.op == "ISNOTNULL") return Value::Int(v.is_null() ? 0 : 1);
+    return Status::InvalidArgument("bad unary operator " + e.op);
+  }
+
+  StatusOr<Value> EvalBinary(const Expr& e, const RowContext& ctx) {
+    if (e.op == "AND") {
+      XFTL_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, ctx));
+      if (!l.Truthy()) return Value::Int(0);
+      XFTL_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs, ctx));
+      return Value::Int(r.Truthy() ? 1 : 0);
+    }
+    if (e.op == "OR") {
+      XFTL_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, ctx));
+      if (l.Truthy()) return Value::Int(1);
+      XFTL_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs, ctx));
+      return Value::Int(r.Truthy() ? 1 : 0);
+    }
+    XFTL_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, ctx));
+    XFTL_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs, ctx));
+    if (e.op == "=" || e.op == "!=" || e.op == "<" || e.op == "<=" ||
+        e.op == ">" || e.op == ">=") {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      int c = l.Compare(r);
+      bool result = (e.op == "=" && c == 0) || (e.op == "!=" && c != 0) ||
+                    (e.op == "<" && c < 0) || (e.op == "<=" && c <= 0) ||
+                    (e.op == ">" && c > 0) || (e.op == ">=" && c >= 0);
+      return Value::Int(result ? 1 : 0);
+    }
+    if (e.op == "LIKE") {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Int(LikeMatch(r.AsText(), l.AsText()) ? 1 : 0);
+    }
+    if (e.op == "||") {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Text(l.AsText() + r.AsText());
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    bool ints =
+        l.type() == ValueType::kInt && r.type() == ValueType::kInt;
+    if (e.op == "+") {
+      return ints ? Value::Int(l.AsInt() + r.AsInt())
+                  : Value::Real(l.AsReal() + r.AsReal());
+    }
+    if (e.op == "-") {
+      return ints ? Value::Int(l.AsInt() - r.AsInt())
+                  : Value::Real(l.AsReal() - r.AsReal());
+    }
+    if (e.op == "*") {
+      return ints ? Value::Int(l.AsInt() * r.AsInt())
+                  : Value::Real(l.AsReal() * r.AsReal());
+    }
+    if (e.op == "/") {
+      if (ints) {
+        if (r.AsInt() == 0) return Value::Null();
+        return Value::Int(l.AsInt() / r.AsInt());
+      }
+      if (r.AsReal() == 0.0) return Value::Null();
+      return Value::Real(l.AsReal() / r.AsReal());
+    }
+    if (e.op == "%") {
+      if (r.AsInt() == 0) return Value::Null();
+      return Value::Int(l.AsInt() % r.AsInt());
+    }
+    return Status::InvalidArgument("bad binary operator " + e.op);
+  }
+
+  StatusOr<Value> EvalScalarFunction(const Expr& e, const RowContext& ctx) {
+    auto arg = [&](size_t i) -> StatusOr<Value> {
+      if (i >= e.args.size()) {
+        return Status::InvalidArgument(e.func + ": missing argument");
+      }
+      return Eval(*e.args[i], ctx);
+    };
+    if (e.func == "LENGTH") {
+      XFTL_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kBlob) return Value::Int(v.blob().size());
+      return Value::Int(int64_t(v.AsText().size()));
+    }
+    if (e.func == "ABS") {
+      XFTL_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInt) return Value::Int(std::abs(v.AsInt()));
+      return Value::Real(std::abs(v.AsReal()));
+    }
+    if (e.func == "UPPER" || e.func == "LOWER") {
+      XFTL_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value::Null();
+      std::string s = v.AsText();
+      for (char& c : s) {
+        c = e.func == "UPPER" ? char(std::toupper(c)) : char(std::tolower(c));
+      }
+      return Value::Text(std::move(s));
+    }
+    if (e.func == "COALESCE" || e.func == "IFNULL") {
+      for (const auto& a : e.args) {
+        XFTL_ASSIGN_OR_RETURN(Value v, Eval(*a, ctx));
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+    if (e.func == "SUBSTR") {
+      XFTL_ASSIGN_OR_RETURN(Value v, arg(0));
+      XFTL_ASSIGN_OR_RETURN(Value from, arg(1));
+      if (v.is_null()) return Value::Null();
+      std::string s = v.AsText();
+      int64_t start = std::max<int64_t>(1, from.AsInt()) - 1;
+      int64_t len = int64_t(s.size()) - start;
+      if (e.args.size() > 2) {
+        XFTL_ASSIGN_OR_RETURN(Value lv, arg(2));
+        len = lv.AsInt();
+      }
+      if (start >= int64_t(s.size()) || len <= 0) return Value::Text("");
+      return Value::Text(s.substr(size_t(start), size_t(len)));
+    }
+    if (e.func == "MIN" || e.func == "MAX") {
+      // Scalar form with 2+ args (the 1-arg form is an aggregate).
+      if (e.args.size() >= 2) {
+        XFTL_ASSIGN_OR_RETURN(Value best, arg(0));
+        for (size_t i = 1; i < e.args.size(); ++i) {
+          XFTL_ASSIGN_OR_RETURN(Value v, arg(i));
+          int c = v.Compare(best);
+          if ((e.func == "MIN" && c < 0) || (e.func == "MAX" && c > 0)) {
+            best = v;
+          }
+        }
+        return best;
+      }
+    }
+    return Status::InvalidArgument("unknown function " + e.func);
+  }
+
+  static bool IsAggregate(const Expr& e) {
+    if (e.kind != Expr::Kind::kFunction) return false;
+    if (e.func == "COUNT" || e.func == "SUM" || e.func == "AVG" ||
+        e.func == "TOTAL") {
+      return true;
+    }
+    return (e.func == "MIN" || e.func == "MAX") && e.args.size() == 1;
+  }
+
+  static bool ContainsAggregate(const Expr& e) {
+    if (IsAggregate(e)) return true;
+    if (e.lhs != nullptr && ContainsAggregate(*e.lhs)) return true;
+    if (e.rhs != nullptr && ContainsAggregate(*e.rhs)) return true;
+    for (const auto& a : e.args) {
+      if (ContainsAggregate(*a)) return true;
+    }
+    return false;
+  }
+
+  // Gathers the aggregate nodes of an expression tree (not descending into
+  // aggregate arguments: COUNT(SUM(x)) is not supported, as in SQLite).
+  static void CollectAggregates(const Expr& e,
+                                std::vector<const Expr*>* out) {
+    if (IsAggregate(e)) {
+      out->push_back(&e);
+      return;
+    }
+    if (e.lhs != nullptr) CollectAggregates(*e.lhs, out);
+    if (e.rhs != nullptr) CollectAggregates(*e.rhs, out);
+    for (const auto& a : e.args) CollectAggregates(*a, out);
+  }
+
+  // --- access paths -----------------------------------------------------------
+
+  // Flattens the AND tree into conjuncts.
+  static void Conjuncts(const Expr* e, std::vector<const Expr*>* out) {
+    if (e == nullptr) return;
+    if (e->kind == Expr::Kind::kBinary && e->op == "AND") {
+      Conjuncts(e->lhs.get(), out);
+      Conjuncts(e->rhs.get(), out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  // Finds conjuncts of form <alias.col = expr-evaluable-under-ctx>; returns
+  // column-position -> value bindings for the given table instance.
+  StatusOr<std::map<int, Value>> EqualityBindings(
+      const std::vector<const Expr*>& conjuncts, const std::string& alias,
+      const TableInfo& table, const RowContext& outer_ctx) {
+    std::map<int, Value> out;
+    for (const Expr* e : conjuncts) {
+      if (e->kind != Expr::Kind::kBinary || e->op != "=") continue;
+      for (int side = 0; side < 2; ++side) {
+        const Expr* col = side == 0 ? e->lhs.get() : e->rhs.get();
+        const Expr* val = side == 0 ? e->rhs.get() : e->lhs.get();
+        if (col->kind != Expr::Kind::kColumn) continue;
+        std::string want = Lower(col->table);
+        if (!want.empty() && want != alias) continue;
+        int idx = NameEq(col->column, "rowid") ? table.rowid_alias
+                                               : table.ColumnIndex(col->column);
+        bool is_rowid =
+            NameEq(col->column, "rowid") ||
+            (idx >= 0 && idx == table.rowid_alias);
+        if (idx < 0 && !is_rowid) continue;
+        // The other side must be evaluable without this table's row.
+        auto v = Eval(*val, outer_ctx);
+        if (!v.ok()) continue;  // references this table; not a binding
+        if (is_rowid) {
+          out[-1] = v.value();  // -1 encodes the rowid itself
+        } else {
+          out[idx] = v.value();
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  // Streams rows of `table` matching the given equality bindings, choosing
+  // rowid lookup, index prefix scan, or full scan. `fn` returns false to
+  // stop early.
+  Status ScanTable(const TableInfo& table, const std::map<int, Value>& eqs,
+                   const std::function<StatusOr<bool>(int64_t, const Row&)>& fn) {
+    BTree data(pager_, table.root, /*is_index=*/false);
+
+    auto emit_rowid = [&](int64_t rowid) -> StatusOr<bool> {
+      auto cursor = data.NewCursor();
+      XFTL_RETURN_IF_ERROR(cursor.SeekGE(rowid));
+      if (!cursor.valid() || cursor.rowid() != rowid) return true;
+      XFTL_ASSIGN_OR_RETURN(auto payload, cursor.Payload());
+      XFTL_ASSIGN_OR_RETURN(Row row, DecodeRecord(payload));
+      rows_scanned_++;
+      return fn(rowid, row);
+    };
+
+    // Direct rowid lookup.
+    auto rowid_it = eqs.find(-1);
+    if (rowid_it != eqs.end()) {
+      if (rowid_it->second.is_null()) return Status::OK();
+      XFTL_ASSIGN_OR_RETURN(bool keep, emit_rowid(rowid_it->second.AsInt()));
+      (void)keep;
+      return Status::OK();
+    }
+
+    // Longest-prefix index match.
+    const IndexInfo* best = nullptr;
+    size_t best_len = 0;
+    for (const IndexInfo* idx : schema_->IndexesOf(table.name)) {
+      size_t len = 0;
+      for (int col : idx->columns) {
+        if (eqs.count(col) == 0) break;
+        len++;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best = idx;
+      }
+    }
+    if (best != nullptr && best_len > 0) {
+      Row prefix;
+      for (size_t i = 0; i < best_len; ++i) {
+        prefix.push_back(eqs.at(best->columns[i]));
+      }
+      std::vector<uint8_t> key = EncodeRecord(prefix);
+      BTree index(pager_, best->root, /*is_index=*/true);
+      auto cursor = index.NewCursor();
+      XFTL_RETURN_IF_ERROR(cursor.SeekGEKey(key));
+      while (cursor.valid()) {
+        XFTL_ASSIGN_OR_RETURN(auto key_bytes, cursor.Payload());
+        XFTL_ASSIGN_OR_RETURN(Row entry, DecodeRecord(key_bytes));
+        // Stop once the prefix no longer matches.
+        bool match = entry.size() > best_len;
+        for (size_t i = 0; match && i < best_len; ++i) {
+          match = entry[i].Compare(prefix[i]) == 0;
+        }
+        if (!match) break;
+        int64_t rowid = entry.back().AsInt();
+        XFTL_ASSIGN_OR_RETURN(bool keep, emit_rowid(rowid));
+        if (!keep) return Status::OK();
+        XFTL_RETURN_IF_ERROR(cursor.Next());
+      }
+      return Status::OK();
+    }
+
+    // Full scan.
+    auto cursor = data.NewCursor();
+    XFTL_RETURN_IF_ERROR(cursor.First());
+    while (cursor.valid()) {
+      XFTL_ASSIGN_OR_RETURN(auto payload, cursor.Payload());
+      XFTL_ASSIGN_OR_RETURN(Row row, DecodeRecord(payload));
+      rows_scanned_++;
+      XFTL_ASSIGN_OR_RETURN(bool keep, fn(cursor.rowid(), row));
+      if (!keep) return Status::OK();
+      XFTL_RETURN_IF_ERROR(cursor.Next());
+    }
+    return Status::OK();
+  }
+
+  // --- index maintenance -------------------------------------------------------
+
+  std::vector<uint8_t> MakeIndexKey(const IndexInfo& idx, const Row& row,
+                                    int64_t rowid, const TableInfo& table) {
+    Row key;
+    for (int col : idx.columns) {
+      if (col == table.rowid_alias) {
+        key.push_back(Value::Int(rowid));
+      } else {
+        key.push_back(col < int(row.size()) ? row[col] : Value::Null());
+      }
+    }
+    key.push_back(Value::Int(rowid));
+    return EncodeRecord(key);
+  }
+
+  Status IndexesInsert(const TableInfo& table, const Row& row, int64_t rowid) {
+    for (const IndexInfo* idx : schema_->IndexesOf(table.name)) {
+      BTree tree(pager_, idx->root, /*is_index=*/true);
+      XFTL_RETURN_IF_ERROR(tree.InsertKey(MakeIndexKey(*idx, row, rowid, table)));
+    }
+    return Status::OK();
+  }
+
+  Status IndexesDelete(const TableInfo& table, const Row& row, int64_t rowid) {
+    for (const IndexInfo* idx : schema_->IndexesOf(table.name)) {
+      BTree tree(pager_, idx->root, /*is_index=*/true);
+      Status s = tree.DeleteKey(MakeIndexKey(*idx, row, rowid, table));
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    return Status::OK();
+  }
+
+  // --- statements ----------------------------------------------------------------
+
+  StatusOr<ResultSet> RunDrop(const DropStmt& stmt) {
+    Status s = stmt.is_index ? schema_->DropIndex(stmt.name)
+                             : schema_->DropTable(stmt.name);
+    if (s.IsNotFound() && stmt.if_exists) return ResultSet{};
+    XFTL_RETURN_IF_ERROR(s);
+    return ResultSet{};
+  }
+
+  StatusOr<ResultSet> RunInsert(const InsertStmt& stmt) {
+    const TableInfo* table = schema_->FindTable(stmt.table);
+    if (table == nullptr) return Status::NotFound("table " + stmt.table);
+    // Column positions targeted by the VALUES lists.
+    std::vector<int> positions;
+    if (stmt.columns.empty()) {
+      for (size_t i = 0; i < table->columns.size(); ++i) {
+        positions.push_back(int(i));
+      }
+    } else {
+      for (const std::string& col : stmt.columns) {
+        int idx = table->ColumnIndex(col);
+        if (idx < 0) return Status::NotFound("column " + col);
+        positions.push_back(idx);
+      }
+    }
+
+    BTree data(pager_, table->root, /*is_index=*/false);
+    ResultSet result;
+    for (const auto& exprs : stmt.rows) {
+      if (exprs.size() != positions.size()) {
+        return Status::InvalidArgument("values count mismatch");
+      }
+      Row row(table->columns.size(), Value::Null());
+      RowContext empty;
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        XFTL_ASSIGN_OR_RETURN(row[positions[i]], Eval(*exprs[i], empty));
+      }
+      int64_t rowid;
+      if (table->rowid_alias >= 0 && !row[table->rowid_alias].is_null()) {
+        rowid = row[table->rowid_alias].AsInt();
+        auto cursor = data.NewCursor();
+        XFTL_RETURN_IF_ERROR(cursor.SeekGE(rowid));
+        if (cursor.valid() && cursor.rowid() == rowid) {
+          return Status::AlreadyExists("UNIQUE constraint failed: " +
+                                       table->name);
+        }
+      } else {
+        XFTL_ASSIGN_OR_RETURN(int64_t max, data.MaxRowid());
+        rowid = max + 1;
+        if (table->rowid_alias >= 0) {
+          row[table->rowid_alias] = Value::Int(rowid);
+        }
+      }
+      XFTL_RETURN_IF_ERROR(data.Insert(rowid, EncodeRecord(row)));
+      XFTL_RETURN_IF_ERROR(IndexesInsert(*table, row, rowid));
+      result.rows_affected++;
+    }
+    return result;
+  }
+
+  StatusOr<ResultSet> RunSelect(const SelectStmt& stmt) {
+    // Source list: FROM table plus joins.
+    struct Source {
+      std::string alias;
+      const TableInfo* table;
+    };
+    std::vector<Source> sources;
+    std::vector<const Expr*> conjuncts;
+    Conjuncts(stmt.where.get(), &conjuncts);
+    if (stmt.from.has_value()) {
+      const TableInfo* t = schema_->FindTable(stmt.from->name);
+      if (t == nullptr) return Status::NotFound("table " + stmt.from->name);
+      sources.push_back({Lower(stmt.from->alias), t});
+    }
+    for (const JoinClause& join : stmt.joins) {
+      const TableInfo* t = schema_->FindTable(join.table.name);
+      if (t == nullptr) return Status::NotFound("table " + join.table.name);
+      sources.push_back({Lower(join.table.alias), t});
+      Conjuncts(join.on.get(), &conjuncts);
+    }
+
+    // Projection expansion.
+    bool aggregate = !stmt.group_by.empty();
+    for (const SelectItem& item : stmt.items) {
+      if (ContainsAggregate(*item.expr)) aggregate = true;
+    }
+    if (stmt.having != nullptr && ContainsAggregate(*stmt.having)) {
+      aggregate = true;
+    }
+    std::vector<const Expr*> projections;
+    std::vector<std::string> col_names;
+    std::vector<ExprPtr> expanded;  // owns synthesized column exprs
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr->kind == Expr::Kind::kStar && !aggregate) {
+        std::string want = Lower(item.expr->table);
+        for (const Source& src : sources) {
+          if (!want.empty() && src.alias != want) continue;
+          for (const ColumnDef& col : src.table->columns) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::kColumn;
+            e->table = src.alias;
+            e->column = col.name;
+            projections.push_back(e.get());
+            expanded.push_back(std::move(e));
+            col_names.push_back(col.name);
+          }
+        }
+      } else {
+        projections.push_back(item.expr.get());
+        col_names.push_back(!item.alias.empty() ? item.alias
+                            : item.expr->kind == Expr::Kind::kColumn
+                                ? item.expr->column
+                                : "expr");
+      }
+    }
+
+    ResultSet result;
+    result.columns = col_names;
+
+    // All aggregate nodes appearing anywhere in the statement.
+    std::vector<const Expr*> agg_nodes;
+    if (aggregate) {
+      for (const Expr* p : projections) CollectAggregates(*p, &agg_nodes);
+      if (stmt.having != nullptr) CollectAggregates(*stmt.having, &agg_nodes);
+      for (const OrderTerm& term : stmt.order_by) {
+        CollectAggregates(*term.expr, &agg_nodes);
+      }
+    }
+
+    // Per-group state: accumulators plus a deep copy of a representative
+    // row context for evaluating non-aggregate expressions.
+    struct GroupState {
+      std::vector<Row> rep_rows;
+      std::vector<int64_t> rep_rowids;
+      std::vector<Agg> aggs;
+    };
+    std::map<std::string, GroupState> groups;  // key = encoded GROUP BY tuple
+
+    // Order keys computed while the row context is live.
+    std::vector<std::pair<Row, Row>> ordered;  // (order keys, projected row)
+
+    std::function<Status(size_t, RowContext&)> descend =
+        [&](size_t level, RowContext& ctx) -> Status {
+      if (level == sources.size()) {
+        if (stmt.where != nullptr) {
+          XFTL_ASSIGN_OR_RETURN(Value cond, Eval(*stmt.where, ctx));
+          if (!cond.Truthy()) return Status::OK();
+        }
+        for (const JoinClause& join : stmt.joins) {
+          if (join.on != nullptr) {
+            XFTL_ASSIGN_OR_RETURN(Value cond, Eval(*join.on, ctx));
+            if (!cond.Truthy()) return Status::OK();
+          }
+        }
+        if (aggregate) {
+          Row key_tuple;
+          for (const ExprPtr& g : stmt.group_by) {
+            XFTL_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+            key_tuple.push_back(std::move(v));
+          }
+          auto key_bytes = EncodeRecord(key_tuple);
+          std::string key(key_bytes.begin(), key_bytes.end());
+          GroupState& g = groups[key];
+          if (g.aggs.empty()) {
+            g.aggs.resize(agg_nodes.size());
+            for (const CtxEntry& entry : ctx) {
+              g.rep_rows.push_back(*entry.row);
+              g.rep_rowids.push_back(entry.rowid);
+            }
+          }
+          for (size_t i = 0; i < agg_nodes.size(); ++i) {
+            XFTL_RETURN_IF_ERROR(Accumulate(*agg_nodes[i], ctx, &g.aggs[i]));
+          }
+          return Status::OK();
+        }
+        Row out;
+        for (const Expr* p : projections) {
+          XFTL_ASSIGN_OR_RETURN(Value v, Eval(*p, ctx));
+          out.push_back(std::move(v));
+        }
+        Row keys;
+        for (const OrderTerm& term : stmt.order_by) {
+          XFTL_ASSIGN_OR_RETURN(Value v, Eval(*term.expr, ctx));
+          keys.push_back(std::move(v));
+        }
+        ordered.emplace_back(std::move(keys), std::move(out));
+        return Status::OK();
+      }
+      const Source& src = sources[level];
+      XFTL_ASSIGN_OR_RETURN(
+          auto eqs, EqualityBindings(conjuncts, src.alias, *src.table, ctx));
+      return ScanTable(*src.table, eqs,
+                       [&](int64_t rowid, const Row& row) -> StatusOr<bool> {
+                         ctx.push_back({src.alias, src.table, &row, rowid});
+                         Status s = descend(level + 1, ctx);
+                         ctx.pop_back();
+                         if (!s.ok()) return s;
+                         return true;
+                       });
+    };
+
+    RowContext ctx;
+    if (sources.empty()) {
+      // SELECT without FROM evaluates the items once.
+      Row out;
+      for (const Expr* p : projections) {
+        XFTL_ASSIGN_OR_RETURN(Value v, Eval(*p, ctx));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+      return result;
+    }
+    XFTL_RETURN_IF_ERROR(descend(0, ctx));
+
+    if (aggregate) {
+      // An ungrouped aggregate over zero rows still yields one row.
+      if (groups.empty() && stmt.group_by.empty()) {
+        GroupState& g = groups[""];
+        g.aggs.resize(agg_nodes.size());
+      }
+      for (auto& [key, g] : groups) {
+        // Rebuild a representative context for non-aggregate expressions.
+        RowContext rep_ctx;
+        for (size_t i = 0; i < g.rep_rows.size() && i < sources.size(); ++i) {
+          rep_ctx.push_back({sources[i].alias, sources[i].table,
+                             &g.rep_rows[i], g.rep_rowids[i]});
+        }
+        std::map<const Expr*, Value> finals;
+        for (size_t i = 0; i < agg_nodes.size(); ++i) {
+          XFTL_ASSIGN_OR_RETURN(Value v, Finalize(*agg_nodes[i], g.aggs[i]));
+          finals[agg_nodes[i]] = std::move(v);
+        }
+        agg_values_ = &finals;
+        auto cleanup = [this](Status s) {
+          agg_values_ = nullptr;
+          return s;
+        };
+        if (stmt.having != nullptr) {
+          auto cond = Eval(*stmt.having, rep_ctx);
+          if (!cond.ok()) return cleanup(cond.status());
+          if (!cond.value().Truthy()) {
+            agg_values_ = nullptr;
+            continue;
+          }
+        }
+        Row out;
+        for (const Expr* p : projections) {
+          auto v = Eval(*p, rep_ctx);
+          if (!v.ok()) return cleanup(v.status());
+          out.push_back(std::move(v).value());
+        }
+        Row keys;
+        for (const OrderTerm& term : stmt.order_by) {
+          auto v = Eval(*term.expr, rep_ctx);
+          if (!v.ok()) return cleanup(v.status());
+          keys.push_back(std::move(v).value());
+        }
+        agg_values_ = nullptr;
+        ordered.emplace_back(std::move(keys), std::move(out));
+      }
+    }
+
+    if (!stmt.order_by.empty()) {
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                           int c = a.first[i].Compare(b.first[i]);
+                           if (c != 0) {
+                             return stmt.order_by[i].descending ? c > 0 : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    for (auto& [keys, row] : ordered) {
+      if (stmt.limit >= 0 && int64_t(result.rows.size()) >= stmt.limit) break;
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  Status Accumulate(const Expr& e, const RowContext& ctx, Agg* agg) {
+    CHECK(IsAggregate(e)) << "non-aggregate projection in aggregate query";
+    if (e.func == "COUNT" &&
+        (e.args.empty() || e.args[0]->kind == Expr::Kind::kStar)) {
+      agg->count++;
+      return Status::OK();
+    }
+    XFTL_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0], ctx));
+    if (v.is_null()) return Status::OK();
+    if (e.distinct) {
+      std::string key = v.AsText() + "#" + std::to_string(int(v.type()));
+      if (!agg->distinct.insert(key).second) return Status::OK();
+    }
+    agg->count++;
+    if (v.type() != ValueType::kInt) agg->sum_is_int = false;
+    agg->isum += v.AsInt();
+    agg->sum += v.AsReal();
+    if (agg->count == 1) {
+      agg->min = v;
+      agg->max = v;
+    } else {
+      if (v.Compare(agg->min) < 0) agg->min = v;
+      if (v.Compare(agg->max) > 0) agg->max = v;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Value> Finalize(const Expr& e, const Agg& agg) {
+    if (e.func == "COUNT") return Value::Int(int64_t(agg.count));
+    if (e.func == "SUM") {
+      if (agg.count == 0) return Value::Null();
+      return agg.sum_is_int ? Value::Int(agg.isum) : Value::Real(agg.sum);
+    }
+    if (e.func == "TOTAL") return Value::Real(agg.sum);
+    if (e.func == "AVG") {
+      if (agg.count == 0) return Value::Null();
+      return Value::Real(agg.sum / double(agg.count));
+    }
+    if (e.func == "MIN") return agg.count == 0 ? Value::Null() : agg.min;
+    if (e.func == "MAX") return agg.count == 0 ? Value::Null() : agg.max;
+    return Status::InvalidArgument("unknown aggregate " + e.func);
+  }
+
+  StatusOr<ResultSet> RunUpdate(const UpdateStmt& stmt) {
+    const TableInfo* table = schema_->FindTable(stmt.table);
+    if (table == nullptr) return Status::NotFound("table " + stmt.table);
+    std::vector<std::pair<int, const Expr*>> sets;
+    for (const auto& [col, expr] : stmt.sets) {
+      int idx = table->ColumnIndex(col);
+      if (idx < 0) return Status::NotFound("column " + col);
+      sets.emplace_back(idx, expr.get());
+    }
+    XFTL_ASSIGN_OR_RETURN(auto matches, Materialize(*table, stmt.where.get()));
+
+    BTree data(pager_, table->root, /*is_index=*/false);
+    ResultSet result;
+    for (auto& [rowid, row] : matches) {
+      RowContext ctx{{Lower(table->name), table, &row, rowid}};
+      Row updated = row;
+      for (const auto& [idx, expr] : sets) {
+        XFTL_ASSIGN_OR_RETURN(updated[idx], Eval(*expr, ctx));
+      }
+      int64_t new_rowid = rowid;
+      if (table->rowid_alias >= 0) {
+        new_rowid = updated[table->rowid_alias].AsInt();
+      }
+      XFTL_RETURN_IF_ERROR(IndexesDelete(*table, row, rowid));
+      if (new_rowid != rowid) {
+        XFTL_RETURN_IF_ERROR(data.Delete(rowid));
+      }
+      XFTL_RETURN_IF_ERROR(data.Insert(new_rowid, EncodeRecord(updated)));
+      XFTL_RETURN_IF_ERROR(IndexesInsert(*table, updated, new_rowid));
+      result.rows_affected++;
+    }
+    return result;
+  }
+
+  StatusOr<ResultSet> RunDelete(const DeleteStmt& stmt) {
+    const TableInfo* table = schema_->FindTable(stmt.table);
+    if (table == nullptr) return Status::NotFound("table " + stmt.table);
+    XFTL_ASSIGN_OR_RETURN(auto matches, Materialize(*table, stmt.where.get()));
+    BTree data(pager_, table->root, /*is_index=*/false);
+    ResultSet result;
+    for (auto& [rowid, row] : matches) {
+      XFTL_RETURN_IF_ERROR(IndexesDelete(*table, row, rowid));
+      XFTL_RETURN_IF_ERROR(data.Delete(rowid));
+      result.rows_affected++;
+    }
+    return result;
+  }
+
+  // Collects (rowid, row) pairs matching `where` (modification-safe).
+  StatusOr<std::vector<std::pair<int64_t, Row>>> Materialize(
+      const TableInfo& table, const Expr* where) {
+    std::vector<const Expr*> conjuncts;
+    Conjuncts(where, &conjuncts);
+    RowContext empty;
+    XFTL_ASSIGN_OR_RETURN(
+        auto eqs, EqualityBindings(conjuncts, Lower(table.name), table, empty));
+    std::vector<std::pair<int64_t, Row>> out;
+    XFTL_RETURN_IF_ERROR(ScanTable(
+        table, eqs, [&](int64_t rowid, const Row& row) -> StatusOr<bool> {
+          if (where != nullptr) {
+            RowContext ctx{{Lower(table.name), &table, &row, rowid}};
+            XFTL_ASSIGN_OR_RETURN(Value cond, Eval(*where, ctx));
+            if (!cond.Truthy()) return true;
+          }
+          out.emplace_back(rowid, row);
+          return true;
+        }));
+    return out;
+  }
+
+  Pager* const pager_;
+  Schema* const schema_;
+  uint64_t rows_scanned_ = 0;
+  // When set (during grouped finalization), aggregate nodes evaluate to
+  // their finalized per-group values instead of being re-computed.
+  const std::map<const Expr*, Value>* agg_values_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<ResultSet> ExecuteStatement(Pager* pager, Schema* schema,
+                                     const Statement& stmt) {
+  Executor executor(pager, schema);
+  return executor.Run(stmt);
+}
+
+}  // namespace xftl::sql

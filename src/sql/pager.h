@@ -1,0 +1,217 @@
+// Pager: MiniSQLite's transactional page layer over one database file, with
+// the three journal modes whose I/O behaviour the paper measures (Figure 1):
+//
+//   kDelete (rollback journal): the original content of every page about to
+//     change is copied into <db>-journal; commit syncs the journal (data,
+//     then header - the extra fsync the paper calls out), force-writes all
+//     dirty pages to the database, syncs it, and deletes the journal. The
+//     journal file is created and deleted once per write transaction.
+//
+//   kWal (write-ahead log): new page versions are appended to <db>-wal;
+//     commit appends a commit frame and syncs the WAL once. Readers must
+//     consult the WAL index before the database file. A checkpoint copies
+//     committed frames back every wal_autocheckpoint page-writes.
+//
+//   kOff (X-FTL): changes are written directly to the database file; fsync
+//     is the commit point (the file system turns it into TxWrite*+TxCommit),
+//     and rollback is the new ioctl (paper §5.1).
+//
+// Buffer management is steal/force, like SQLite: commit force-writes every
+// page the transaction updated, and the cache may evict dirty uncommitted
+// pages early (after journaling them in kDelete mode; as uncommitted WAL
+// frames in kWal; as transaction-tagged device writes in kOff).
+#ifndef XFTL_SQL_PAGER_H_
+#define XFTL_SQL_PAGER_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "fs/ext_fs.h"
+
+namespace xftl::sql {
+
+// 1-based database page number, like SQLite.
+using Pgno = uint32_t;
+inline constexpr Pgno kNoPgno = 0;
+
+enum class SqlJournalMode { kDelete, kWal, kOff };
+const char* SqlJournalModeName(SqlJournalMode mode);
+
+struct PagerOptions {
+  SqlJournalMode journal_mode = SqlJournalMode::kDelete;
+  uint32_t cache_pages = 256;
+  // Checkpoint the WAL after this many appended frames (SQLite default 1000).
+  uint32_t wal_autocheckpoint = 1000;
+};
+
+struct PagerStats {
+  uint64_t db_page_writes = 0;       // host writes into the database file
+  uint64_t journal_page_writes = 0;  // pages appended to journal/WAL files
+  uint64_t page_reads = 0;           // cache misses served from files
+  uint64_t wal_index_hits = 0;       // reads served from the WAL, not the DB
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  uint64_t checkpoints = 0;
+  uint64_t journal_creates = 0;
+  uint64_t journal_deletes = 0;
+  uint64_t cache_steals = 0;
+  SimNanos last_recovery_nanos = 0;  // hot-journal / WAL recovery at Open
+};
+
+class Pager;
+
+// RAII pinned reference to a cached page.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  bool valid() const { return pager_ != nullptr; }
+  Pgno pgno() const { return pgno_; }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  // Declares intent to modify; journals the original content first when the
+  // mode requires it.
+  Status MarkDirty();
+
+ private:
+  friend class Pager;
+  PageRef(Pager* pager, Pgno pgno, uint8_t* data)
+      : pager_(pager), pgno_(pgno), data_(data) {}
+
+  Pager* pager_ = nullptr;
+  Pgno pgno_ = 0;
+  uint8_t* data_ = nullptr;
+};
+
+class Pager {
+ public:
+  // Opens (creating if necessary) the database file and runs mode-specific
+  // recovery: hot rollback-journal replay or WAL scan+checkpoint.
+  static StatusOr<std::unique_ptr<Pager>> Open(fs::ExtFs* fs,
+                                               const std::string& db_path,
+                                               const PagerOptions& options);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  Status Close();
+
+  uint32_t page_size() const { return page_size_; }
+  Pgno page_count() const { return page_count_; }
+  SqlJournalMode journal_mode() const { return options_.journal_mode; }
+  fs::ExtFs* fs() const { return fs_; }
+
+  // --- transactions --------------------------------------------------------
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return in_txn_; }
+
+  // --- page access ---------------------------------------------------------
+  StatusOr<PageRef> Get(Pgno pgno);
+  // Appends a fresh zeroed page (from the freelist or by extending the
+  // file). Requires an open transaction.
+  StatusOr<PageRef> Allocate();
+  Status Free(Pgno pgno);
+
+  // --- header fields (page 1) ---------------------------------------------
+  // Slot 0 is reserved for the schema root; slots 1-7 free for upper layers.
+  StatusOr<uint32_t> GetHeaderField(int slot);
+  Status SetHeaderField(int slot, uint32_t value);
+
+  // Forces a WAL checkpoint (no-op in other modes).
+  Status Checkpoint();
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+  uint64_t wal_frames() const;  // committed frames currently in the WAL
+
+ private:
+  friend class PageRef;
+
+  struct CacheEntry {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    bool journaled = false;  // original content saved to rollback journal
+    int pins = 0;
+    std::list<Pgno>::iterator lru_it;
+  };
+
+  Pager(fs::ExtFs* fs, std::string db_path, const PagerOptions& options);
+
+  uint32_t fs_page_size() const;
+  Status Initialize();          // create fresh DB or load header
+  Status RecoverIfNeeded();     // hot journal / WAL recovery
+  Status LoadHeader();
+  Status WriteHeader();         // updates cached page 1 + marks dirty
+
+  StatusOr<CacheEntry*> FetchPage(Pgno pgno);
+  Status EvictIfNeeded();
+  void Unpin(Pgno pgno);
+  Status MarkPageDirty(Pgno pgno);
+
+  // Reads a page's current committed content (WAL-aware).
+  Status ReadPageFromFiles(Pgno pgno, uint8_t* out);
+  Status WritePageToDb(Pgno pgno, const uint8_t* data);
+
+  // --- rollback journal (kDelete) ------------------------------------------
+  std::string JournalPath() const { return db_path_ + "-journal"; }
+  Status EnsureJournalOpen();
+  Status JournalOriginal(Pgno pgno, const uint8_t* data);
+  Status SyncJournal(bool finalize);
+  Status DeleteJournal();
+  Status ReplayHotJournal();
+
+  // --- WAL (kWal) -----------------------------------------------------------
+  std::string WalPath() const { return db_path_ + "-wal"; }
+  Status AppendWalFrame(Pgno pgno, const uint8_t* data, uint32_t commit_size);
+  Status RecoverWal();
+  Status CheckpointWal();
+
+  fs::ExtFs* const fs_;
+  const std::string db_path_;
+  const PagerOptions options_;
+  uint32_t page_size_ = 0;
+  fs::Fd db_fd_ = -1;
+  Pgno page_count_ = 0;
+  Pgno freelist_head_ = kNoPgno;
+  uint32_t header_fields_[8] = {0};
+
+  bool in_txn_ = false;
+  bool db_dirtied_in_txn_ = false;  // stolen pages reached the DB file
+
+  std::unordered_map<Pgno, CacheEntry> cache_;
+  std::list<Pgno> lru_;
+
+  // Rollback-journal state.
+  fs::Fd journal_fd_ = -1;
+  uint32_t journal_records_ = 0;
+  bool journal_synced_ = false;
+
+  // WAL state.
+  fs::Fd wal_fd_ = -1;
+  uint64_t wal_append_off_ = 0;  // end of committed+appended frames
+  uint32_t wal_prev_crc_ = 0;
+  uint64_t wal_committed_end_ = 0;  // rollback rewinds the cursor to here
+  uint32_t wal_committed_crc_ = 0;
+  std::unordered_map<Pgno, uint64_t> wal_committed_;    // pgno -> frame offset
+  std::unordered_map<Pgno, uint64_t> wal_uncommitted_;  // current txn frames
+  uint64_t wal_frames_since_checkpoint_ = 0;
+
+  PagerStats stats_;
+};
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_PAGER_H_

@@ -1,0 +1,714 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sql/tokenizer.h"
+
+namespace xftl::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseOne() {
+    XFTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+  StatusOr<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (Peek().type != TokenType::kEnd) {
+      if (Peek().IsSymbol(";")) {
+        Advance();
+        continue;
+      }
+      XFTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (Peek().IsSymbol(";")) Advance();
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = std::min(pos_ + size_t(ahead), tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Expect(const char* keyword) {
+    if (!Peek().Is(keyword)) {
+      return Status::InvalidArgument(std::string("expected ") + keyword +
+                                     " near '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<Statement> ParseStatementInner() {
+    const Token& t = Peek();
+    if (t.Is("CREATE")) return ParseCreate();
+    if (t.Is("DROP")) return ParseDrop();
+    if (t.Is("INSERT")) return ParseInsert();
+    if (t.Is("SELECT")) {
+      XFTL_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      return Statement{std::move(s)};
+    }
+    if (t.Is("UPDATE")) return ParseUpdate();
+    if (t.Is("DELETE")) return ParseDelete();
+    if (t.Is("BEGIN")) {
+      Advance();
+      if (Peek().Is("TRANSACTION") || Peek().Is("IMMEDIATE") ||
+          Peek().Is("EXCLUSIVE") || Peek().Is("DEFERRED")) {
+        Advance();
+      }
+      return Statement{BeginStmt{}};
+    }
+    if (t.Is("COMMIT") || t.Is("END")) {
+      Advance();
+      if (Peek().Is("TRANSACTION")) Advance();
+      return Statement{CommitStmt{}};
+    }
+    if (t.Is("ROLLBACK")) {
+      Advance();
+      if (Peek().Is("TRANSACTION")) Advance();
+      return Statement{RollbackStmt{}};
+    }
+    if (t.Is("PRAGMA")) return ParsePragma();
+    return Status::InvalidArgument("unsupported statement near '" + t.text +
+                                   "'");
+  }
+
+  StatusOr<Statement> ParseCreate() {
+    XFTL_RETURN_IF_ERROR(Expect("CREATE"));
+    if (Peek().Is("TABLE")) {
+      Advance();
+      CreateTableStmt stmt;
+      if (Peek().Is("IF")) {
+        Advance();
+        XFTL_RETURN_IF_ERROR(Expect("NOT"));
+        XFTL_RETURN_IF_ERROR(Expect("EXISTS"));
+        stmt.if_not_exists = true;
+      }
+      XFTL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      XFTL_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        ColumnDef col;
+        XFTL_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+        // Optional type name (possibly multi-word, e.g. VARCHAR(16)).
+        while (Peek().type == TokenType::kIdentifier && !Peek().Is("PRIMARY")) {
+          col.type += (col.type.empty() ? "" : " ") + Advance().text;
+        }
+        if (Peek().IsSymbol("(")) {  // type size, e.g. CHAR(16)
+          Advance();
+          while (!Peek().IsSymbol(")") && Peek().type != TokenType::kEnd) {
+            Advance();
+          }
+          XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        if (Peek().Is("PRIMARY")) {
+          Advance();
+          XFTL_RETURN_IF_ERROR(Expect("KEY"));
+          col.primary_key = true;
+        }
+        if (Peek().Is("NOT")) {  // NOT NULL accepted and ignored
+          Advance();
+          XFTL_RETURN_IF_ERROR(Expect("NULL"));
+        }
+        stmt.columns.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          // Table-level PRIMARY KEY (a, b, ...): accepted; marks columns.
+          if (Peek().Is("PRIMARY")) {
+            Advance();
+            XFTL_RETURN_IF_ERROR(Expect("KEY"));
+            XFTL_RETURN_IF_ERROR(ExpectSymbol("("));
+            while (true) {
+              XFTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+              for (auto& c : stmt.columns) {
+                if (c.name == col) c.primary_key = true;
+              }
+              if (Peek().IsSymbol(",")) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+            XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+            break;
+          }
+          continue;
+        }
+        break;
+      }
+      XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Statement{std::move(stmt)};
+    }
+    if (Peek().Is("INDEX")) {
+      Advance();
+      CreateIndexStmt stmt;
+      if (Peek().Is("IF")) {
+        Advance();
+        XFTL_RETURN_IF_ERROR(Expect("NOT"));
+        XFTL_RETURN_IF_ERROR(Expect("EXISTS"));
+        stmt.if_not_exists = true;
+      }
+      XFTL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      XFTL_RETURN_IF_ERROR(Expect("ON"));
+      XFTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+      XFTL_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        XFTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.columns.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Statement{std::move(stmt)};
+    }
+    return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+  }
+
+  StatusOr<Statement> ParseDrop() {
+    XFTL_RETURN_IF_ERROR(Expect("DROP"));
+    DropStmt stmt;
+    if (Peek().Is("TABLE")) {
+      Advance();
+    } else if (Peek().Is("INDEX")) {
+      Advance();
+      stmt.is_index = true;
+    } else {
+      return Status::InvalidArgument("expected TABLE or INDEX after DROP");
+    }
+    if (Peek().Is("IF")) {
+      Advance();
+      XFTL_RETURN_IF_ERROR(Expect("EXISTS"));
+      stmt.if_exists = true;
+    }
+    XFTL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    return Statement{std::move(stmt)};
+  }
+
+  StatusOr<Statement> ParseInsert() {
+    XFTL_RETURN_IF_ERROR(Expect("INSERT"));
+    if (Peek().Is("OR")) {  // INSERT OR REPLACE/IGNORE accepted; treated as plain
+      Advance();
+      Advance();
+    }
+    XFTL_RETURN_IF_ERROR(Expect("INTO"));
+    InsertStmt stmt;
+    XFTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      while (true) {
+        XFTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.columns.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    XFTL_RETURN_IF_ERROR(Expect("VALUES"));
+    while (true) {
+      XFTL_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        XFTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    TableRef ref;
+    XFTL_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+    if (Peek().Is("AS")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier && !Peek().Is("JOIN") &&
+               !Peek().Is("WHERE") && !Peek().Is("ORDER") &&
+               !Peek().Is("LIMIT") && !Peek().Is("ON") && !Peek().Is("INNER") &&
+               !Peek().Is("SET") && !Peek().Is("GROUP") &&
+               !Peek().Is("HAVING")) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) ref.alias = ref.name;
+    return ref;
+  }
+
+  StatusOr<SelectStmt> ParseSelect() {
+    XFTL_RETURN_IF_ERROR(Expect("SELECT"));
+    SelectStmt stmt;
+    if (Peek().Is("DISTINCT")) Advance();  // accepted; projection dedup
+    while (true) {
+      SelectItem item;
+      XFTL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Peek().Is("AS")) {
+        Advance();
+        XFTL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      }
+      stmt.items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().Is("FROM")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from = std::move(ref);
+      while (true) {
+        bool is_join = false;
+        if (Peek().Is("JOIN")) {
+          Advance();
+          is_join = true;
+        } else if (Peek().Is("INNER")) {
+          Advance();
+          XFTL_RETURN_IF_ERROR(Expect("JOIN"));
+          is_join = true;
+        } else if (Peek().IsSymbol(",")) {
+          Advance();
+          is_join = true;  // comma join; ON condition comes from WHERE
+        }
+        if (!is_join) break;
+        JoinClause join;
+        XFTL_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+        if (Peek().Is("ON")) {
+          Advance();
+          XFTL_ASSIGN_OR_RETURN(join.on, ParseExpr());
+        }
+        stmt.joins.push_back(std::move(join));
+      }
+    }
+    if (Peek().Is("WHERE")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (Peek().Is("GROUP")) {
+      Advance();
+      XFTL_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        XFTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().Is("HAVING")) {
+        Advance();
+        XFTL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+      }
+    }
+    if (Peek().Is("ORDER")) {
+      Advance();
+      XFTL_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        OrderTerm term;
+        XFTL_ASSIGN_OR_RETURN(term.expr, ParseExpr());
+        if (Peek().Is("ASC")) {
+          Advance();
+        } else if (Peek().Is("DESC")) {
+          Advance();
+          term.descending = true;
+        }
+        stmt.order_by.push_back(std::move(term));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().Is("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      stmt.limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  StatusOr<Statement> ParseUpdate() {
+    XFTL_RETURN_IF_ERROR(Expect("UPDATE"));
+    UpdateStmt stmt;
+    XFTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    XFTL_RETURN_IF_ERROR(Expect("SET"));
+    while (true) {
+      XFTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      XFTL_RETURN_IF_ERROR(ExpectSymbol("="));
+      XFTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.sets.emplace_back(std::move(col), std::move(e));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().Is("WHERE")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  StatusOr<Statement> ParseDelete() {
+    XFTL_RETURN_IF_ERROR(Expect("DELETE"));
+    XFTL_RETURN_IF_ERROR(Expect("FROM"));
+    DeleteStmt stmt;
+    XFTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Peek().Is("WHERE")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  StatusOr<Statement> ParsePragma() {
+    XFTL_RETURN_IF_ERROR(Expect("PRAGMA"));
+    PragmaStmt stmt;
+    XFTL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    if (Peek().IsSymbol("=")) {
+      Advance();
+      if (Peek().type == TokenType::kIdentifier) {
+        stmt.value = Advance().text;
+      } else if (Peek().type == TokenType::kInteger) {
+        stmt.value = std::to_string(Advance().int_value);
+      } else if (Peek().type == TokenType::kString) {
+        stmt.value = Advance().text;
+      } else {
+        return Status::InvalidArgument("bad pragma value");
+      }
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  // --- expressions, precedence climbing ------------------------------------
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().Is("OR")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (Peek().Is("AND")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // Deep-copies an expression (used when desugaring repeats the operand).
+  static ExprPtr CloneExpr(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->literal = e.literal;
+    out->table = e.table;
+    out->column = e.column;
+    out->op = e.op;
+    out->func = e.func;
+    out->distinct = e.distinct;
+    if (e.lhs != nullptr) out->lhs = CloneExpr(*e.lhs);
+    if (e.rhs != nullptr) out->rhs = CloneExpr(*e.rhs);
+    for (const auto& arg : e.args) out->args.push_back(CloneExpr(*arg));
+    return out;
+  }
+
+  // x BETWEEN a AND b  ->  x >= a AND x <= b.
+  StatusOr<ExprPtr> DesugarBetween(ExprPtr lhs) {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    XFTL_RETURN_IF_ERROR(Expect("AND"));
+    XFTL_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    ExprPtr ge = MakeBinary(">=", CloneExpr(*lhs), std::move(low));
+    ExprPtr le = MakeBinary("<=", std::move(lhs), std::move(high));
+    return MakeBinary("AND", std::move(ge), std::move(le));
+  }
+
+  // x IN (a, b, c)  ->  x = a OR x = b OR x = c.
+  StatusOr<ExprPtr> DesugarIn(ExprPtr lhs) {
+    XFTL_RETURN_IF_ERROR(ExpectSymbol("("));
+    ExprPtr out;
+    while (true) {
+      XFTL_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+      ExprPtr eq = MakeBinary("=", CloneExpr(*lhs), std::move(v));
+      out = out == nullptr ? std::move(eq)
+                           : MakeBinary("OR", std::move(out), std::move(eq));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return out;
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      std::string op;
+      // x NOT IN (...) / x NOT BETWEEN a AND b.
+      if (Peek().Is("NOT") && (Peek(1).Is("IN") || Peek(1).Is("BETWEEN"))) {
+        Advance();
+        bool between = Peek().Is("BETWEEN");
+        Advance();
+        XFTL_ASSIGN_OR_RETURN(ExprPtr inner,
+                              between ? DesugarBetween(std::move(lhs))
+                                      : DesugarIn(std::move(lhs)));
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kUnary;
+        e->op = "NOT";
+        e->rhs = std::move(inner);
+        lhs = std::move(e);
+        continue;
+      }
+      if (Peek().Is("BETWEEN")) {
+        Advance();
+        XFTL_ASSIGN_OR_RETURN(lhs, DesugarBetween(std::move(lhs)));
+        continue;
+      }
+      if (Peek().Is("IN")) {
+        Advance();
+        XFTL_ASSIGN_OR_RETURN(lhs, DesugarIn(std::move(lhs)));
+        continue;
+      }
+      if (Peek().IsSymbol("=") || Peek().IsSymbol("!=") ||
+          Peek().IsSymbol("<") || Peek().IsSymbol("<=") ||
+          Peek().IsSymbol(">") || Peek().IsSymbol(">=")) {
+        op = Advance().text;
+      } else if (Peek().Is("LIKE")) {
+        Advance();
+        op = "LIKE";
+      } else if (Peek().Is("IS")) {
+        Advance();
+        if (Peek().Is("NOT")) {
+          Advance();
+          XFTL_RETURN_IF_ERROR(Expect("NULL"));
+          op = "ISNOTNULL";
+        } else {
+          XFTL_RETURN_IF_ERROR(Expect("NULL"));
+          op = "ISNULL";
+        }
+        Expr* e = new Expr();
+        e->kind = Expr::Kind::kUnary;
+        e->op = op;
+        e->rhs = std::move(lhs);
+        lhs = ExprPtr(e);
+        continue;
+      } else {
+        break;
+      }
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-") ||
+           Peek().IsSymbol("||")) {
+      std::string op = Advance().text;
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    XFTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      std::string op = Advance().text;
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "-";
+      e->rhs = std::move(rhs);
+      return ExprPtr(std::move(e));
+    }
+    if (Peek().Is("NOT")) {
+      Advance();
+      XFTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "NOT";
+      e->rhs = std::move(rhs);
+      return ExprPtr(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_unique<Expr>();
+    switch (t.type) {
+      case TokenType::kInteger:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Int(Advance().int_value);
+        return ExprPtr(std::move(e));
+      case TokenType::kReal:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Real(Advance().real_value);
+        return ExprPtr(std::move(e));
+      case TokenType::kString:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Text(Advance().text);
+        return ExprPtr(std::move(e));
+      case TokenType::kBlob:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Blob(Advance().blob_value);
+        return ExprPtr(std::move(e));
+      case TokenType::kSymbol:
+        if (t.IsSymbol("(")) {
+          Advance();
+          XFTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.IsSymbol("*")) {
+          Advance();
+          e->kind = Expr::Kind::kStar;
+          return ExprPtr(std::move(e));
+        }
+        return Status::InvalidArgument("unexpected '" + t.text + "'");
+      case TokenType::kIdentifier: {
+        if (t.Is("NULL")) {
+          Advance();
+          e->kind = Expr::Kind::kLiteral;
+          return ExprPtr(std::move(e));
+        }
+        std::string name = Advance().text;
+        if (Peek().IsSymbol("(")) {  // function call
+          Advance();
+          e->kind = Expr::Kind::kFunction;
+          e->func = name;
+          std::transform(e->func.begin(), e->func.end(), e->func.begin(),
+                         [](char c) { return char(std::toupper(c)); });
+          if (Peek().Is("DISTINCT")) {
+            Advance();
+            e->distinct = true;
+          }
+          if (!Peek().IsSymbol(")")) {
+            while (true) {
+              XFTL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+              if (Peek().IsSymbol(",")) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          XFTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ExprPtr(std::move(e));
+        }
+        e->kind = Expr::Kind::kColumn;
+        if (Peek().IsSymbol(".")) {
+          Advance();
+          e->table = name;
+          if (Peek().IsSymbol("*")) {
+            Advance();
+            e->kind = Expr::Kind::kStar;  // tbl.* projection
+            return ExprPtr(std::move(e));
+          }
+          XFTL_ASSIGN_OR_RETURN(e->column, ExpectIdentifier());
+        } else {
+          e->column = name;
+        }
+        return ExprPtr(std::move(e));
+      }
+      default:
+        return Status::InvalidArgument("unexpected end of statement");
+    }
+  }
+
+  static ExprPtr MakeBinary(const std::string& op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(const std::string& sql) {
+  XFTL_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseOne();
+}
+
+StatusOr<std::vector<Statement>> ParseScript(const std::string& sql) {
+  XFTL_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+}  // namespace xftl::sql

@@ -1,0 +1,21 @@
+// Recursive-descent parser for the MiniSQLite SQL subset (see ast.h).
+#ifndef XFTL_SQL_PARSER_H_
+#define XFTL_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace xftl::sql {
+
+// Parses a single SQL statement (a trailing ';' is allowed).
+StatusOr<Statement> ParseStatement(const std::string& sql);
+
+// Splits a script on top-level ';' and parses each statement.
+StatusOr<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_PARSER_H_

@@ -1,0 +1,122 @@
+#include "sql/record.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace xftl::sql {
+
+std::vector<uint8_t> EncodeRecord(const Row& row) {
+  std::vector<uint8_t> out;
+  out.resize(2);
+  EncodeFixed16(out.data(), uint16_t(row.size()));
+  for (const Value& v : row) {
+    out.push_back(uint8_t(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt: {
+        uint8_t buf[8];
+        EncodeFixed64(buf, uint64_t(v.AsInt()));
+        out.insert(out.end(), buf, buf + 8);
+        break;
+      }
+      case ValueType::kReal: {
+        uint8_t buf[8];
+        double d = v.AsReal();
+        std::memcpy(buf, &d, 8);
+        out.insert(out.end(), buf, buf + 8);
+        break;
+      }
+      case ValueType::kText: {
+        const std::string& s = v.text();
+        uint8_t buf[4];
+        EncodeFixed32(buf, uint32_t(s.size()));
+        out.insert(out.end(), buf, buf + 4);
+        out.insert(out.end(), s.begin(), s.end());
+        break;
+      }
+      case ValueType::kBlob: {
+        const auto& b = v.blob();
+        uint8_t buf[4];
+        EncodeFixed32(buf, uint32_t(b.size()));
+        out.insert(out.end(), buf, buf + 4);
+        out.insert(out.end(), b.begin(), b.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Row> DecodeRecord(const uint8_t* data, size_t size) {
+  if (size < 2) return Status::Corruption("record too short");
+  uint16_t count = DecodeFixed16(data);
+  size_t off = 2;
+  Row row;
+  row.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    if (off >= size) return Status::Corruption("record truncated");
+    ValueType type = ValueType(data[off++]);
+    switch (type) {
+      case ValueType::kNull:
+        row.push_back(Value::Null());
+        break;
+      case ValueType::kInt: {
+        if (off + 8 > size) return Status::Corruption("record truncated");
+        row.push_back(Value::Int(int64_t(DecodeFixed64(data + off))));
+        off += 8;
+        break;
+      }
+      case ValueType::kReal: {
+        if (off + 8 > size) return Status::Corruption("record truncated");
+        double d;
+        std::memcpy(&d, data + off, 8);
+        row.push_back(Value::Real(d));
+        off += 8;
+        break;
+      }
+      case ValueType::kText: {
+        if (off + 4 > size) return Status::Corruption("record truncated");
+        uint32_t len = DecodeFixed32(data + off);
+        off += 4;
+        if (off + len > size) return Status::Corruption("record truncated");
+        row.push_back(Value::Text(
+            std::string(reinterpret_cast<const char*>(data + off), len)));
+        off += len;
+        break;
+      }
+      case ValueType::kBlob: {
+        if (off + 4 > size) return Status::Corruption("record truncated");
+        uint32_t len = DecodeFixed32(data + off);
+        off += 4;
+        if (off + len > size) return Status::Corruption("record truncated");
+        row.push_back(Value::Blob(
+            std::vector<uint8_t>(data + off, data + off + len)));
+        off += len;
+        break;
+      }
+      default:
+        return Status::Corruption("bad value tag");
+    }
+  }
+  return row;
+}
+
+int CompareEncodedRecords(const uint8_t* a, size_t a_size, const uint8_t* b,
+                          size_t b_size) {
+  auto ra = DecodeRecord(a, a_size);
+  auto rb = DecodeRecord(b, b_size);
+  CHECK(ra.ok() && rb.ok()) << "comparing corrupt records";
+  const Row& x = ra.value();
+  const Row& y = rb.value();
+  size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = x[i].Compare(y[i]);
+    if (c != 0) return c;
+  }
+  if (x.size() == y.size()) return 0;
+  return x.size() < y.size() ? -1 : 1;
+}
+
+}  // namespace xftl::sql

@@ -1,0 +1,133 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace xftl::sql {
+
+bool Token::Is(const char* keyword) const {
+  if (type != TokenType::kIdentifier) return false;
+  size_t i = 0;
+  for (; keyword[i] != '\0' && i < text.size(); ++i) {
+    if (std::toupper(text[i]) != std::toupper(keyword[i])) return false;
+  }
+  return keyword[i] == '\0' && i == text.size();
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(uint8_t(c))) {
+      i++;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // line comment
+      while (i < n && sql[i] != '\n') i++;
+      continue;
+    }
+    // Blob literal x'ABCD'.
+    if ((c == 'x' || c == 'X') && i + 1 < n && sql[i + 1] == '\'') {
+      size_t j = i + 2;
+      Token t;
+      t.type = TokenType::kBlob;
+      while (j + 1 < n && sql[j] != '\'') {
+        auto hex = [](char h) -> int {
+          if (h >= '0' && h <= '9') return h - '0';
+          if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+          if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+          return -1;
+        };
+        int hi = hex(sql[j]), lo = hex(sql[j + 1]);
+        if (hi < 0 || lo < 0) return Status::InvalidArgument("bad blob literal");
+        t.blob_value.push_back(uint8_t(hi * 16 + lo));
+        j += 2;
+      }
+      if (j >= n || sql[j] != '\'') {
+        return Status::InvalidArgument("unterminated blob literal");
+      }
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    if (std::isalpha(uint8_t(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(uint8_t(sql[j])) || sql[j] == '_')) j++;
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.text = sql.substr(i, j - i);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(uint8_t(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(uint8_t(sql[i + 1])))) {
+      size_t j = i;
+      bool real = false;
+      while (j < n && (std::isdigit(uint8_t(sql[j])) || sql[j] == '.' ||
+                       sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') real = true;
+        j++;
+      }
+      Token t;
+      std::string text = sql.substr(i, j - i);
+      if (real) {
+        t.type = TokenType::kReal;
+        t.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      Token t;
+      t.type = TokenType::kString;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            t.text += '\'';
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        t.text += sql[j++];
+      }
+      if (j >= n) return Status::InvalidArgument("unterminated string");
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    // Multi-char operators first.
+    auto sym2 = [&](const char* s) {
+      return i + 1 < n && sql[i] == s[0] && sql[i + 1] == s[1];
+    };
+    Token t;
+    t.type = TokenType::kSymbol;
+    if (sym2("<=") || sym2(">=") || sym2("!=") || sym2("<>") || sym2("||")) {
+      t.text = sql.substr(i, 2);
+      if (t.text == "<>") t.text = "!=";
+      i += 2;
+    } else if (std::strchr("(),.*=<>+-/%;", c) != nullptr) {
+      t.text = std::string(1, c);
+      i++;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    tokens.push_back(std::move(t));
+  }
+  tokens.push_back(Token{});  // kEnd
+  return tokens;
+}
+
+}  // namespace xftl::sql

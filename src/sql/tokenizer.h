@@ -1,0 +1,44 @@
+// SQL tokenizer: identifiers/keywords, integer and real literals, 'string'
+// literals (with '' escaping), x'hex' blob literals, ?N parameters are not
+// supported (statements are textual), punctuation and operators.
+#ifndef XFTL_SQL_TOKENIZER_H_
+#define XFTL_SQL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace xftl::sql {
+
+enum class TokenType {
+  kIdentifier,  // also keywords; text preserved, upper() for matching
+  kInteger,
+  kReal,
+  kString,
+  kBlob,
+  kSymbol,  // punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // raw text (identifier/symbol) or decoded literal
+  int64_t int_value = 0;
+  double real_value = 0;
+  std::vector<uint8_t> blob_value;
+
+  // Case-insensitive keyword match.
+  bool Is(const char* keyword) const;
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+// Splits `sql` into tokens; the list always ends with a kEnd token.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_TOKENIZER_H_

@@ -1,0 +1,124 @@
+#include "sql/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xftl::sql {
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(rep_);
+    case ValueType::kReal:
+      return int64_t(std::get<double>(rep_));
+    case ValueType::kText:
+      return std::strtoll(std::get<std::string>(rep_).c_str(), nullptr, 10);
+    default:
+      return 0;
+  }
+}
+
+double Value::AsReal() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return double(std::get<int64_t>(rep_));
+    case ValueType::kReal:
+      return std::get<double>(rep_);
+    case ValueType::kText:
+      return std::strtod(std::get<std::string>(rep_).c_str(), nullptr);
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::AsText() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", std::get<double>(rep_));
+      return buf;
+    }
+    case ValueType::kText:
+      return std::get<std::string>(rep_);
+    case ValueType::kBlob: {
+      const auto& b = std::get<std::vector<uint8_t>>(rep_);
+      std::string s = "x'";
+      static const char* kHex = "0123456789abcdef";
+      for (uint8_t c : b) {
+        s += kHex[c >> 4];
+        s += kHex[c & 0xf];
+      }
+      s += "'";
+      return s;
+    }
+  }
+  return "";
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return std::get<int64_t>(rep_) != 0;
+    case ValueType::kReal:
+      return std::get<double>(rep_) != 0.0;
+    default:
+      return true;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  // Type classes: null(0) < numeric(1) < text(2) < blob(3).
+  auto cls = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kReal:
+        return 1;
+      case ValueType::kText:
+        return 2;
+      case ValueType::kBlob:
+        return 3;
+    }
+    return 0;
+  };
+  int ca = cls(type()), cb = cls(other.type());
+  if (ca != cb) return ca < cb ? -1 : 1;
+  switch (ca) {
+    case 0:
+      return 0;
+    case 1: {
+      if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+        int64_t a = std::get<int64_t>(rep_);
+        int64_t b = std::get<int64_t>(other.rep_);
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = AsReal(), b = other.AsReal();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2: {
+      const auto& a = std::get<std::string>(rep_);
+      const auto& b = std::get<std::string>(other.rep_);
+      int c = a.compare(b);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      const auto& a = std::get<std::vector<uint8_t>>(rep_);
+      const auto& b = std::get<std::vector<uint8_t>>(other.rep_);
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+      }
+      if (a.size() == b.size()) return 0;
+      return a.size() < b.size() ? -1 : 1;
+    }
+  }
+}
+
+}  // namespace xftl::sql

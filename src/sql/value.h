@@ -1,0 +1,64 @@
+// Value: the dynamic type of the MiniSQLite engine (null, integer, real,
+// text, blob) with SQLite's cross-type comparison ordering:
+// NULL < numeric < text < blob.
+#ifndef XFTL_SQL_VALUE_H_
+#define XFTL_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xftl::sql {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kText = 3,
+  kBlob = 4,
+};
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Text(std::string v) { return Value(TextTag{}, std::move(v)); }
+  static Value Blob(std::vector<uint8_t> v) { return Value(std::move(v)); }
+
+  ValueType type() const { return ValueType(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const;     // coerces real/text where sensible; 0 otherwise
+  double AsReal() const;
+  std::string AsText() const;  // human-readable rendering
+  const std::string& text() const { return std::get<std::string>(rep_); }
+  const std::vector<uint8_t>& blob() const {
+    return std::get<std::vector<uint8_t>>(rep_);
+  }
+
+  // Total order across types (SQLite semantics, NULLs first).
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  // True in a WHERE context (non-null, non-zero).
+  bool Truthy() const;
+
+ private:
+  struct TextTag {};
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  Value(TextTag, std::string v) : rep_(std::move(v)) {}
+  explicit Value(std::vector<uint8_t> v) : rep_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string,
+               std::vector<uint8_t>>
+      rep_;
+};
+
+}  // namespace xftl::sql
+
+#endif  // XFTL_SQL_VALUE_H_

@@ -1,0 +1,50 @@
+// Block-device abstractions used by the file system layer.
+//
+// BlockDevice is the classic interface: page-granular read/write/trim plus a
+// write barrier. TxBlockDevice is the paper's extended abstraction: the same
+// operations carry a transaction id, and commit/abort commands control
+// atomicity at the device (paper §4.2).
+#ifndef XFTL_STORAGE_BLOCK_DEVICE_H_
+#define XFTL_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xftl/xftl.h"
+
+namespace xftl::storage {
+
+using TxId = ftl::TxId;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t page_size() const = 0;
+  virtual uint64_t num_pages() const = 0;
+
+  virtual Status Read(uint64_t page, uint8_t* data) = 0;
+  virtual Status Write(uint64_t page, const uint8_t* data) = 0;
+  virtual Status Trim(uint64_t page) = 0;
+  // Durability barrier: all previously acknowledged writes (and the device's
+  // mapping metadata) are persistent when this returns.
+  virtual Status FlushBarrier() = 0;
+};
+
+// The extended command set. A device reports whether it actually implements
+// transactions; callers fall back to journaling when it does not.
+class TxBlockDevice : public BlockDevice {
+ public:
+  virtual bool SupportsTransactions() const = 0;
+
+  virtual Status TxRead(TxId t, uint64_t page, uint8_t* data) = 0;
+  virtual Status TxWrite(TxId t, uint64_t page, const uint8_t* data) = 0;
+  // Commit/abort are carried over the wire as extended trim commands
+  // (paper §5.2); semantically they are first-class verbs.
+  virtual Status TxCommit(TxId t) = 0;
+  virtual Status TxAbort(TxId t) = 0;
+};
+
+}  // namespace xftl::storage
+
+#endif  // XFTL_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,77 @@
+#include "storage/sata_device.h"
+
+namespace xftl::storage {
+
+SataDevice::SataDevice(ftl::FtlInterface* ftl, const SataTimings& timings,
+                       SimClock* clock)
+    : ftl_(ftl),
+      xftl_(dynamic_cast<ftl::XFtl*>(ftl)),
+      timings_(timings),
+      clock_(clock) {
+  CHECK(ftl_ != nullptr);
+}
+
+void SataDevice::ChargeCommand(bool with_transfer) {
+  SimNanos cost = timings_.command_overhead;
+  if (with_transfer) cost += timings_.transfer_per_page;
+  clock_->Advance(cost);
+}
+
+Status SataDevice::Read(uint64_t page, uint8_t* data) {
+  ChargeCommand(true);
+  stats_.read_commands++;
+  return ftl_->Read(page, data);
+}
+
+Status SataDevice::Write(uint64_t page, const uint8_t* data) {
+  ChargeCommand(true);
+  stats_.write_commands++;
+  return ftl_->Write(page, data);
+}
+
+Status SataDevice::Trim(uint64_t page) {
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  return ftl_->Trim(page);
+}
+
+Status SataDevice::FlushBarrier() {
+  ChargeCommand(false);
+  stats_.barrier_commands++;
+  return ftl_->Flush();
+}
+
+Status SataDevice::TxRead(TxId t, uint64_t page, uint8_t* data) {
+  if (xftl_ == nullptr) return Read(page, data);
+  ChargeCommand(true);
+  stats_.read_commands++;
+  return xftl_->TxRead(t, page, data);
+}
+
+Status SataDevice::TxWrite(TxId t, uint64_t page, const uint8_t* data) {
+  if (xftl_ == nullptr) return Write(page, data);
+  ChargeCommand(true);
+  stats_.write_commands++;
+  return xftl_->TxWrite(t, page, data);
+}
+
+Status SataDevice::TxCommit(TxId t) {
+  if (xftl_ == nullptr) return FlushBarrier();
+  // One extended trim command carries the commit verb.
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.commit_commands++;
+  return xftl_->TxCommit(t);
+}
+
+Status SataDevice::TxAbort(TxId t) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("abort on a non-transactional device");
+  }
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.abort_commands++;
+  return xftl_->TxAbort(t);
+}
+
+}  // namespace xftl::storage

@@ -1,0 +1,73 @@
+// SataDevice models the host <-> SSD boundary: every command pays a fixed
+// command overhead plus per-page transfer time over the link, then executes
+// on the FTL. The paper's extended commands (read/write with a transaction
+// id, commit, abort) travel the same wire; commit and abort are encoded in
+// the parameter set of trim commands, exactly as §5.2 describes for SATA.
+#ifndef XFTL_STORAGE_SATA_DEVICE_H_
+#define XFTL_STORAGE_SATA_DEVICE_H_
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/block_device.h"
+#include "xftl/xftl.h"
+
+namespace xftl::storage {
+
+struct SataTimings {
+  // Command issue, DMA setup and completion interrupt.
+  SimNanos command_overhead = Micros(20);
+  // Moving one 8 KB page across the link (SATA 2.0, ~300 MB/s).
+  SimNanos transfer_per_page = Micros(27);
+};
+
+struct SataStats {
+  uint64_t read_commands = 0;
+  uint64_t write_commands = 0;
+  uint64_t trim_commands = 0;
+  uint64_t barrier_commands = 0;
+  // Extended-parameter trims carrying commit/abort (paper §5.2).
+  uint64_t commit_commands = 0;
+  uint64_t abort_commands = 0;
+};
+
+class SataDevice : public TxBlockDevice {
+ public:
+  // `ftl` must outlive this device. If it is an XFtl, the transactional
+  // command set is available; otherwise Tx* commands degrade (TxRead/TxWrite
+  // act untagged, TxCommit acts as a barrier, TxAbort fails).
+  SataDevice(ftl::FtlInterface* ftl, const SataTimings& timings,
+             SimClock* clock);
+
+  uint32_t page_size() const override { return ftl_->page_size(); }
+  uint64_t num_pages() const override { return ftl_->num_logical_pages(); }
+
+  Status Read(uint64_t page, uint8_t* data) override;
+  Status Write(uint64_t page, const uint8_t* data) override;
+  Status Trim(uint64_t page) override;
+  Status FlushBarrier() override;
+
+  bool SupportsTransactions() const override { return xftl_ != nullptr; }
+  Status TxRead(TxId t, uint64_t page, uint8_t* data) override;
+  Status TxWrite(TxId t, uint64_t page, const uint8_t* data) override;
+  Status TxCommit(TxId t) override;
+  Status TxAbort(TxId t) override;
+
+  const SataStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SataStats{}; }
+  ftl::FtlInterface* ftl() const { return ftl_; }
+
+ private:
+  void ChargeCommand(bool with_transfer);
+
+  ftl::FtlInterface* const ftl_;
+  ftl::XFtl* const xftl_;  // non-null when ftl_ is transactional
+  const SataTimings timings_;
+  SimClock* const clock_;
+  SataStats stats_;
+};
+
+}  // namespace xftl::storage
+
+#endif  // XFTL_STORAGE_SATA_DEVICE_H_

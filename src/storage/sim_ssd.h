@@ -1,0 +1,64 @@
+// SimSsd bundles a simulated drive: NAND array + (X-)FTL + SATA front-end,
+// built from a device profile. Profiles model the two drives in the paper's
+// evaluation: the OpenSSD development board (Indilinx Barefoot, SATA 2.0)
+// and the Samsung S830 (a one-generation-newer consumer SSD on SATA 6G).
+#ifndef XFTL_STORAGE_SIM_SSD_H_
+#define XFTL_STORAGE_SIM_SSD_H_
+
+#include <memory>
+
+#include "common/sim_clock.h"
+#include "flash/flash_device.h"
+#include "storage/sata_device.h"
+#include "xftl/xftl.h"
+
+namespace xftl::storage {
+
+struct SsdSpec {
+  flash::FlashConfig flash;
+  ftl::FtlConfig ftl;
+  ftl::XftlConfig xftl;
+  SataTimings sata;
+  // Build an X-FTL (extended command set) or the original page-mapping FTL.
+  bool transactional = true;
+};
+
+// OpenSSD profile (paper §6.1): Samsung K9LCG08U1M MLC, 8 KB pages, 128
+// pages/block, Barefoot controller with 4-way interleaving, SATA 2.0.
+// `num_blocks` sizes the array; `utilization` is the fraction of the data
+// space exposed as logical pages (the GC-validity aging knob).
+SsdSpec OpenSsdSpec(uint32_t num_blocks = 512, double utilization = 0.65);
+
+// Samsung S830 profile: same MLC generation but a faster controller —
+// more interleaving, deeper write buffer, SATA 6G link.
+SsdSpec S830Spec(uint32_t num_blocks = 512, double utilization = 0.65);
+
+class SimSsd {
+ public:
+  SimSsd(const SsdSpec& spec, SimClock* clock);
+
+  SimSsd(const SimSsd&) = delete;
+  SimSsd& operator=(const SimSsd&) = delete;
+
+  SataDevice* device() { return sata_.get(); }
+  ftl::FtlInterface* ftl() { return ftl_.get(); }
+  // Null when the spec was not transactional.
+  ftl::XFtl* xftl() { return xftl_; }
+  flash::FlashDevice* flash() { return flash_.get(); }
+  SimClock* clock() { return clock_; }
+
+  // Simulated power cycle: the drive reboots and rebuilds its volatile
+  // state from flash.
+  Status PowerCycle() { return ftl_->Recover(); }
+
+ private:
+  SimClock* const clock_;
+  std::unique_ptr<flash::FlashDevice> flash_;
+  std::unique_ptr<ftl::FtlInterface> ftl_;
+  ftl::XFtl* xftl_ = nullptr;
+  std::unique_ptr<SataDevice> sata_;
+};
+
+}  // namespace xftl::storage
+
+#endif  // XFTL_STORAGE_SIM_SSD_H_

@@ -1,0 +1,327 @@
+#include "workload/android.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+
+namespace xftl::workload {
+
+const char* AndroidAppName(AndroidApp app) {
+  switch (app) {
+    case AndroidApp::kRlBenchmark:
+      return "RL Benchmark";
+    case AndroidApp::kGmail:
+      return "Gmail";
+    case AndroidApp::kFacebook:
+      return "Facebook";
+    case AndroidApp::kBrowser:
+      return "WebBrowser";
+  }
+  return "?";
+}
+
+namespace {
+
+// Target statement counts per application (paper Table 2).
+struct AppProfile {
+  int num_dbs;
+  int num_tables;
+  uint64_t selects;
+  uint64_t joins;  // subset of selects
+  uint64_t inserts;
+  uint64_t updates;
+  uint64_t deletes;
+  uint64_t ddl;  // total DDL statements (creates dominate)
+  int mean_txn_stmts;
+  uint32_t blob_bytes;  // 0 = no blob column payloads
+};
+
+AppProfile ProfileFor(AndroidApp app) {
+  switch (app) {
+    case AndroidApp::kRlBenchmark:
+      return {1, 3, 5200, 0, 51002, 26000, 2, 30, 4, 0};
+    case AndroidApp::kGmail:
+      return {2, 31, 3540, 1381, 7288, 889, 2357, 78, 5, 512};
+    case AndroidApp::kFacebook:
+      return {11, 72, 1687, 28, 2403, 430, 117, 259, 3, 3000};
+    case AndroidApp::kBrowser:
+      return {6, 26, 1954, 1351, 1261, 1813, 1373, 177, 3, 0};
+  }
+  return {};
+}
+
+class TraceBuilder {
+ public:
+  TraceBuilder(AndroidApp app, const AppProfile& profile, double scale,
+               uint64_t seed)
+      : app_(app), profile_(profile), scale_(scale), rng_(seed) {
+    trace_.app = app;
+    trace_.num_dbs = profile.num_dbs;
+  }
+
+  AppTrace Build() {
+    EmitDdl();
+    EmitBody();
+    return std::move(trace_);
+  }
+
+ private:
+  uint64_t Scaled(uint64_t n) const {
+    return std::max<uint64_t>(n == 0 ? 0 : 1, uint64_t(double(n) * scale_));
+  }
+
+  int TableDb(int table) const { return table % profile_.num_dbs; }
+  std::string TableName(int table) const {
+    return "t" + std::to_string(table);
+  }
+  int RandomTableInDb(int db) {
+    // Tables are striped over databases (table % num_dbs == db).
+    int per_db = (profile_.num_tables + profile_.num_dbs - 1) / profile_.num_dbs;
+    int k = int(rng_.Uniform(uint64_t(per_db)));
+    int table = k * profile_.num_dbs + db;
+    if (table >= profile_.num_tables) table = db;  // wrap
+    return table;
+  }
+
+  void Sql(int db, std::string sql) {
+    trace_.ops.push_back({TraceOp::Kind::kSql, db, std::move(sql)});
+  }
+
+  void EmitDdl() {
+    // Create every table (+ an index on the hot column of a few tables);
+    // remaining DDL budget goes to idempotent re-creates, which is what the
+    // real applications issue at every start-up. Scaling never drops the
+    // mandatory creates.
+    uint64_t budget =
+        std::max<uint64_t>(Scaled(profile_.ddl),
+                           uint64_t(profile_.num_tables) + 4);
+    next_id_.assign(profile_.num_tables, 0);
+    for (int t = 0; t < profile_.num_tables && budget > 0; ++t, --budget) {
+      std::string blob_col =
+          profile_.blob_bytes > 0 ? ", thumb BLOB" : ", extra TEXT";
+      Sql(TableDb(t), "CREATE TABLE IF NOT EXISTS " + TableName(t) +
+                          " (id INTEGER PRIMARY KEY, k INT, name TEXT, "
+                          "body TEXT" +
+                          blob_col + ")");
+    }
+    for (int t = 0; t < std::min(profile_.num_tables, 4) && budget > 0;
+         ++t, --budget) {
+      Sql(TableDb(t), "CREATE INDEX IF NOT EXISTS idx_" + TableName(t) +
+                          "_k ON " + TableName(t) + " (k)");
+    }
+    while (budget > 0) {
+      int t = int(rng_.Uniform(uint64_t(profile_.num_tables)));
+      Sql(TableDb(t), "CREATE TABLE IF NOT EXISTS " + TableName(t) +
+                          " (id INTEGER PRIMARY KEY, k INT, name TEXT, "
+                          "body TEXT, extra TEXT)");
+      budget--;
+    }
+  }
+
+  std::string InsertFor(int table) {
+    int64_t id = ++next_id_[table];
+    std::string body = rng_.AlphaString(40 + rng_.Uniform(120));
+    std::string extra;
+    if (profile_.blob_bytes > 0 && rng_.Bernoulli(0.3)) {
+      // Thumbnail-style blob payload.
+      std::string hex;
+      size_t n = profile_.blob_bytes / 2 + rng_.Uniform(profile_.blob_bytes);
+      static const char* kHex = "0123456789abcdef";
+      for (size_t i = 0; i < n; ++i) {
+        hex += kHex[rng_.Uniform(16)];
+        hex += kHex[rng_.Uniform(16)];
+      }
+      extra = "x'" + hex + "'";
+    } else {
+      extra = "'" + rng_.AlphaString(10) + "'";
+    }
+    return "INSERT INTO " + TableName(table) + " VALUES (" +
+           std::to_string(id) + ", " + std::to_string(rng_.Uniform(50)) +
+           ", '" + rng_.AlphaString(12) + "', '" + body + "', " + extra + ")";
+  }
+
+  std::string UpdateFor(int table) {
+    int64_t id = 1 + int64_t(rng_.Uniform(uint64_t(
+                         std::max<int64_t>(1, next_id_[table]))));
+    return "UPDATE " + TableName(table) + " SET body = '" +
+           rng_.AlphaString(60 + rng_.Uniform(100)) + "' WHERE id = " +
+           std::to_string(id);
+  }
+
+  std::string DeleteFor(int table) {
+    int64_t id = 1 + int64_t(rng_.Uniform(uint64_t(
+                         std::max<int64_t>(1, next_id_[table]))));
+    return "DELETE FROM " + TableName(table) + " WHERE id = " +
+           std::to_string(id);
+  }
+
+  std::string SelectFor(int table, bool join) {
+    if (join) {
+      // Join two tables living in the same database file.
+      int other = (table + profile_.num_dbs) % profile_.num_tables;
+      if (TableDb(other) != TableDb(table)) other = table;
+      return "SELECT a.name, b.name FROM " + TableName(table) + " a JOIN " +
+             TableName(other) + " b ON a.k = b.k WHERE a.k = " +
+             std::to_string(rng_.Uniform(50)) + " LIMIT 20";
+    }
+    if (rng_.Bernoulli(0.5)) {
+      return "SELECT * FROM " + TableName(table) + " WHERE id = " +
+             std::to_string(1 + rng_.Uniform(uint64_t(std::max<int64_t>(
+                                    1, next_id_[table]))));
+    }
+    return "SELECT COUNT(*) FROM " + TableName(table) + " WHERE k = " +
+           std::to_string(rng_.Uniform(50));
+  }
+
+  void EmitBody() {
+    enum class Kind { kInsert, kUpdate, kDelete, kSelect, kJoin };
+    std::vector<Kind> deck;
+    auto add = [&](Kind k, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) deck.push_back(k);
+    };
+    add(Kind::kInsert, Scaled(profile_.inserts));
+    add(Kind::kUpdate, Scaled(profile_.updates));
+    add(Kind::kDelete, Scaled(profile_.deletes));
+    add(Kind::kJoin, Scaled(profile_.joins));
+    add(Kind::kSelect, Scaled(profile_.selects - profile_.joins));
+    // Shuffle, but bias some inserts to the front so updates/deletes have
+    // rows to hit.
+    for (size_t i = deck.size(); i > 1; --i) {
+      std::swap(deck[i - 1], deck[rng_.Uniform(i)]);
+    }
+    std::stable_partition(deck.begin(),
+                          deck.begin() + std::min<size_t>(deck.size(), 64),
+                          [](Kind k) { return k == Kind::kInsert; });
+
+    size_t i = 0;
+    while (i < deck.size()) {
+      Kind k = deck[i];
+      if (k == Kind::kSelect || k == Kind::kJoin) {
+        int db = int(rng_.Uniform(uint64_t(profile_.num_dbs)));
+        int table = RandomTableInDb(db);
+        Sql(db, SelectFor(table, k == Kind::kJoin));
+        i++;
+        continue;
+      }
+      // Group consecutive write statements into one transaction on a single
+      // database file.
+      int db = int(rng_.Uniform(uint64_t(profile_.num_dbs)));
+      size_t txn_len = 1 + rng_.Uniform(uint64_t(2 * profile_.mean_txn_stmts - 1));
+      trace_.ops.push_back({TraceOp::Kind::kBegin, db, ""});
+      size_t done = 0;
+      while (i < deck.size() && done < txn_len) {
+        Kind kk = deck[i];
+        if (kk == Kind::kSelect || kk == Kind::kJoin) break;
+        int table = RandomTableInDb(db);
+        switch (kk) {
+          case Kind::kInsert:
+            Sql(db, InsertFor(table));
+            break;
+          case Kind::kUpdate:
+            Sql(db, UpdateFor(table));
+            break;
+          case Kind::kDelete:
+            Sql(db, DeleteFor(table));
+            break;
+          default:
+            break;
+        }
+        i++;
+        done++;
+      }
+      trace_.ops.push_back({TraceOp::Kind::kCommit, db, ""});
+    }
+  }
+
+  AndroidApp app_;
+  AppProfile profile_;
+  double scale_;
+  Rng rng_;
+  AppTrace trace_;
+  std::vector<int64_t> next_id_;
+};
+
+}  // namespace
+
+AppTrace GenerateTrace(AndroidApp app, double scale, uint64_t seed) {
+  CHECK_GT(scale, 0.0);
+  CHECK_LE(scale, 1.0);
+  TraceBuilder builder(app, ProfileFor(app), scale, seed);
+  return builder.Build();
+}
+
+StatusOr<TraceStats> AnalyzeTrace(const AppTrace& trace) {
+  TraceStats stats;
+  stats.num_db_files = trace.num_dbs;
+  std::set<std::string> tables;
+  for (const TraceOp& op : trace.ops) {
+    if (op.kind != TraceOp::Kind::kSql) continue;
+    stats.num_queries++;
+    XFTL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(op.sql));
+    if (const auto* s = std::get_if<sql::SelectStmt>(&stmt)) {
+      stats.selects++;
+      if (!s->joins.empty()) stats.joins++;
+    } else if (std::holds_alternative<sql::InsertStmt>(stmt)) {
+      stats.inserts++;
+    } else if (std::holds_alternative<sql::UpdateStmt>(stmt)) {
+      stats.updates++;
+    } else if (std::holds_alternative<sql::DeleteStmt>(stmt)) {
+      stats.deletes++;
+    } else if (const auto* c = std::get_if<sql::CreateTableStmt>(&stmt)) {
+      stats.ddl++;
+      tables.insert(std::to_string(op.db) + "/" + c->name);
+    } else {
+      stats.ddl++;
+    }
+  }
+  stats.num_tables = int(tables.size());
+  return stats;
+}
+
+StatusOr<TraceStats> ReplayTrace(Harness* harness, const AppTrace& trace) {
+  XFTL_ASSIGN_OR_RETURN(TraceStats stats, AnalyzeTrace(trace));
+  std::vector<sql::Database*> dbs(trace.num_dbs, nullptr);
+  for (int i = 0; i < trace.num_dbs; ++i) {
+    XFTL_ASSIGN_OR_RETURN(
+        dbs[i], harness->OpenDatabase(std::string(AndroidAppName(trace.app)) +
+                                      std::to_string(i) + ".db"));
+  }
+  uint64_t txns = 0;
+  auto pages_written = [&]() {
+    uint64_t total = 0;
+    for (auto* db : dbs) {
+      total += db->pager()->stats().db_page_writes +
+               db->pager()->stats().journal_page_writes;
+    }
+    return total;
+  };
+  uint64_t pages_before = pages_written();
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kBegin:
+        XFTL_RETURN_IF_ERROR(dbs[op.db]->Begin());
+        break;
+      case TraceOp::Kind::kCommit:
+        XFTL_RETURN_IF_ERROR(dbs[op.db]->Commit());
+        txns++;
+        break;
+      case TraceOp::Kind::kSql: {
+        auto r = dbs[op.db]->Exec(op.sql);
+        if (!r.ok()) {
+          return Status(r.status().code(),
+                        "replaying '" + op.sql + "': " + r.status().message());
+        }
+        break;
+      }
+    }
+  }
+  if (txns > 0) {
+    stats.avg_updated_pages_per_txn =
+        double(pages_written() - pages_before) / double(txns);
+  }
+  return stats;
+}
+
+}  // namespace xftl::workload

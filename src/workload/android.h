@@ -1,0 +1,62 @@
+// Android smartphone workloads (§6.2, Table 2): statement traces modelled on
+// the four applications the paper captured - RL Benchmark, Gmail, Facebook
+// and the web browser. The original traces are not public; these generators
+// reproduce the per-application statistics of Table 2 (files, tables, query
+// mix, join share, updated pages per transaction), which is everything the
+// paper reports about them.
+#ifndef XFTL_WORKLOAD_ANDROID_H_
+#define XFTL_WORKLOAD_ANDROID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/harness.h"
+
+namespace xftl::workload {
+
+enum class AndroidApp { kRlBenchmark, kGmail, kFacebook, kBrowser };
+const char* AndroidAppName(AndroidApp app);
+
+struct TraceOp {
+  enum class Kind { kBegin, kCommit, kSql };
+  Kind kind = Kind::kSql;
+  int db = 0;  // database file index
+  std::string sql;
+};
+
+struct AppTrace {
+  AndroidApp app;
+  int num_dbs = 1;
+  std::vector<TraceOp> ops;
+};
+
+// Statistics in the shape of the paper's Table 2.
+struct TraceStats {
+  int num_db_files = 0;
+  int num_tables = 0;
+  uint64_t num_queries = 0;
+  uint64_t selects = 0;
+  uint64_t joins = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t ddl = 0;
+  double avg_updated_pages_per_txn = 0;  // filled by the replayer
+};
+
+// Generates a trace for `app`. `scale` in (0, 1] shrinks the statement
+// counts proportionally (1.0 reproduces Table 2's volumes).
+AppTrace GenerateTrace(AndroidApp app, double scale = 1.0, uint64_t seed = 7);
+
+// Derives Table 2 statistics from a trace by parsing its statements.
+StatusOr<TraceStats> AnalyzeTrace(const AppTrace& trace);
+
+// Replays a trace against the harness (opens one database per file).
+// Returns statistics including the measured updated-pages-per-transaction.
+StatusOr<TraceStats> ReplayTrace(Harness* harness, const AppTrace& trace);
+
+}  // namespace xftl::workload
+
+#endif  // XFTL_WORKLOAD_ANDROID_H_

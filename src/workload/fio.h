@@ -1,0 +1,37 @@
+// FIO-style file-system benchmark (§6.3.4, Figures 8-9): N threads perform
+// random page-sized writes to a preallocated file, issuing fsync every
+// `writes_per_fsync` writes. Threads are simulated as interleaved request
+// streams over the single simulated SATA queue (SATA has one outstanding
+// command anyway), each with its own file and open transaction.
+#ifndef XFTL_WORKLOAD_FIO_H_
+#define XFTL_WORKLOAD_FIO_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "fs/ext_fs.h"
+
+namespace xftl::workload {
+
+struct FioConfig {
+  uint32_t threads = 1;
+  uint64_t file_pages = 4096;       // per-thread file size in pages
+  uint32_t writes_per_fsync = 5;    // the paper sweeps 1/5/10/15/20
+  uint64_t total_writes = 10000;    // across all threads
+  uint64_t seed = 3;
+};
+
+struct FioResult {
+  uint64_t writes = 0;
+  SimNanos elapsed = 0;
+  double Iops() const {
+    return elapsed == 0 ? 0.0 : double(writes) / NanosToSeconds(elapsed);
+  }
+};
+
+// Preallocates the files and runs the write/fsync loops.
+StatusOr<FioResult> RunFio(fs::ExtFs* fs, const FioConfig& config);
+
+}  // namespace xftl::workload
+
+#endif  // XFTL_WORKLOAD_FIO_H_

@@ -1,0 +1,117 @@
+// Benchmark harness: assembles the full stack (flash -> FTL/X-FTL -> SATA ->
+// ext-like FS -> MiniSQLite) for one experimental configuration, mirroring
+// the paper's three setups:
+//
+//   RBJ   SQLite rollback-journal mode on ext4 (ordered) on the original FTL
+//   WAL   SQLite write-ahead-log mode  on ext4 (ordered) on the original FTL
+//   X-FTL SQLite journaling off        on ext4 (off)     on X-FTL
+//
+// plus optional device aging to a target GC valid-page ratio (Figure 5's
+// 30/50/70% knob), and a stats snapshot covering every column of Table 1.
+#ifndef XFTL_WORKLOAD_HARNESS_H_
+#define XFTL_WORKLOAD_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "fs/ext_fs.h"
+#include "sql/database.h"
+#include "storage/sim_ssd.h"
+
+namespace xftl::workload {
+
+// The three end-to-end configurations the paper compares.
+enum class Setup { kRbj, kWal, kXftl };
+const char* SetupName(Setup setup);
+
+struct HarnessConfig {
+  Setup setup = Setup::kXftl;
+  // Device geometry (defaults to the OpenSSD profile; utilization is
+  // overridden by `gc_valid_target` when aging is requested).
+  uint32_t device_blocks = 256;
+  // Age the device so GC victims carry ~this fraction of valid pages
+  // (0 disables aging and uses a moderate default utilization).
+  double gc_valid_target = 0.0;
+  // Use the S830 profile instead of OpenSSD (Figure 9).
+  bool s830 = false;
+  uint32_t fs_cache_pages = 512;
+  // SQLite's default page-cache is ~2000 pages; the paper ran stock SQLite.
+  uint32_t db_cache_pages = 2000;
+  uint32_t wal_autocheckpoint = 1000;
+  uint64_t seed = 42;
+};
+
+// Everything Table 1 reports, for one measured interval.
+struct IoSnapshot {
+  // Host side.
+  uint64_t sqlite_db_writes = 0;       // pages written to database files
+  uint64_t sqlite_journal_writes = 0;  // pages written to journal/WAL files
+  uint64_t fs_meta_writes = 0;         // file-system metadata + journal
+  uint64_t fsync_calls = 0;
+  // FTL side.
+  uint64_t ftl_page_writes = 0;  // incl. GC copy-backs and mapping pages
+  uint64_t ftl_page_reads = 0;
+  uint64_t gc_count = 0;
+  uint64_t erase_count = 0;
+  double gc_valid_ratio = 0.0;
+  // Time.
+  SimNanos elapsed = 0;
+};
+
+class Harness {
+ public:
+  explicit Harness(const HarnessConfig& config);
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  // Builds the stack: device (+aging), mkfs, mount. Call once.
+  Status Setup();
+
+  // Opens (or reopens) a database file on the mounted file system with the
+  // configured journal mode.
+  StatusOr<sql::Database*> OpenDatabase(const std::string& name);
+  Status CloseDatabase(const std::string& name);
+
+  // Simulated crash: databases and file system are torn down, the device
+  // power-cycles and recovers, and the file system remounts. Databases must
+  // be reopened (their open runs host-side recovery).
+  Status CrashAndRecover();
+
+  // Measured GC validity achieved by aging (0 when aging was disabled).
+  double aged_validity() const { return aged_validity_; }
+
+  SimClock* clock() { return &clock_; }
+  fs::ExtFs* fs() { return fs_.get(); }
+  storage::SimSsd* ssd() { return ssd_.get(); }
+  sql::SqlJournalMode sql_mode() const;
+
+  // Marks the start of a measured interval / produces its Table-1 row.
+  void StartMeasurement();
+  IoSnapshot Snapshot() const;
+
+ private:
+  struct Baseline {
+    uint64_t db_writes = 0, journal_writes = 0, fs_meta = 0, fsyncs = 0;
+    uint64_t ftl_writes = 0, ftl_reads = 0, gc_runs = 0, erases = 0;
+    uint64_t gc_valid_seen = 0;
+    SimNanos time = 0;
+  };
+  Baseline Collect() const;
+
+  const HarnessConfig config_;
+  SimClock clock_;
+  std::unique_ptr<storage::SimSsd> ssd_;
+  std::unique_ptr<fs::ExtFs> fs_;
+  std::vector<std::pair<std::string, std::unique_ptr<sql::Database>>> dbs_;
+  double aged_validity_ = 0.0;
+  Baseline baseline_;
+};
+
+}  // namespace xftl::workload
+
+#endif  // XFTL_WORKLOAD_HARNESS_H_

@@ -1,0 +1,380 @@
+#include "workload/tpcc.h"
+
+namespace xftl::workload {
+
+TpccMix WriteIntensiveMix() { return {4, 4, 43, 4, 45}; }
+TpccMix ReadIntensiveMix() { return {0, 50, 0, 45, 5}; }
+TpccMix SelectionOnlyMix() { return {0, 100, 0, 0, 0}; }
+TpccMix JoinOnlyMix() { return {0, 0, 0, 100, 0}; }
+
+Status Tpcc::Exec(const std::string& sql) { return db_->Exec(sql).status(); }
+
+StatusOr<sql::ResultSet> Tpcc::Query(const std::string& sql) {
+  return db_->Exec(sql);
+}
+
+Status Tpcc::Load() {
+  static const char* kSchema = R"sql(
+    CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_name TEXT,
+      w_city TEXT, w_tax REAL, w_ytd REAL);
+    CREATE TABLE district (d_key INTEGER PRIMARY KEY, d_id INT, d_w_id INT,
+      d_name TEXT, d_tax REAL, d_ytd REAL, d_next_o_id INT);
+    CREATE TABLE customer (c_key INTEGER PRIMARY KEY, c_id INT, c_d_id INT,
+      c_w_id INT, c_last TEXT, c_first TEXT, c_balance REAL, c_ytd_payment REAL,
+      c_payment_cnt INT, c_delivery_cnt INT, c_data TEXT);
+    CREATE TABLE history (h_key INTEGER PRIMARY KEY, h_c_id INT, h_c_d_id INT,
+      h_c_w_id INT, h_d_id INT, h_w_id INT, h_amount REAL, h_data TEXT);
+    CREATE TABLE orders (o_key INTEGER PRIMARY KEY, o_id INT, o_d_id INT,
+      o_w_id INT, o_c_id INT, o_carrier_id INT, o_ol_cnt INT, o_all_local INT);
+    CREATE TABLE new_order (no_key INTEGER PRIMARY KEY, no_o_id INT,
+      no_d_id INT, no_w_id INT);
+    CREATE TABLE order_line (ol_key INTEGER PRIMARY KEY, ol_o_id INT,
+      ol_d_id INT, ol_w_id INT, ol_number INT, ol_i_id INT,
+      ol_supply_w_id INT, ol_quantity INT, ol_amount REAL, ol_dist_info TEXT);
+    CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_name TEXT, i_price REAL,
+      i_data TEXT);
+    CREATE TABLE stock (s_key INTEGER PRIMARY KEY, s_i_id INT, s_w_id INT,
+      s_quantity INT, s_ytd INT, s_order_cnt INT, s_remote_cnt INT,
+      s_data TEXT);
+    CREATE INDEX idx_district ON district (d_w_id, d_id);
+    CREATE INDEX idx_customer ON customer (c_w_id, c_d_id, c_id);
+    CREATE INDEX idx_customer_name ON customer (c_w_id, c_d_id, c_last);
+    CREATE INDEX idx_orders ON orders (o_w_id, o_d_id, o_id);
+    CREATE INDEX idx_orders_cust ON orders (o_w_id, o_d_id, o_c_id);
+    CREATE INDEX idx_new_order ON new_order (no_w_id, no_d_id, no_o_id);
+    CREATE INDEX idx_order_line ON order_line (ol_w_id, ol_d_id, ol_o_id);
+    CREATE INDEX idx_stock ON stock (s_w_id, s_i_id);
+  )sql";
+  XFTL_RETURN_IF_ERROR(Exec(kSchema));
+
+  static const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+
+  XFTL_RETURN_IF_ERROR(db_->Begin());
+  // Items.
+  for (int i = 1; i <= scale_.items; ++i) {
+    XFTL_RETURN_IF_ERROR(
+        Exec("INSERT INTO item VALUES (" + std::to_string(i) + ", 'item-" +
+             std::to_string(i) + "', " +
+             std::to_string(1.0 + double(rng_.Uniform(9900)) / 100.0) + ", '" +
+             rng_.AlphaString(26) + "')"));
+  }
+  XFTL_RETURN_IF_ERROR(db_->Commit());
+
+  int d_key = 0, c_key = 0, o_key = 0, ol_key = 0, no_key = 0, s_key = 0;
+  for (int w = 1; w <= scale_.warehouses; ++w) {
+    XFTL_RETURN_IF_ERROR(db_->Begin());
+    XFTL_RETURN_IF_ERROR(Exec("INSERT INTO warehouse VALUES (" +
+                              std::to_string(w) + ", 'wh-" + std::to_string(w) +
+                              "', '" + rng_.AlphaString(10) + "', 0.07, 0.0)"));
+    // Stock for every item.
+    for (int i = 1; i <= scale_.items; ++i) {
+      XFTL_RETURN_IF_ERROR(Exec(
+          "INSERT INTO stock VALUES (" + std::to_string(++s_key) + ", " +
+          std::to_string(i) + ", " + std::to_string(w) + ", " +
+          std::to_string(10 + rng_.Uniform(91)) + ", 0, 0, 0, '" +
+          rng_.AlphaString(26) + "')"));
+    }
+    XFTL_RETURN_IF_ERROR(db_->Commit());
+
+    for (int d = 1; d <= scale_.districts_per_warehouse; ++d) {
+      XFTL_RETURN_IF_ERROR(db_->Begin());
+      XFTL_RETURN_IF_ERROR(
+          Exec("INSERT INTO district VALUES (" + std::to_string(++d_key) +
+               ", " + std::to_string(d) + ", " + std::to_string(w) +
+               ", 'd-" + std::to_string(d) + "', 0.05, 0.0, " +
+               std::to_string(scale_.initial_orders_per_district + 1) + ")"));
+      for (int c = 1; c <= scale_.customers_per_district; ++c) {
+        const char* last = kLastNames[rng_.Uniform(10)];
+        XFTL_RETURN_IF_ERROR(Exec(
+            "INSERT INTO customer VALUES (" + std::to_string(++c_key) + ", " +
+            std::to_string(c) + ", " + std::to_string(d) + ", " +
+            std::to_string(w) + ", '" + last + "', '" + rng_.AlphaString(8) +
+            "', -10.0, 10.0, 1, 0, '" + rng_.AlphaString(50) + "')"));
+      }
+      // Initial orders; the most recent third stay undelivered (new_order).
+      for (int o = 1; o <= scale_.initial_orders_per_district; ++o) {
+        int ol_cnt = 5 + int(rng_.Uniform(11));
+        bool undelivered = o > (2 * scale_.initial_orders_per_district) / 3;
+        XFTL_RETURN_IF_ERROR(Exec(
+            "INSERT INTO orders VALUES (" + std::to_string(++o_key) + ", " +
+            std::to_string(o) + ", " + std::to_string(d) + ", " +
+            std::to_string(w) + ", " +
+            std::to_string(1 + rng_.Uniform(scale_.customers_per_district)) +
+            ", " + (undelivered ? "NULL" : std::to_string(1 + rng_.Uniform(10))) +
+            ", " + std::to_string(ol_cnt) + ", 1)"));
+        if (undelivered) {
+          XFTL_RETURN_IF_ERROR(
+              Exec("INSERT INTO new_order VALUES (" +
+                   std::to_string(++no_key) + ", " + std::to_string(o) + ", " +
+                   std::to_string(d) + ", " + std::to_string(w) + ")"));
+        }
+        for (int l = 1; l <= ol_cnt; ++l) {
+          XFTL_RETURN_IF_ERROR(Exec(
+              "INSERT INTO order_line VALUES (" + std::to_string(++ol_key) +
+              ", " + std::to_string(o) + ", " + std::to_string(d) + ", " +
+              std::to_string(w) + ", " + std::to_string(l) + ", " +
+              std::to_string(1 + rng_.Uniform(scale_.items)) + ", " +
+              std::to_string(w) + ", 5, " +
+              std::to_string(double(rng_.Uniform(9999)) / 100.0) + ", '" +
+              rng_.AlphaString(24) + "')"));
+        }
+      }
+      XFTL_RETURN_IF_ERROR(db_->Commit());
+    }
+  }
+  // Quiesce after the load (DBT-2 measures steady state): in WAL mode this
+  // folds the load's frames back into the database file.
+  return db_->Checkpoint();
+}
+
+Status Tpcc::NewOrder() {
+  int w = RandomWarehouse();
+  int d = RandomDistrict();
+  int c = RandomCustomer();
+  int ol_cnt = 5 + int(rng_.Uniform(11));
+
+  XFTL_RETURN_IF_ERROR(db_->Begin());
+  auto finish = [&](Status s) {
+    if (!s.ok()) (void)db_->Rollback();
+    return s;
+  };
+
+  XFTL_ASSIGN_OR_RETURN(
+      auto dist, Query("SELECT d_key, d_tax, d_next_o_id FROM district "
+                       "WHERE d_w_id = " + std::to_string(w) +
+                       " AND d_id = " + std::to_string(d)));
+  if (dist.rows.empty()) return finish(Status::NotFound("district"));
+  int64_t d_key = dist.rows[0][0].AsInt();
+  int64_t o_id = dist.rows[0][2].AsInt();
+  XFTL_RETURN_IF_ERROR(finish(
+      Exec("UPDATE district SET d_next_o_id = " + std::to_string(o_id + 1) +
+           " WHERE d_key = " + std::to_string(d_key))));
+
+  XFTL_RETURN_IF_ERROR(finish(Exec(
+      "SELECT c_balance, c_last FROM customer WHERE c_w_id = " +
+      std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+      " AND c_id = " + std::to_string(c))));
+
+  XFTL_RETURN_IF_ERROR(finish(
+      Exec("INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_carrier_id, "
+           "o_ol_cnt, o_all_local) VALUES (" + std::to_string(o_id) + ", " +
+           std::to_string(d) + ", " + std::to_string(w) + ", " +
+           std::to_string(c) + ", NULL, " + std::to_string(ol_cnt) + ", 1)")));
+  XFTL_RETURN_IF_ERROR(finish(
+      Exec("INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (" +
+           std::to_string(o_id) + ", " + std::to_string(d) + ", " +
+           std::to_string(w) + ")")));
+
+  for (int l = 1; l <= ol_cnt; ++l) {
+    int item = RandomItem();
+    XFTL_ASSIGN_OR_RETURN(
+        auto price, Query("SELECT i_price FROM item WHERE i_id = " +
+                          std::to_string(item)));
+    if (price.rows.empty()) return finish(Status::NotFound("item"));
+    XFTL_ASSIGN_OR_RETURN(
+        auto stock, Query("SELECT s_key, s_quantity FROM stock WHERE s_w_id = " +
+                          std::to_string(w) +
+                          " AND s_i_id = " + std::to_string(item)));
+    if (stock.rows.empty()) return finish(Status::NotFound("stock"));
+    int64_t s_key = stock.rows[0][0].AsInt();
+    int64_t qty = stock.rows[0][1].AsInt();
+    int64_t order_qty = 1 + int64_t(rng_.Uniform(10));
+    int64_t new_qty = qty >= order_qty + 10 ? qty - order_qty
+                                            : qty - order_qty + 91;
+    XFTL_RETURN_IF_ERROR(finish(Exec(
+        "UPDATE stock SET s_quantity = " + std::to_string(new_qty) +
+        ", s_ytd = s_ytd + " + std::to_string(order_qty) +
+        ", s_order_cnt = s_order_cnt + 1 WHERE s_key = " +
+        std::to_string(s_key))));
+    double amount = double(order_qty) * price.rows[0][0].AsReal();
+    XFTL_RETURN_IF_ERROR(finish(Exec(
+        "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+        "ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_dist_info) "
+        "VALUES (" + std::to_string(o_id) + ", " + std::to_string(d) + ", " +
+        std::to_string(w) + ", " + std::to_string(l) + ", " +
+        std::to_string(item) + ", " + std::to_string(w) + ", " +
+        std::to_string(order_qty) + ", " + std::to_string(amount) + ", '" +
+        rng_.AlphaString(24) + "')")));
+  }
+  return db_->Commit();
+}
+
+Status Tpcc::Payment() {
+  int w = RandomWarehouse();
+  int d = RandomDistrict();
+  double amount = 1.0 + double(rng_.Uniform(499900)) / 100.0;
+
+  XFTL_RETURN_IF_ERROR(db_->Begin());
+  auto finish = [&](Status s) {
+    if (!s.ok()) (void)db_->Rollback();
+    return s;
+  };
+  XFTL_RETURN_IF_ERROR(finish(
+      Exec("UPDATE warehouse SET w_ytd = w_ytd + " + std::to_string(amount) +
+           " WHERE w_id = " + std::to_string(w))));
+  XFTL_RETURN_IF_ERROR(finish(
+      Exec("UPDATE district SET d_ytd = d_ytd + " + std::to_string(amount) +
+           " WHERE d_w_id = " + std::to_string(w) +
+           " AND d_id = " + std::to_string(d))));
+
+  // 60% select customer by last name, 40% by id (TPC-C 2.5.2.2).
+  int64_t c_key;
+  if (rng_.Bernoulli(0.6)) {
+    static const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                       "PRES",  "ESE",   "ANTI", "CALLY",
+                                       "ATION", "EING"};
+    XFTL_ASSIGN_OR_RETURN(
+        auto rows,
+        Query("SELECT c_key FROM customer WHERE c_w_id = " +
+              std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+              " AND c_last = '" + kLastNames[rng_.Uniform(10)] +
+              "' ORDER BY c_first"));
+    if (rows.rows.empty()) {
+      // No customer with that name in the scaled-down data set: fall back.
+      XFTL_ASSIGN_OR_RETURN(
+          rows, Query("SELECT c_key FROM customer WHERE c_w_id = " +
+                      std::to_string(w) + " AND c_d_id = " +
+                      std::to_string(d) + " AND c_id = " +
+                      std::to_string(RandomCustomer())));
+    }
+    if (rows.rows.empty()) return finish(Status::NotFound("customer"));
+    c_key = rows.rows[size_t(rows.rows.size() / 2)][0].AsInt();
+  } else {
+    XFTL_ASSIGN_OR_RETURN(
+        auto rows, Query("SELECT c_key FROM customer WHERE c_w_id = " +
+                         std::to_string(w) + " AND c_d_id = " +
+                         std::to_string(d) + " AND c_id = " +
+                         std::to_string(RandomCustomer())));
+    if (rows.rows.empty()) return finish(Status::NotFound("customer"));
+    c_key = rows.rows[0][0].AsInt();
+  }
+  XFTL_RETURN_IF_ERROR(finish(Exec(
+      "UPDATE customer SET c_balance = c_balance - " + std::to_string(amount) +
+      ", c_ytd_payment = c_ytd_payment + " + std::to_string(amount) +
+      ", c_payment_cnt = c_payment_cnt + 1 WHERE c_key = " +
+      std::to_string(c_key))));
+  XFTL_RETURN_IF_ERROR(finish(Exec(
+      "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, "
+      "h_amount, h_data) VALUES (" + std::to_string(c_key) + ", " +
+      std::to_string(d) + ", " + std::to_string(w) + ", " + std::to_string(d) +
+      ", " + std::to_string(w) + ", " + std::to_string(amount) + ", '" +
+      rng_.AlphaString(18) + "')")));
+  return db_->Commit();
+}
+
+Status Tpcc::OrderStatus() {
+  int w = RandomWarehouse();
+  int d = RandomDistrict();
+  int c = RandomCustomer();
+  XFTL_RETURN_IF_ERROR(
+      Exec("SELECT c_balance, c_first, c_last FROM customer WHERE c_w_id = " +
+           std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+           " AND c_id = " + std::to_string(c)));
+  XFTL_ASSIGN_OR_RETURN(
+      auto orders, Query("SELECT o_id, o_carrier_id FROM orders WHERE "
+                         "o_w_id = " + std::to_string(w) + " AND o_d_id = " +
+                         std::to_string(d) + " AND o_c_id = " +
+                         std::to_string(c) +
+                         " ORDER BY o_id DESC LIMIT 1"));
+  if (!orders.rows.empty()) {
+    XFTL_RETURN_IF_ERROR(Exec(
+        "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE "
+        "ol_w_id = " + std::to_string(w) + " AND ol_d_id = " +
+        std::to_string(d) + " AND ol_o_id = " +
+        std::to_string(orders.rows[0][0].AsInt())));
+  }
+  return Status::OK();
+}
+
+Status Tpcc::Delivery() {
+  int w = RandomWarehouse();
+  int carrier = 1 + int(rng_.Uniform(10));
+  XFTL_RETURN_IF_ERROR(db_->Begin());
+  auto finish = [&](Status s) {
+    if (!s.ok()) (void)db_->Rollback();
+    return s;
+  };
+  for (int d = 1; d <= scale_.districts_per_warehouse; ++d) {
+    XFTL_ASSIGN_OR_RETURN(
+        auto oldest,
+        Query("SELECT no_key, no_o_id FROM new_order WHERE no_w_id = " +
+              std::to_string(w) + " AND no_d_id = " + std::to_string(d) +
+              " ORDER BY no_o_id ASC LIMIT 1"));
+    if (oldest.rows.empty()) continue;
+    int64_t no_key = oldest.rows[0][0].AsInt();
+    int64_t o_id = oldest.rows[0][1].AsInt();
+    XFTL_RETURN_IF_ERROR(finish(Exec("DELETE FROM new_order WHERE no_key = " +
+                                     std::to_string(no_key))));
+    XFTL_RETURN_IF_ERROR(finish(Exec(
+        "UPDATE orders SET o_carrier_id = " + std::to_string(carrier) +
+        " WHERE o_w_id = " + std::to_string(w) + " AND o_d_id = " +
+        std::to_string(d) + " AND o_id = " + std::to_string(o_id))));
+    XFTL_ASSIGN_OR_RETURN(
+        auto sum, Query("SELECT SUM(ol_amount), MIN(ol_o_id) FROM order_line "
+                        "WHERE ol_w_id = " + std::to_string(w) +
+                        " AND ol_d_id = " + std::to_string(d) +
+                        " AND ol_o_id = " + std::to_string(o_id)));
+    double total =
+        sum.rows.empty() ? 0.0 : sum.rows[0][0].AsReal();
+    XFTL_RETURN_IF_ERROR(finish(Exec(
+        "UPDATE customer SET c_balance = c_balance + " +
+        std::to_string(total) +
+        ", c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = " +
+        std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+        " AND c_id = " + std::to_string(1 + rng_.Uniform(
+                             scale_.customers_per_district)))));
+  }
+  return db_->Commit();
+}
+
+Status Tpcc::StockLevel() {
+  int w = RandomWarehouse();
+  int d = RandomDistrict();
+  int threshold = 10 + int(rng_.Uniform(11));
+  XFTL_ASSIGN_OR_RETURN(
+      auto next, Query("SELECT d_next_o_id FROM district WHERE d_w_id = " +
+                       std::to_string(w) + " AND d_id = " +
+                       std::to_string(d)));
+  if (next.rows.empty()) return Status::NotFound("district");
+  int64_t o_id = next.rows[0][0].AsInt();
+  // The classic join: distinct items in the last 20 orders whose stock is
+  // below the threshold.
+  return Exec(
+      "SELECT COUNT(DISTINCT s.s_i_id) FROM order_line ol JOIN stock s ON "
+      "s.s_i_id = ol.ol_i_id AND s.s_w_id = ol.ol_w_id WHERE ol.ol_w_id = " +
+      std::to_string(w) + " AND ol.ol_d_id = " + std::to_string(d) +
+      " AND ol.ol_o_id >= " + std::to_string(o_id - 20) +
+      " AND s.s_quantity < " + std::to_string(threshold));
+}
+
+StatusOr<TpccResult> Tpcc::Run(const TpccMix& mix, uint64_t transactions) {
+  int total = mix.delivery + mix.order_status + mix.payment +
+              mix.stock_level + mix.new_order;
+  if (total != 100) return Status::InvalidArgument("mix must sum to 100");
+  TpccResult result;
+  SimNanos start = clock_->Now();
+  for (uint64_t i = 0; i < transactions; ++i) {
+    int pick = int(rng_.Uniform(100));
+    Status s;
+    if (pick < mix.delivery) {
+      s = Delivery();
+    } else if (pick < mix.delivery + mix.order_status) {
+      s = OrderStatus();
+    } else if (pick < mix.delivery + mix.order_status + mix.payment) {
+      s = Payment();
+    } else if (pick <
+               mix.delivery + mix.order_status + mix.payment + mix.stock_level) {
+      s = StockLevel();
+    } else {
+      s = NewOrder();
+    }
+    XFTL_RETURN_IF_ERROR(s);
+    result.transactions++;
+  }
+  result.elapsed = clock_->Now() - start;
+  return result;
+}
+
+}  // namespace xftl::workload

@@ -1,0 +1,96 @@
+// TPC-C on MiniSQLite (§6.3.3): the nine-table schema, a scaled loader, the
+// five transaction types, and the paper's four mixes (Table 3). The paper
+// used DBT-2 with 10 warehouses and a single connection (SQLite locks whole
+// files); we reproduce the benchmark definition with configurable scale so
+// it runs in simulation.
+#ifndef XFTL_WORKLOAD_TPCC_H_
+#define XFTL_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sql/database.h"
+
+namespace xftl::workload {
+
+struct TpccScale {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;   // TPC-C spec: 3000
+  int items = 1000;                  // TPC-C spec: 100000
+  int initial_orders_per_district = 30;
+  uint64_t seed = 11;
+};
+
+// Transaction mix in percent (paper Table 3 column order).
+struct TpccMix {
+  int delivery = 0;
+  int order_status = 0;
+  int payment = 0;
+  int stock_level = 0;
+  int new_order = 0;
+};
+
+// The paper's four workloads (Table 3).
+TpccMix WriteIntensiveMix();   // 4 / 4 / 43 / 4 / 45
+TpccMix ReadIntensiveMix();    // 0 / 50 / 0 / 45 / 5
+TpccMix SelectionOnlyMix();    // 0 / 100 / 0 / 0 / 0
+TpccMix JoinOnlyMix();         // 0 / 0 / 0 / 100 / 0
+
+struct TpccResult {
+  uint64_t transactions = 0;
+  SimNanos elapsed = 0;
+  // Transactions per simulated minute (the paper's Table 4 metric counts
+  // all completed transactions).
+  double tpm() const {
+    return elapsed == 0 ? 0.0
+                        : double(transactions) / (NanosToSeconds(elapsed) / 60.0);
+  }
+};
+
+class Tpcc {
+ public:
+  // `clock` is the simulation clock of the stack under test; Run() reports
+  // elapsed simulated time from it.
+  Tpcc(sql::Database* db, SimClock* clock, const TpccScale& scale)
+      : db_(db), clock_(clock), scale_(scale), rng_(scale.seed) {}
+
+  // Creates the schema + indexes and loads initial data.
+  Status Load();
+
+  // Runs `transactions` of the given mix and reports throughput.
+  StatusOr<TpccResult> Run(const TpccMix& mix, uint64_t transactions);
+
+  // Individual transactions (exposed for tests).
+  Status NewOrder();
+  Status Payment();
+  Status OrderStatus();
+  Status Delivery();
+  Status StockLevel();
+
+ private:
+  Status Exec(const std::string& sql);
+  StatusOr<sql::ResultSet> Query(const std::string& sql);
+  int RandomWarehouse() { return 1 + int(rng_.Uniform(scale_.warehouses)); }
+  int RandomDistrict() {
+    return 1 + int(rng_.Uniform(scale_.districts_per_warehouse));
+  }
+  int RandomCustomer() {
+    return 1 + int(rng_.NuRand(255, 1, scale_.customers_per_district, 123) %
+                   scale_.customers_per_district);
+  }
+  int RandomItem() {
+    return 1 + int(rng_.NuRand(8191, 1, scale_.items, 5677) % scale_.items);
+  }
+
+  sql::Database* const db_;
+  SimClock* const clock_;
+  const TpccScale scale_;
+  Rng rng_;
+};
+
+}  // namespace xftl::workload
+
+#endif  // XFTL_WORKLOAD_TPCC_H_

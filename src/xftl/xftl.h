@@ -1,0 +1,149 @@
+// X-FTL: the paper's transactional flash translation layer (SIGMOD'13, §4-5).
+//
+// X-FTL extends a page-mapping FTL with a small transactional mapping table,
+// the X-L2P, holding one entry (tid, lpn, new_ppn, status) per page updated
+// by an in-flight transaction, and four extended commands:
+//
+//   TxWrite(t, p)  copy-on-write update of p, recorded under t; the old
+//                  committed copy stays in the L2P, so nothing is lost if t
+//                  aborts. Re-writing the same page just swaps the entry's
+//                  physical address.
+//   TxRead(t, p)   t sees its own uncommitted version; everyone else reads
+//                  the committed copy through the L2P.
+//   TxCommit(t)    data barrier, mark entries COMMITTED, persist the X-L2P
+//                  table copy-on-write (1-2 flash pages - this is the whole
+//                  durability cost of a transaction), then fold the new
+//                  addresses into the L2P.
+//   TxAbort(t)     invalidate t's new pages; the L2P still has the old
+//                  versions. Nothing needs to be written.
+//
+// Garbage collection keeps every page referenced by either table alive
+// (PageFtl's validity bitmaps already reflect that because TxWrite marks new
+// pages valid without invalidating old ones) and re-points X-L2P entries when
+// it relocates their pages.
+//
+// Crash recovery (paper §5.4): load the latest durable X-L2P snapshot,
+// re-apply COMMITTED entries to the L2P (idempotent), and discard
+// ACTIVE/ABORTED entries - their pages simply remain unreferenced garbage.
+//
+// Engineering note beyond the paper's prose: a committed entry stays in the
+// table until the next L2P checkpoint covers its mapping; only then is the
+// slot reused. Otherwise a crash after slot reuse could lose a committed
+// mapping that existed nowhere durable. When the table fills up with such
+// retained entries, X-FTL forces a mapping checkpoint and reclaims them.
+#ifndef XFTL_XFTL_XFTL_H_
+#define XFTL_XFTL_XFTL_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ftl/page_ftl.h"
+
+namespace xftl::ftl {
+
+// Transaction id. 0 means "not transactional".
+using TxId = uint32_t;
+inline constexpr TxId kNoTx = 0;
+
+struct XftlConfig {
+  // Paper: 500 entries (8 KB) or 1000 entries (16 KB), 16 bytes each.
+  uint32_t xl2p_capacity = 500;
+};
+
+struct XftlStats {
+  uint64_t tx_writes = 0;
+  uint64_t tx_reads = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t empty_commits = 0;       // commit with no dirty pages: no I/O
+  uint64_t xl2p_snapshot_pages = 0; // flash pages spent persisting the table
+  uint64_t write_conflicts = 0;     // TxWrite rejected with Busy
+  uint64_t forced_checkpoints = 0;  // table-full L2P checkpoints
+  uint64_t recovered_committed = 0; // entries re-applied at recovery
+  uint64_t recovered_discarded = 0; // active/aborted entries rolled back
+  SimNanos last_recovery_nanos = 0; // X-L2P load + reflect (paper Table 5)
+};
+
+class XFtl : public PageFtl {
+ public:
+  XFtl(flash::FlashDevice* device, const FtlConfig& ftl_config,
+       const XftlConfig& xftl_config);
+
+  // --- extended command set (paper §4.2) ----------------------------------
+  Status TxWrite(TxId t, Lpn p, const uint8_t* data);
+  Status TxRead(TxId t, Lpn p, uint8_t* data);
+  Status TxCommit(TxId t);
+  Status TxAbort(TxId t);
+
+  const XftlStats& xstats() const { return xstats_; }
+  void ResetXstats() { xstats_ = XftlStats{}; }
+  // Number of table slots in use (active + retained committed).
+  size_t Xl2pOccupancy() const;
+  // Number of distinct transactions with ACTIVE entries.
+  size_t ActiveTxCount() const;
+
+ protected:
+  Status FlushSubclassMeta() override;
+  void OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to) override;
+  void OnMetaPageScanned(const flash::PageOob& oob,
+                         const std::vector<uint8_t>& data) override;
+  Status FinishRecovery() override;
+
+ private:
+  enum class SlotStatus : uint8_t {
+    kFree = 0,
+    kActive = 1,
+    kCommitted = 2,  // retained until the next L2P checkpoint
+  };
+
+  struct Slot {
+    TxId tid = kNoTx;
+    Lpn lpn = 0;
+    flash::Ppn new_ppn = flash::kInvalidPpn;
+    SlotStatus status = SlotStatus::kFree;
+    // True once the mapping has been folded into the L2P. A committed slot
+    // may only be reclaimed after it is folded AND the L2P checkpoint
+    // covers it; guarding on this prevents a meta-compaction triggered in
+    // the middle of TxCommit's own snapshot write from freeing the very
+    // entries being committed.
+    bool folded = false;
+  };
+
+  // Finds the slot holding (t, p) with ACTIVE status, or -1.
+  int FindActiveSlot(TxId t, Lpn p) const;
+  // Allocates a free slot, forcing a checkpoint to reclaim retained
+  // committed slots when necessary.
+  StatusOr<int> AllocateSlot();
+  void FreeSlot(int idx);
+  // Releases every retained committed slot (call only after the L2P has been
+  // durably checkpointed).
+  void ReleaseCommittedSlots();
+  // Serializes occupied slots into meta pages (tag kTagXl2p).
+  Status WriteXl2pSnapshot();
+
+  const XftlConfig xconfig_;
+  XftlStats xstats_;
+  std::vector<Slot> slots_;
+  std::vector<int> free_slots_;
+  // lpn -> slot indexes (several: one active + retained committed copies).
+  std::unordered_multimap<Lpn, int> by_lpn_;
+  // tid -> slot indexes with ACTIVE status.
+  std::unordered_map<TxId, std::vector<int>> by_tid_;
+  bool xl2p_dirty_ = false;
+  uint64_t snapshot_id_ = 0;
+  uint64_t xl2p_pages_scanned_ = 0;  // recovery-time accounting
+
+  // Recovery scratch: snapshot_id -> (page_index -> raw entries).
+  struct SnapshotPages {
+    uint32_t total_pages = 0;
+    std::map<uint32_t, std::vector<Slot>> pages;
+  };
+  std::map<uint64_t, SnapshotPages> recovery_snaps_;
+};
+
+}  // namespace xftl::ftl
+
+#endif  // XFTL_XFTL_XFTL_H_

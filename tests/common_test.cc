@@ -1,0 +1,208 @@
+// Unit tests for the common substrate: Status/StatusOr, SimClock, Rng,
+// CRC-32C, coding helpers and Histogram.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace xftl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "Corruption: bad page");
+}
+
+TEST(StatusTest, FactoryCodesMatch) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Busy("x").code(), StatusCode::kBusy);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Status ReturnIfErrorHelper(bool fail) {
+  XFTL_RETURN_IF_ERROR(fail ? Status::IoError("io") : Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_EQ(ReturnIfErrorHelper(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(ReturnIfErrorHelper(false).code(), StatusCode::kAlreadyExists);
+}
+
+StatusOr<int> AssignHelper(bool fail) {
+  XFTL_ASSIGN_OR_RETURN(
+      int v, fail ? StatusOr<int>(Status::Busy("b")) : StatusOr<int>(5));
+  return v + 1;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  EXPECT_EQ(AssignHelper(false).value(), 6);
+  EXPECT_TRUE(AssignHelper(true).status().IsBusy());
+}
+
+TEST(SimClockTest, AdvanceAndAdvanceTo) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(Micros(5));
+  EXPECT_EQ(clock.Now(), 5000u);
+  clock.AdvanceTo(Micros(3));  // never backwards
+  EXPECT_EQ(clock.Now(), 5000u);
+  clock.AdvanceTo(Micros(9));
+  EXPECT_EQ(clock.Now(), 9000u);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(KiB(8), 8192u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(Millis(2), 2000000u);
+  EXPECT_DOUBLE_EQ(NanosToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(NanosToMillis(Micros(1500)), 1.5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, NuRandWithinRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NuRand(255, 1, 3000, 123);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(RngTest, FillBytesCoversBuffer) {
+  Rng rng(15);
+  std::vector<uint8_t> buf(37, 0);
+  rng.FillBytes(buf.data(), buf.size());
+  int nonzero = 0;
+  for (uint8_t b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 20);  // all-zero after fill would be astronomically rare
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(1024, 'x');
+  uint32_t crc = Crc32c(data.data(), data.size());
+  data[512] ^= 1;
+  EXPECT_NE(crc, Crc32c(data.data(), data.size()));
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(CodingTest, RoundTrip) {
+  uint8_t buf[8];
+  EncodeFixed16(buf, 0xBEEF);
+  EXPECT_EQ(DecodeFixed16(buf), 0xBEEF);
+  EncodeFixed32(buf, 0xDEADBEEF);
+  EXPECT_EQ(DecodeFixed32(buf), 0xDEADBEEFu);
+  EncodeFixed64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 3, 4, 100}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 22.0);
+}
+
+TEST(HistogramTest, PercentileMonotonic) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(100000));
+  double p50 = h.Percentile(50), p90 = h.Percentile(90), p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, double(h.max()));
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+}  // namespace
+}  // namespace xftl

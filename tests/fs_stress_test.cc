@@ -1,0 +1,190 @@
+// fsx-style randomized file-system stress test: a long random sequence of
+// create / open / write / read / truncate / fsync / unlink / remount /
+// crash+recover operations is mirrored against an in-memory model; file
+// contents and directory listings must match the model at every read, and
+// Fsck must stay clean at every checkpoint.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "fs/ext_fs.h"
+#include "storage/sim_ssd.h"
+
+namespace xftl::fs {
+namespace {
+
+storage::SsdSpec StressSpec() {
+  storage::SsdSpec spec = storage::OpenSsdSpec(64, 0.6);
+  spec.flash.page_size = 1024;
+  spec.flash.pages_per_block = 16;
+  spec.flash.num_blocks = 256;
+  spec.ftl.meta_blocks = 6;
+  spec.ftl.min_free_blocks = 4;
+  spec.ftl.num_logical_pages = 2600;
+  spec.xftl.xl2p_capacity = 180;
+  return spec;
+}
+
+struct StressParam {
+  JournalMode mode;
+  uint64_t seed;
+};
+
+class FsStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(FsStressTest, RandomOpsMatchModel) {
+  const StressParam param = GetParam();
+  SimClock clock;
+  storage::SimSsd ssd(StressSpec(), &clock);
+  FsOptions opt;
+  opt.journal_mode = param.mode;
+  opt.cache_pages = 48;
+  opt.inode_count = 64;
+  opt.journal_pages = 64;
+  ASSERT_TRUE(ExtFs::Mkfs(ssd.device(), opt).ok());
+  auto fs = std::move(ExtFs::Mount(ssd.device(), opt, &clock)).value();
+
+  // Model: committed contents per file name. In-flight (unsynced) state is
+  // tracked separately so a crash can roll back to the committed view.
+  std::map<std::string, std::string> committed;
+  std::map<std::string, std::string> current;
+  Rng rng(param.seed);
+
+  auto sync_file = [&](const std::string& name) {
+    auto fd = fs->Open(name);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs->Fsync(*fd).ok());
+    ASSERT_TRUE(fs->Close(*fd).ok());
+    committed[name] = current[name];
+  };
+
+  auto name_for = [&](uint64_t i) { return "f" + std::to_string(i % 6); };
+
+  for (int op = 0; op < 600; ++op) {
+    std::string name = name_for(rng.Next());
+    int action = int(rng.Uniform(100));
+    bool exists = current.count(name) != 0;
+
+    if (action < 22) {  // write (creating if needed)
+      if (!exists) {
+        auto fd = fs->Create(name);
+        ASSERT_TRUE(fd.ok());
+        ASSERT_TRUE(fs->Close(*fd).ok());
+        current[name] = "";
+      }
+      auto fd = fs->Open(name);
+      ASSERT_TRUE(fd.ok());
+      uint64_t offset = rng.Uniform(6000);
+      std::string data = rng.AlphaString(1 + rng.Uniform(2500));
+      ASSERT_TRUE(fs->Write(*fd, offset,
+                            reinterpret_cast<const uint8_t*>(data.data()),
+                            data.size())
+                      .ok());
+      ASSERT_TRUE(fs->Close(*fd).ok());
+      std::string& s = current[name];
+      if (s.size() < offset + data.size()) s.resize(offset + data.size(), 0);
+      s.replace(offset, data.size(), data);
+    } else if (action < 40 && exists) {  // read + compare with model
+      auto fd = fs->Open(name);
+      ASSERT_TRUE(fd.ok());
+      const std::string& want = current[name];
+      uint64_t offset = rng.Uniform(want.size() + 16);
+      size_t len = 1 + rng.Uniform(3000);
+      std::string got(len, 1);
+      auto n = fs->Read(*fd, offset, len,
+                        reinterpret_cast<uint8_t*>(got.data()));
+      ASSERT_TRUE(n.ok());
+      got.resize(*n);
+      std::string expect = offset >= want.size()
+                               ? ""
+                               : want.substr(offset, len);
+      ASSERT_EQ(got, expect) << "op " << op << " file " << name;
+      ASSERT_TRUE(fs->Close(*fd).ok());
+    } else if (action < 50 && exists) {  // truncate
+      auto fd = fs->Open(name);
+      ASSERT_TRUE(fd.ok());
+      uint64_t new_size = rng.Uniform(current[name].size() + 1);
+      ASSERT_TRUE(fs->Truncate(*fd, new_size).ok());
+      ASSERT_TRUE(fs->Close(*fd).ok());
+      current[name].resize(new_size);
+    } else if (action < 65 && exists) {  // fsync
+      sync_file(name);
+    } else if (action < 72 && exists) {  // unlink
+      ASSERT_TRUE(fs->Unlink(name).ok());
+      current.erase(name);
+      // Deletion is durable once the metadata commits (next fsync of any
+      // file, or unmount); track it as committed pessimistically only after
+      // an explicit sync below.
+      committed.erase(name);
+    } else if (action < 78) {  // clean remount
+      ASSERT_TRUE(fs->Unmount().ok());
+      fs = std::move(ExtFs::Mount(ssd.device(), opt, &clock)).value();
+      committed = current;  // unmount synced everything
+    } else if (action < 84) {  // crash + recover
+      // Only the committed view is guaranteed afterwards; uncommitted
+      // changes may or may not survive per mode, so re-baseline from disk.
+      fs.reset();
+      ASSERT_TRUE(ssd.PowerCycle().ok());
+      fs = std::move(ExtFs::Mount(ssd.device(), opt, &clock)).value();
+      current.clear();
+      for (const std::string& fname : fs->ListDir()) {
+        auto fd = fs->Open(fname);
+        ASSERT_TRUE(fd.ok());
+        auto size = fs->FileSize(*fd);
+        ASSERT_TRUE(size.ok());
+        std::string content(*size, 0);
+        auto n = fs->Read(*fd, 0, content.size(),
+                          reinterpret_cast<uint8_t*>(content.data()));
+        ASSERT_TRUE(n.ok());
+        content.resize(*n);
+        current[fname] = content;
+        ASSERT_TRUE(fs->Close(*fd).ok());
+      }
+      // Post-crash state must be structurally sound.
+      auto fsck = fs->Fsck();
+      ASSERT_TRUE(fsck.ok()) << "op " << op << ": "
+                             << fsck.status().ToString();
+      committed = current;
+    } else if (action < 90) {  // periodic consistency check
+      auto fsck = fs->Fsck();
+      ASSERT_TRUE(fsck.ok()) << "op " << op << ": "
+                             << fsck.status().ToString();
+      // Directory listing matches the model.
+      auto names = fs->ListDir();
+      ASSERT_EQ(names.size(), current.size()) << "op " << op;
+    } else if (exists) {  // full-file readback
+      auto fd = fs->Open(name);
+      ASSERT_TRUE(fd.ok());
+      auto size = fs->FileSize(*fd);
+      ASSERT_TRUE(size.ok());
+      ASSERT_EQ(*size, current[name].size()) << "op " << op;
+      ASSERT_TRUE(fs->Close(*fd).ok());
+    }
+  }
+  ASSERT_TRUE(fs->Unmount().ok());
+}
+
+std::vector<StressParam> StressPoints() {
+  std::vector<StressParam> points;
+  for (JournalMode mode :
+       {JournalMode::kOrdered, JournalMode::kFull, JournalMode::kOff}) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      points.push_back({mode, seed});
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Runs, FsStressTest, ::testing::ValuesIn(StressPoints()),
+                         [](const auto& info) {
+                           return std::string(JournalModeName(info.param.mode)) +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace xftl::fs

@@ -1,0 +1,371 @@
+// Tests for the baseline page-mapping FTL: mapping, copy-on-write updates,
+// trim, garbage collection, mapping persistence, crash recovery and aging.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "flash/flash_device.h"
+#include "ftl/ager.h"
+#include "ftl/page_ftl.h"
+
+namespace xftl::ftl {
+namespace {
+
+flash::FlashConfig SmallFlash() {
+  flash::FlashConfig cfg;
+  cfg.page_size = 512;
+  cfg.pages_per_block = 8;
+  cfg.num_blocks = 64;
+  cfg.num_banks = 4;
+  return cfg;
+}
+
+FtlConfig SmallFtl() {
+  FtlConfig cfg;
+  cfg.meta_blocks = 4;
+  cfg.min_free_blocks = 3;
+  // 60 data blocks * 8 = 480 data pages; 5 blocks reserve -> <= 440.
+  cfg.num_logical_pages = 256;
+  return cfg;
+}
+
+class PageFtlTest : public ::testing::Test {
+ protected:
+  PageFtlTest()
+      : dev_(SmallFlash(), &clock_), ftl_(&dev_, SmallFtl()) {}
+
+  std::vector<uint8_t> Page(uint64_t tag) {
+    std::vector<uint8_t> p(dev_.config().page_size, 0);
+    std::memcpy(p.data(), &tag, sizeof(tag));
+    return p;
+  }
+
+  void ExpectReads(Lpn lpn, uint64_t tag) {
+    std::vector<uint8_t> out(dev_.config().page_size);
+    ASSERT_TRUE(ftl_.Read(lpn, out.data()).ok()) << "lpn " << lpn;
+    uint64_t got;
+    std::memcpy(&got, out.data(), sizeof(got));
+    EXPECT_EQ(got, tag) << "lpn " << lpn;
+  }
+
+  SimClock clock_;
+  flash::FlashDevice dev_;
+  PageFtl ftl_;
+};
+
+TEST_F(PageFtlTest, WriteReadRoundTrip) {
+  auto p = Page(0xAB);
+  ASSERT_TRUE(ftl_.Write(3, p.data()).ok());
+  ExpectReads(3, 0xAB);
+}
+
+TEST_F(PageFtlTest, UnwrittenPageReadsAsFf) {
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.Read(10, out.data()).ok());
+  for (uint8_t b : out) EXPECT_EQ(b, 0xff);
+}
+
+TEST_F(PageFtlTest, OverwriteIsCopyOnWrite) {
+  auto p1 = Page(1), p2 = Page(2);
+  ASSERT_TRUE(ftl_.Write(5, p1.data()).ok());
+  flash::Ppn first = ftl_.MappingOf(5);
+  ASSERT_TRUE(ftl_.Write(5, p2.data()).ok());
+  flash::Ppn second = ftl_.MappingOf(5);
+  EXPECT_NE(first, second);  // never in place
+  ExpectReads(5, 2);
+}
+
+TEST_F(PageFtlTest, OutOfRangeLpnRejected) {
+  auto p = Page(0);
+  EXPECT_EQ(ftl_.Write(SmallFtl().num_logical_pages, p.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(PageFtlTest, TrimDropsMapping) {
+  auto p = Page(7);
+  ASSERT_TRUE(ftl_.Write(9, p.data()).ok());
+  ASSERT_TRUE(ftl_.Trim(9).ok());
+  EXPECT_EQ(ftl_.MappingOf(9), flash::kInvalidPpn);
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.Read(9, out.data()).ok());
+  EXPECT_EQ(out[0], 0xff);
+}
+
+TEST_F(PageFtlTest, GarbageCollectionReclaimsSpace) {
+  // Overwrite a small working set far more times than the device could hold
+  // without GC.
+  Rng rng(1);
+  uint64_t total_pages = dev_.config().TotalPages();
+  for (uint64_t i = 0; i < 3 * total_pages; ++i) {
+    Lpn lpn = rng.Uniform(64);
+    auto p = Page(i);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok()) << "write " << i;
+  }
+  EXPECT_GT(ftl_.stats().gc_runs, 0u);
+  EXPECT_GT(ftl_.stats().block_erases, 0u);
+  EXPECT_GE(ftl_.free_block_count(), SmallFtl().min_free_blocks);
+}
+
+TEST_F(PageFtlTest, GcPreservesAllData) {
+  // Model check: after heavy overwrites with GC churn, every logical page
+  // reads back its most recent value.
+  std::map<Lpn, uint64_t> expected;
+  Rng rng(2);
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    Lpn lpn = rng.Uniform(128);
+    auto p = Page(i);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+    expected[lpn] = i;
+  }
+  ASSERT_GT(ftl_.stats().gc_runs, 0u);
+  for (const auto& [lpn, tag] : expected) ExpectReads(lpn, tag);
+}
+
+TEST_F(PageFtlTest, FlushWritesMetaPages) {
+  auto p = Page(1);
+  ASSERT_TRUE(ftl_.Write(0, p.data()).ok());
+  uint64_t before = ftl_.stats().meta_page_writes;
+  ASSERT_TRUE(ftl_.Flush().ok());
+  // At least one dirty segment plus a root record.
+  EXPECT_GE(ftl_.stats().meta_page_writes, before + 2);
+  EXPECT_EQ(ftl_.stats().flush_barriers, 1u);
+}
+
+TEST_F(PageFtlTest, SecondFlushWithNoChangesIsCheap) {
+  auto p = Page(1);
+  ASSERT_TRUE(ftl_.Write(0, p.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  uint64_t before = ftl_.stats().meta_page_writes;
+  ASSERT_TRUE(ftl_.Flush().ok());
+  EXPECT_EQ(ftl_.stats().meta_page_writes, before);
+}
+
+TEST_F(PageFtlTest, RecoverAfterCleanFlush) {
+  for (Lpn lpn = 0; lpn < 50; ++lpn) {
+    auto p = Page(1000 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  for (Lpn lpn = 0; lpn < 50; ++lpn) ExpectReads(lpn, 1000 + lpn);
+}
+
+TEST_F(PageFtlTest, RecoverRollsForwardUnflushedWrites) {
+  auto p1 = Page(1);
+  ASSERT_TRUE(ftl_.Write(0, p1.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  // Written after the barrier; a real drive must still find these by
+  // scanning OOB sequence numbers.
+  auto p2 = Page(2);
+  ASSERT_TRUE(ftl_.Write(0, p2.data()).ok());
+  auto p3 = Page(3);
+  ASSERT_TRUE(ftl_.Write(1, p3.data()).ok());
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  ExpectReads(0, 2);
+  ExpectReads(1, 3);
+}
+
+TEST_F(PageFtlTest, RecoverAfterPowerFailureDuringWrite) {
+  auto p1 = Page(1);
+  ASSERT_TRUE(ftl_.Write(0, p1.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+
+  dev_.ArmPowerFailure(1);
+  auto p2 = Page(2);
+  Status s = ftl_.Write(0, p2.data());
+  EXPECT_FALSE(s.ok());
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  // The torn copy must not win; the old committed copy survives.
+  ExpectReads(0, 1);
+}
+
+TEST_F(PageFtlTest, RecoverWithoutAnyFlush) {
+  auto p = Page(9);
+  ASSERT_TRUE(ftl_.Write(4, p.data()).ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  ExpectReads(4, 9);  // pure OOB roll-forward, no checkpoint at all
+}
+
+TEST_F(PageFtlTest, RecoveryIsIdempotent) {
+  for (Lpn lpn = 0; lpn < 20; ++lpn) {
+    auto p = Page(lpn * 3);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  for (Lpn lpn = 0; lpn < 20; ++lpn) ExpectReads(lpn, lpn * 3);
+}
+
+TEST_F(PageFtlTest, WritesKeepWorkingAfterRecovery) {
+  auto p1 = Page(1);
+  ASSERT_TRUE(ftl_.Write(0, p1.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  auto p2 = Page(2);
+  ASSERT_TRUE(ftl_.Write(0, p2.data()).ok());
+  ASSERT_TRUE(ftl_.Write(200, p1.data()).ok());
+  ExpectReads(0, 2);
+  ExpectReads(200, 1);
+}
+
+TEST_F(PageFtlTest, TrimmedPageStaysGoneAfterRecovery) {
+  auto p = Page(5);
+  ASSERT_TRUE(ftl_.Write(7, p.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  ASSERT_TRUE(ftl_.Trim(7).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  ASSERT_TRUE(ftl_.Recover().ok());
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.Read(7, out.data()).ok());
+  EXPECT_EQ(out[0], 0xff);
+}
+
+TEST_F(PageFtlTest, MetaRegionCompactionKeepsWorking) {
+  // Force many flushes so the meta region wraps and compacts.
+  auto p = Page(1);
+  for (int i = 0; i < 200; ++i) {
+    std::memcpy(p.data(), &i, sizeof(i));
+    ASSERT_TRUE(ftl_.Write(Lpn(i % 16), p.data()).ok());
+    ASSERT_TRUE(ftl_.Flush().ok());
+  }
+  // Survives recovery afterwards.
+  ASSERT_TRUE(ftl_.Recover().ok());
+  int last = 199;
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.Read(Lpn(last % 16), out.data()).ok());
+  int got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, last);
+}
+
+TEST_F(PageFtlTest, FlushBarrierAdvancesClockPastPrograms) {
+  auto p = Page(1);
+  SimNanos before = clock_.Now();
+  ASSERT_TRUE(ftl_.Write(0, p.data()).ok());
+  ASSERT_TRUE(ftl_.Flush().ok());
+  // At least one program latency must have elapsed.
+  EXPECT_GE(clock_.Now() - before, dev_.config().timings.program_page);
+}
+
+// --- GC policies ------------------------------------------------------------
+
+class GcPolicyTest : public ::testing::TestWithParam<GcPolicy> {};
+
+TEST_P(GcPolicyTest, PreservesDataUnderChurn) {
+  SimClock clock;
+  flash::FlashDevice dev(SmallFlash(), &clock);
+  FtlConfig cfg = SmallFtl();
+  cfg.gc_policy = GetParam();
+  PageFtl ftl(&dev, cfg);
+
+  std::map<Lpn, uint64_t> expected;
+  Rng rng(17);
+  std::vector<uint8_t> buf(dev.config().page_size);
+  for (uint64_t i = 1; i <= 3000; ++i) {
+    Lpn lpn = rng.Uniform(200);
+    std::memcpy(buf.data(), &i, sizeof(i));
+    ASSERT_TRUE(ftl.Write(lpn, buf.data()).ok());
+    expected[lpn] = i;
+  }
+  ASSERT_GT(ftl.stats().gc_runs, 0u);
+  for (const auto& [lpn, tag] : expected) {
+    std::vector<uint8_t> out(dev.config().page_size);
+    ASSERT_TRUE(ftl.Read(lpn, out.data()).ok());
+    uint64_t got;
+    std::memcpy(&got, out.data(), sizeof(got));
+    EXPECT_EQ(got, tag) << "lpn " << lpn;
+  }
+  // And survives recovery.
+  ASSERT_TRUE(ftl.Recover().ok());
+  std::vector<uint8_t> out(dev.config().page_size);
+  ASSERT_TRUE(ftl.Read(expected.begin()->first, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, expected.begin()->second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GcPolicyTest,
+                         ::testing::Values(GcPolicy::kGreedy,
+                                           GcPolicy::kCostBenefit,
+                                           GcPolicy::kFifo),
+                         [](const auto& info) {
+                           std::string name = GcPolicyName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '-'),
+                                      name.end());
+                           return name;
+                         });
+
+TEST(GcPolicyCompareTest, GreedyHasLowestWriteAmplification) {
+  auto run = [](GcPolicy policy) {
+    SimClock clock;
+    flash::FlashDevice dev(SmallFlash(), &clock);
+    FtlConfig cfg = SmallFtl();
+    cfg.gc_policy = policy;
+    cfg.num_logical_pages = 400;  // high utilization: heavy GC
+    PageFtl ftl(&dev, cfg);
+    Rng rng(3);
+    std::vector<uint8_t> buf(dev.config().page_size, 1);
+    for (uint64_t i = 0; i < 400; ++i) CHECK(ftl.Write(i, buf.data()).ok());
+    ftl.ResetStats();
+    for (uint64_t i = 0; i < 3000; ++i) {
+      CHECK(ftl.Write(rng.Uniform(400), buf.data()).ok());
+    }
+    return double(ftl.stats().TotalPageWrites()) /
+           double(ftl.stats().host_page_writes);
+  };
+  double greedy = run(GcPolicy::kGreedy);
+  double fifo = run(GcPolicy::kFifo);
+  EXPECT_LE(greedy, fifo + 0.05);  // greedy never loses under uniform traffic
+}
+
+// --- aging ----------------------------------------------------------------
+
+TEST(AgerTest, UtilizationMonotonicInValidity) {
+  double u30 = Ager::UtilizationForValidity(0.3);
+  double u50 = Ager::UtilizationForValidity(0.5);
+  double u70 = Ager::UtilizationForValidity(0.7);
+  EXPECT_LT(u30, u50);
+  EXPECT_LT(u50, u70);
+  EXPECT_GT(u30, 0.0);
+  EXPECT_LT(u70, 1.0);
+}
+
+class AgerValidityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AgerValidityTest, AchievesTargetValidityApproximately) {
+  double target = GetParam();
+  flash::FlashConfig fcfg;
+  fcfg.page_size = 512;
+  fcfg.pages_per_block = 32;
+  fcfg.num_blocks = 128;
+  fcfg.num_banks = 4;
+  SimClock clock;
+  flash::FlashDevice dev(fcfg, &clock);
+
+  FtlConfig cfg;
+  cfg.meta_blocks = 4;
+  cfg.min_free_blocks = 3;
+  uint64_t data_pages = uint64_t(fcfg.num_blocks - cfg.meta_blocks -
+                                 cfg.min_free_blocks - 2) *
+                        fcfg.pages_per_block;
+  cfg.num_logical_pages =
+      uint64_t(Ager::UtilizationForValidity(target) * double(data_pages));
+  PageFtl ftl(&dev, cfg);
+
+  auto v = Ager::Age(&ftl, /*seed=*/7, /*overwrite_rounds=*/4);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), target, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, AgerValidityTest,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace xftl::ftl

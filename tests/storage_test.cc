@@ -1,0 +1,154 @@
+// Tests for the SATA-like storage layer: command timing, extended command
+// routing, graceful degradation on non-transactional drives, and the device
+// profiles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "storage/sim_ssd.h"
+
+namespace xftl::storage {
+namespace {
+
+SsdSpec TinySpec(bool transactional) {
+  SsdSpec spec = OpenSsdSpec(/*num_blocks=*/32, /*utilization=*/0.5);
+  spec.flash.page_size = 512;
+  spec.flash.pages_per_block = 8;
+  spec.flash.num_blocks = 32;
+  spec.ftl.meta_blocks = 4;
+  spec.ftl.min_free_blocks = 3;
+  spec.ftl.num_logical_pages = 64;
+  spec.xftl.xl2p_capacity = 16;
+  spec.transactional = transactional;
+  return spec;
+}
+
+class SataDeviceTest : public ::testing::Test {
+ protected:
+  SataDeviceTest() : ssd_(TinySpec(true), &clock_) {}
+
+  std::vector<uint8_t> Page(uint64_t tag) {
+    std::vector<uint8_t> p(ssd_.device()->page_size(), 0);
+    std::memcpy(p.data(), &tag, sizeof(tag));
+    return p;
+  }
+
+  uint64_t ReadTag(uint64_t page, TxId t = ftl::kNoTx) {
+    std::vector<uint8_t> out(ssd_.device()->page_size());
+    Status s = ssd_.device()->TxRead(t, page, out.data());
+    CHECK(s.ok()) << s.ToString();
+    uint64_t got;
+    std::memcpy(&got, out.data(), sizeof(got));
+    return got;
+  }
+
+  SimClock clock_;
+  SimSsd ssd_;
+};
+
+TEST_F(SataDeviceTest, ReadWriteThroughDevice) {
+  auto p = Page(7);
+  ASSERT_TRUE(ssd_.device()->Write(3, p.data()).ok());
+  EXPECT_EQ(ReadTag(3), 7u);
+  EXPECT_EQ(ssd_.device()->stats().write_commands, 1u);
+  EXPECT_EQ(ssd_.device()->stats().read_commands, 1u);
+}
+
+TEST_F(SataDeviceTest, CommandsChargeLinkTime) {
+  auto p = Page(1);
+  SimNanos t0 = clock_.Now();
+  ASSERT_TRUE(ssd_.device()->Write(0, p.data()).ok());
+  SsdSpec spec = TinySpec(true);
+  EXPECT_GE(clock_.Now() - t0,
+            spec.sata.command_overhead + spec.sata.transfer_per_page);
+}
+
+TEST_F(SataDeviceTest, TransactionalCommandsRouteToXftl) {
+  ASSERT_TRUE(ssd_.device()->SupportsTransactions());
+  auto base = Page(1), mine = Page(2);
+  ASSERT_TRUE(ssd_.device()->Write(0, base.data()).ok());
+  ASSERT_TRUE(ssd_.device()->TxWrite(5, 0, mine.data()).ok());
+  EXPECT_EQ(ReadTag(0), 1u);
+  EXPECT_EQ(ReadTag(0, 5), 2u);
+  ASSERT_TRUE(ssd_.device()->TxCommit(5).ok());
+  EXPECT_EQ(ReadTag(0), 2u);
+  EXPECT_EQ(ssd_.device()->stats().commit_commands, 1u);
+  // Commit travels as an extended trim command.
+  EXPECT_EQ(ssd_.device()->stats().trim_commands, 1u);
+}
+
+TEST_F(SataDeviceTest, AbortCommand) {
+  auto base = Page(1), mine = Page(2);
+  ASSERT_TRUE(ssd_.device()->Write(0, base.data()).ok());
+  ASSERT_TRUE(ssd_.device()->TxWrite(5, 0, mine.data()).ok());
+  ASSERT_TRUE(ssd_.device()->TxAbort(5).ok());
+  EXPECT_EQ(ReadTag(0), 1u);
+  EXPECT_EQ(ssd_.device()->stats().abort_commands, 1u);
+}
+
+TEST_F(SataDeviceTest, PowerCycleRecovers) {
+  auto p = Page(9);
+  ASSERT_TRUE(ssd_.device()->TxWrite(2, 4, p.data()).ok());
+  ASSERT_TRUE(ssd_.device()->TxCommit(2).ok());
+  ASSERT_TRUE(ssd_.PowerCycle().ok());
+  EXPECT_EQ(ReadTag(4), 9u);
+}
+
+TEST(NonTransactionalDeviceTest, DegradesGracefully) {
+  SimClock clock;
+  SimSsd ssd(TinySpec(false), &clock);
+  EXPECT_FALSE(ssd.device()->SupportsTransactions());
+  EXPECT_EQ(ssd.xftl(), nullptr);
+
+  std::vector<uint8_t> p(ssd.device()->page_size(), 1);
+  // TxWrite behaves as a plain write; TxCommit as a barrier; TxAbort fails.
+  ASSERT_TRUE(ssd.device()->TxWrite(3, 0, p.data()).ok());
+  ASSERT_TRUE(ssd.device()->TxCommit(3).ok());
+  EXPECT_EQ(ssd.device()->TxAbort(3).code(), StatusCode::kNotSupported);
+  std::vector<uint8_t> out(ssd.device()->page_size());
+  ASSERT_TRUE(ssd.device()->Read(0, out.data()).ok());
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST(DeviceProfileTest, OpenSsdMatchesPaperGeometry) {
+  SsdSpec spec = OpenSsdSpec();
+  EXPECT_EQ(spec.flash.page_size, 8192u);       // K9LCG08U1M 8 KB pages
+  EXPECT_EQ(spec.flash.pages_per_block, 128u);  // 128 pages per block
+  EXPECT_EQ(spec.xftl.xl2p_capacity, 500u);     // 8 KB X-L2P table
+}
+
+TEST(DeviceProfileTest, S830IsFasterThanOpenSsd) {
+  SsdSpec open = OpenSsdSpec(), s830 = S830Spec();
+  EXPECT_GT(s830.flash.num_banks, open.flash.num_banks);
+  EXPECT_LT(s830.sata.transfer_per_page, open.sata.transfer_per_page);
+  EXPECT_LT(s830.flash.timings.read_page, open.flash.timings.read_page);
+}
+
+TEST(DeviceProfileTest, UtilizationSizesLogicalSpace) {
+  SsdSpec lo = OpenSsdSpec(512, 0.3), hi = OpenSsdSpec(512, 0.7);
+  EXPECT_LT(lo.ftl.num_logical_pages, hi.ftl.num_logical_pages);
+  EXPECT_GT(lo.ftl.num_logical_pages, 0u);
+}
+
+TEST(DeviceProfileTest, S830SequentialWritesFasterEndToEnd) {
+  // End-to-end sanity for Figure 9's premise: the same write workload takes
+  // less simulated time on the S830 profile.
+  auto run = [](SsdSpec spec) {
+    spec.flash.num_blocks = 64;
+    spec.ftl.num_logical_pages = 4096;
+    SimClock clock;
+    SimSsd ssd(spec, &clock);
+    std::vector<uint8_t> p(spec.flash.page_size, 42);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      CHECK(ssd.device()->Write(i % 4096, p.data()).ok());
+    }
+    CHECK(ssd.device()->FlushBarrier().ok());
+    return clock.Now();
+  };
+  EXPECT_LT(run(S830Spec()), run(OpenSsdSpec()));
+}
+
+}  // namespace
+}  // namespace xftl::storage
