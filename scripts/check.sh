@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite plain, under ASan, and under
+# UBSan. Each configuration builds into its own tree so switching sanitizers
+# never poisons an existing build.
+#
+#   scripts/check.sh            # all three configurations
+#   scripts/check.sh plain      # just the plain build
+#   scripts/check.sh asan ubsan # a subset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(plain asan ubsan)
+fi
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-${name}"
+  echo "=== ${name}: configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . "$@" > /dev/null
+  cmake --build "${dir}" -j "${JOBS}" > /dev/null
+  echo "=== ${name}: ctest ==="
+  (cd "${dir}" && ctest -j "${JOBS}" --output-on-failure)
+}
+
+for cfg in "${CONFIGS[@]}"; do
+  case "${cfg}" in
+    plain) run_config plain -DXFTL_ASAN=OFF -DXFTL_UBSAN=OFF ;;
+    asan)  run_config asan -DXFTL_ASAN=ON -DXFTL_UBSAN=OFF ;;
+    ubsan) run_config ubsan -DXFTL_ASAN=OFF -DXFTL_UBSAN=ON ;;
+    *) echo "unknown configuration: ${cfg} (plain|asan|ubsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "all configurations passed"

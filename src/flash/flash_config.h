@@ -27,6 +27,31 @@ struct FlashTimings {
   SimNanos bus_per_page = Micros(50);   // 8 KB over the flash channel
 };
 
+// NAND failure model. MLC chips like the K9LCG08U1M report *status failures*
+// on program and erase (the operation completes with the fail bit set and
+// the block must be retired as a grown bad block), and accumulate raw bit
+// errors with wear that the controller's ECC must correct on reads.
+//
+// Probabilities apply independently per operation; deterministic scripted
+// injection (FlashDevice::ScriptProgramFail / ScriptEraseFail) composes with
+// them and is what the crash sweeps use. A block that suffers a status
+// failure is permanently bad: later programs/erases on it fail immediately,
+// exactly like real silicon.
+struct FaultModel {
+  double program_fail_prob = 0.0;  // per ProgramPage call
+  double erase_fail_prob = 0.0;    // per EraseBlock call
+  // Raw bit error rate per bit read: rber_base + rber_per_pe_cycle * (block
+  // erase count). Sampled per read as a Poisson draw over the page's bits;
+  // the count is reported to the caller (the FTL's ECC engine), the data
+  // buffer itself is returned intact — ECC either corrects or rejects.
+  double rber_base = 0.0;
+  double rber_per_pe_cycle = 0.0;
+  // Each read-retry level (shifted sensing voltages) scales the effective
+  // RBER down by this factor.
+  double retry_rber_factor = 0.25;
+  uint64_t seed = 0xfa117;
+};
+
 struct FlashConfig {
   uint32_t page_size = 8192;
   uint32_t pages_per_block = 128;
@@ -36,6 +61,7 @@ struct FlashConfig {
   // write-buffer depth).
   uint32_t write_buffer_pages = 16;
   FlashTimings timings;
+  FaultModel fault;
 
   uint64_t TotalPages() const {
     return uint64_t(num_blocks) * pages_per_block;
@@ -65,6 +91,12 @@ struct FlashStats {
   uint64_t page_programs = 0;
   uint64_t block_erases = 0;
   uint64_t torn_programs = 0;  // programs destroyed by power failure
+  // NAND failure model.
+  uint64_t program_fails = 0;      // program status failures (block retired)
+  uint64_t erase_fails = 0;        // erase status failures (block retired)
+  uint64_t bit_flips = 0;          // raw bit errors injected into reads
+  uint64_t ecc_corrected = 0;      // bits corrected by the FTL's ECC engine
+  uint64_t ecc_uncorrectable = 0;  // reads the ECC engine gave up on
 };
 
 }  // namespace xftl::flash

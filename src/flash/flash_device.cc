@@ -1,18 +1,57 @@
 #include "flash/flash_device.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace xftl::flash {
 
 FlashDevice::FlashDevice(const FlashConfig& config, SimClock* clock)
-    : config_(config), clock_(clock) {
+    : config_(config), clock_(clock), fault_rng_(config.fault.seed) {
   CHECK_GT(config_.num_blocks, 0u);
   CHECK_GT(config_.pages_per_block, 0u);
   CHECK_GT(config_.num_banks, 0u);
   CHECK_GT(config_.write_buffer_pages, 0u);
   blocks_.resize(config_.num_blocks);
   bank_busy_until_.assign(config_.num_banks, 0);
+}
+
+void FlashDevice::ScriptProgramFail(uint64_t countdown) {
+  scripted_program_fails_.push_back(program_ops_ + std::max<uint64_t>(countdown, 1));
+}
+
+void FlashDevice::ScriptEraseFail(uint64_t countdown) {
+  scripted_erase_fails_.push_back(erase_ops_ + std::max<uint64_t>(countdown, 1));
+}
+
+bool FlashDevice::FaultFires(std::vector<uint64_t>& scripted,
+                             uint64_t op_count, uint64_t period, double prob) {
+  auto it = std::find(scripted.begin(), scripted.end(), op_count);
+  if (it != scripted.end()) {
+    scripted.erase(it);
+    return true;
+  }
+  if (period > 0 && op_count % period == 0) return true;
+  return prob > 0 && fault_rng_.Bernoulli(prob);
+}
+
+uint32_t FlashDevice::SampleBitErrors(const Block& blk, uint32_t retry_level) {
+  const FaultModel& fm = config_.fault;
+  double rber = fm.rber_base + fm.rber_per_pe_cycle * double(blk.erase_count);
+  if (rber <= 0) return 0;
+  rber *= std::pow(fm.retry_rber_factor, double(retry_level));
+  const double bits = double(config_.page_size) * 8.0;
+  double lambda = std::min(rber, 1.0) * bits;
+  // Knuth's Poisson sampler; lambda is tiny for realistic RBERs and the loop
+  // is bounded by the page's bit count for the torture configurations.
+  double l = std::exp(-lambda);
+  double p = 1.0;
+  uint32_t k = 0;
+  do {
+    k++;
+    p *= fault_rng_.NextDouble();
+  } while (p > l && k < bits);
+  return k - 1;
 }
 
 Status FlashDevice::CheckAlive() const {
@@ -58,11 +97,13 @@ void FlashDevice::StallIfBufferFull() {
       inflight_.end());
 }
 
-Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob) {
+Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
+                             uint32_t* bit_errors, uint32_t retry_level) {
   XFTL_RETURN_IF_ERROR(CheckAlive());
   XFTL_RETURN_IF_ERROR(CheckPpn(ppn));
   Block& blk = blocks_[config_.BlockOf(ppn)];
   uint32_t page = config_.PageInBlock(ppn);
+  if (bit_errors != nullptr) *bit_errors = 0;
 
   // The read must wait for the bank (covers read-after-in-flight-program).
   uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
@@ -85,6 +126,9 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob) {
   }
   std::memcpy(data, PageData(blk, page), config_.page_size);
   if (oob != nullptr) *oob = blk.oob[page];
+  uint32_t flips = SampleBitErrors(blk, retry_level);
+  stats_.bit_flips += flips;
+  if (bit_errors != nullptr) *bit_errors = flips;
   return Status::OK();
 }
 
@@ -109,6 +153,9 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
   BlockNum block = config_.BlockOf(ppn);
   Block& blk = blocks_[block];
   uint32_t page = config_.PageInBlock(ppn);
+  if (blk.bad) {
+    return Status::IoError("program on bad block " + std::to_string(block));
+  }
   EnsureAllocated(blk);
 
   if (blk.page_state[page] != PageState::kErased) {
@@ -126,7 +173,8 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
 
   // Power-failure injection: the program starts and the cells are left in an
   // indeterminate state.
-  if (fail_after_programs_ > 0 && --fail_after_programs_ == 0) {
+  if (PowerFailureArmed() && --fail_after_programs_ == 0) {
+    fail_after_programs_ = kPowerFailureDisarmed;
     garbage_rng_.FillBytes(PageData(blk, page), config_.page_size);
     blk.page_state[page] = PageState::kTorn;
     blk.oob[page] = oob;  // OOB may or may not have landed; keep it but the
@@ -135,6 +183,26 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
     stats_.torn_programs++;
     failed_ = true;
     return Status::IoError("power failure during program of page " +
+                           std::to_string(ppn));
+  }
+
+  // Program status failure: the chip reports FAIL, the cells hold garbage
+  // and the block has grown bad. The device stays alive — recovering the
+  // in-flight page and retiring the block is the FTL's job.
+  program_ops_++;
+  if (FaultFires(scripted_program_fails_, program_ops_, program_fail_period_,
+                 config_.fault.program_fail_prob)) {
+    garbage_rng_.FillBytes(PageData(blk, page), config_.page_size);
+    blk.page_state[page] = PageState::kTorn;
+    blk.oob[page] = oob;
+    blk.next_page = page + 1;
+    blk.bad = true;
+    stats_.program_fails++;
+    // The failed program still occupies the plane for roughly tPROG.
+    clock_->AdvanceTo(ScheduleOnBank(config_.BankOf(block),
+                                     config_.timings.bus_per_page +
+                                         config_.timings.program_page));
+    return Status::IoError("program status failure at page " +
                            std::to_string(ppn));
   }
 
@@ -157,6 +225,28 @@ Status FlashDevice::EraseBlock(BlockNum block) {
     return Status::OutOfRange("block " + std::to_string(block));
   }
   Block& blk = blocks_[block];
+  if (blk.bad) {
+    return Status::IoError("erase of bad block " + std::to_string(block));
+  }
+  erase_ops_++;
+  if (FaultFires(scripted_erase_fails_, erase_ops_, erase_fail_period_,
+                 config_.fault.erase_fail_prob)) {
+    // Erase status failure: the cells are left partially erased — every page
+    // is garbage and the block can no longer be programmed. Wear still
+    // accrues (the erase pulse did run).
+    EnsureAllocated(blk);
+    garbage_rng_.FillBytes(blk.data.data(), blk.data.size());
+    std::fill(blk.page_state.begin(), blk.page_state.end(), PageState::kTorn);
+    std::fill(blk.oob.begin(), blk.oob.end(), PageOob{});
+    blk.next_page = config_.pages_per_block;
+    blk.erase_count++;
+    blk.bad = true;
+    stats_.erase_fails++;
+    clock_->AdvanceTo(
+        ScheduleOnBank(config_.BankOf(block), config_.timings.erase_block));
+    return Status::IoError("erase status failure at block " +
+                           std::to_string(block));
+  }
   if (!blk.data.empty()) {
     std::fill(blk.data.begin(), blk.data.end(), 0xff);
     std::fill(blk.page_state.begin(), blk.page_state.end(),
@@ -192,7 +282,7 @@ uint32_t FlashDevice::NextProgramPage(BlockNum block) const {
 
 void FlashDevice::ClearFailure() {
   failed_ = false;
-  fail_after_programs_ = 0;
+  fail_after_programs_ = kPowerFailureDisarmed;
   inflight_.clear();
 }
 

@@ -15,6 +15,12 @@
 // program "tear" — the page contents are destroyed mid-write and the device
 // refuses further work until ClearFailure() (the reboot). Flash contents
 // survive, which is exactly what crash-recovery code must cope with.
+//
+// NAND failure injection (FaultModel + Script*Fail): program and erase
+// operations can complete with the status-fail bit set, which permanently
+// retires the block (grown bad block), and reads report wear-driven raw bit
+// errors for the FTL's ECC engine to correct. Unlike a power failure the
+// device stays alive — surviving these is the FTL's job.
 #ifndef XFTL_FLASH_FLASH_DEVICE_H_
 #define XFTL_FLASH_FLASH_DEVICE_H_
 
@@ -43,8 +49,13 @@ class FlashDevice {
 
   // Reads one page into `data` (page_size bytes) and, optionally, its OOB.
   // Reading an erased page fills `data` with 0xff. Reading a torn page
-  // returns Corruption.
-  Status ReadPage(Ppn ppn, uint8_t* data, PageOob* oob = nullptr);
+  // returns Corruption. When `bit_errors` is non-null it receives the number
+  // of raw bit errors this read sensed (FaultModel RBER; the buffer itself
+  // is returned intact — correcting or rejecting is the ECC engine's call).
+  // `retry_level` > 0 models read-retry with shifted sensing voltages, which
+  // scales the RBER by retry_rber_factor^level.
+  Status ReadPage(Ppn ppn, uint8_t* data, PageOob* oob = nullptr,
+                  uint32_t* bit_errors = nullptr, uint32_t retry_level = 0);
 
   // Reads only the OOB metadata (cheap recovery scan; charged a fraction of
   // a full page read). Returns nullopt for erased pages.
@@ -70,16 +81,44 @@ class FlashDevice {
   uint32_t NextProgramPage(BlockNum block) const;
 
   // --- power-failure injection -------------------------------------------
-  // The `countdown`-th program from now (1 = the very next) tears.
-  void ArmPowerFailure(uint64_t countdown) { fail_after_programs_ = countdown; }
-  void DisarmPowerFailure() { fail_after_programs_ = 0; }
+  // The `countdown`-th program from now tears: 1 (and, defensively, 0) mean
+  // the very next program. Disarmed is an explicit sentinel, so every
+  // countdown value actually arms a failure.
+  void ArmPowerFailure(uint64_t countdown) {
+    fail_after_programs_ = countdown == 0 ? 1 : countdown;
+  }
+  void DisarmPowerFailure() { fail_after_programs_ = kPowerFailureDisarmed; }
+  bool PowerFailureArmed() const {
+    return fail_after_programs_ != kPowerFailureDisarmed;
+  }
   bool HasFailed() const { return failed_; }
   // Simulated reboot: the device accepts commands again; flash contents are
-  // untouched and all RAM-side (in-flight) state is gone.
+  // untouched and all RAM-side (in-flight) state is gone. Grown bad blocks
+  // are physical damage and survive.
   void ClearFailure();
+
+  // --- NAND failure injection --------------------------------------------
+  // One-shot scripted status failures: the `countdown`-th program/erase from
+  // now (1 = the very next) completes with the fail bit set and retires the
+  // block. Composes with FaultModel probabilities.
+  void ScriptProgramFail(uint64_t countdown);
+  void ScriptEraseFail(uint64_t countdown);
+  // Periodic scripted failures: every `period`-th operation fails (0 = off).
+  void ScriptProgramFailEvery(uint64_t period) { program_fail_period_ = period; }
+  void ScriptEraseFailEvery(uint64_t period) { erase_fail_period_ = period; }
+  // True once `block` suffered a program/erase status failure. Bad blocks
+  // refuse further programs and erases; reads still work (recovered data is
+  // how real FTLs evacuate them).
+  bool IsBadBlock(BlockNum block) const { return blocks_[block].bad; }
+  // Accounting hooks for the FTL-side ECC engine (the counters live with the
+  // rest of the raw-media stats).
+  void NoteEccCorrected(uint64_t bits) { stats_.ecc_corrected += bits; }
+  void NoteEccUncorrectable() { stats_.ecc_uncorrectable++; }
 
  private:
   enum class PageState : uint8_t { kErased, kProgrammed, kTorn };
+
+  static constexpr uint64_t kPowerFailureDisarmed = ~uint64_t{0};
 
   struct Block {
     std::vector<uint8_t> data;   // allocated lazily, pages_per_block pages
@@ -87,6 +126,7 @@ class FlashDevice {
     std::vector<PageOob> oob;
     uint32_t next_page = 0;      // in-order program cursor
     uint64_t erase_count = 0;
+    bool bad = false;            // grown bad block (program/erase fail)
   };
 
   Status CheckAlive() const;
@@ -96,6 +136,12 @@ class FlashDevice {
   // Schedules `latency` on `bank`; returns completion time.
   SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency);
   void StallIfBufferFull();
+  // Decides whether the current (already counted) op fails, consuming any
+  // matching one-shot script entry.
+  bool FaultFires(std::vector<uint64_t>& scripted, uint64_t op_count,
+                  uint64_t period, double prob);
+  // Poisson draw of raw bit errors for one read of a page in `blk`.
+  uint32_t SampleBitErrors(const Block& blk, uint32_t retry_level);
 
   const FlashConfig config_;
   SimClock* const clock_;
@@ -104,9 +150,18 @@ class FlashDevice {
   // Completion times of in-flight programs (bounded by write_buffer_pages).
   std::vector<SimNanos> inflight_;
   FlashStats stats_;
-  uint64_t fail_after_programs_ = 0;  // 0 = disarmed
+  uint64_t fail_after_programs_ = kPowerFailureDisarmed;
   bool failed_ = false;
+  // Fault-injection state: absolute op numbers of scripted failures, the
+  // periodic settings, and op counters.
+  std::vector<uint64_t> scripted_program_fails_;
+  std::vector<uint64_t> scripted_erase_fails_;
+  uint64_t program_fail_period_ = 0;
+  uint64_t erase_fail_period_ = 0;
+  uint64_t program_ops_ = 0;
+  uint64_t erase_ops_ = 0;
   Rng garbage_rng_{0xdeadbeef};
+  Rng fault_rng_;
 };
 
 }  // namespace xftl::flash

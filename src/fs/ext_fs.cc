@@ -730,18 +730,27 @@ Status ExtFs::CommitDirty(Ino ino) {
       for (auto* e : data_entries) {
         XFTL_RETURN_IF_ERROR(dev_->TxWrite(tid, e->page, e->data.data()));
         stats_.data_page_writes++;
+      }
+      for (auto* e : meta_entries) {
+        XFTL_RETURN_IF_ERROR(dev_->TxWrite(tid, e->page, e->data.data()));
+        stats_.metadata_page_writes++;
+      }
+      XFTL_RETURN_IF_ERROR(dev_->TxCommit(tid));
+      // Entries flip clean only once the whole transaction committed. If a
+      // TxWrite fails part-way (the device degrading to read-only, say), the
+      // written slots are still uncommitted device-side and IoctlAbort must
+      // find these entries dirty so it discards them — otherwise the cache
+      // would keep serving the aborted contents.
+      for (auto* e : data_entries) {
         e->dirty = false;
         e->pinned = false;
         e->tid = 0;
       }
       for (auto* e : meta_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->TxWrite(tid, e->page, e->data.data()));
-        stats_.metadata_page_writes++;
         e->dirty = false;
         e->pinned = false;
         e->tid = 0;
       }
-      XFTL_RETURN_IF_ERROR(dev_->TxCommit(tid));
       for (Ino m : members) {
         active_tid_.erase(m);
         tx_groups_.erase(m);

@@ -38,6 +38,11 @@ class FtlInterface {
   // Rebuilds all volatile state from flash after a power failure.
   virtual Status Recover() = 0;
 
+  // True once the device degraded to read-only mode (spare blocks or the
+  // meta region exhausted by grown bad blocks). Writes, trims and barriers
+  // return ResourceExhausted; reads keep working.
+  virtual bool read_only() const { return false; }
+
   virtual const FtlStats& stats() const = 0;
   virtual void ResetStats() = 0;
 };

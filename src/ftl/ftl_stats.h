@@ -23,11 +23,18 @@ struct FtlStats {
   uint64_t block_erases = 0;
   // Barriers / commits.
   uint64_t flush_barriers = 0;
+  // NAND failure handling (grown-bad-block management + ECC).
+  uint64_t grown_bad_blocks = 0;      // blocks retired after status failures
+  uint64_t program_fail_reissues = 0; // in-flight pages re-issued elsewhere
+  uint64_t retire_relocations = 0;    // valid pages moved off retiring blocks
+  uint64_t ecc_read_retries = 0;      // read-retry rounds by the ECC engine
+  uint64_t pages_lost = 0;            // unrecoverable pages dropped at retire
 
   // Total physical page programs, as the paper's Table 1 "Write" column
   // counts them (host + copied-back + metadata).
   uint64_t TotalPageWrites() const {
-    return host_page_writes + gc_copyback_writes + meta_page_writes;
+    return host_page_writes + gc_copyback_writes + meta_page_writes +
+           retire_relocations;
   }
   uint64_t TotalPageReads() const {
     return host_page_reads + gc_copyback_reads;

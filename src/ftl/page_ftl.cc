@@ -12,12 +12,14 @@ namespace xftl::ftl {
 namespace {
 constexpr uint32_t kRootMagic = 0x5846524f;  // "XFRO"
 // Root record layout: magic(4) seq(8) num_segments(4) ppn[num_segments](4*)
-// crc(4). Everything little-endian.
+// num_bad(4) bad_block[num_bad](4*) crc(4). Everything little-endian.
 constexpr size_t kRootHeaderSize = 4 + 8 + 4;
 }  // namespace
 
 PageFtl::PageFtl(flash::FlashDevice* device, const FtlConfig& config)
-    : device_(device), config_(config) {
+    : device_(device),
+      config_(config),
+      ecc_(config.ecc, device->clock(), &stats_) {
   const auto& fc = device_->config();
   CHECK_GT(config_.num_logical_pages, 0u);
   CHECK_GE(config_.meta_blocks, 2u);
@@ -62,6 +64,11 @@ void PageFtl::InitLayout() {
   last_root_seq_ = 0;
   meta_active_ = 0;
   meta_next_page_ = 0;
+  bad_blocks_.clear();
+  bad_blocks_dirty_ = false;
+  read_only_ = false;
+  read_only_reason_.clear();
+  retire_depth_ = 0;
 }
 
 flash::Ppn PageFtl::MappingOf(Lpn lpn) const {
@@ -79,7 +86,7 @@ Status PageFtl::Read(Lpn lpn, uint8_t* data) {
     std::memset(data, 0xff, page_size());
     return Status::OK();
   }
-  return device_->ReadPage(ppn, data);
+  return ReadPhysPage(ppn, data);
 }
 
 Status PageFtl::Write(Lpn lpn, const uint8_t* data) {
@@ -97,6 +104,7 @@ Status PageFtl::Trim(Lpn lpn) {
   if (lpn >= config_.num_logical_pages) {
     return Status::OutOfRange("lpn " + std::to_string(lpn));
   }
+  XFTL_RETURN_IF_ERROR(CheckWritable());
   if (l2p_[lpn] != flash::kInvalidPpn) {
     InvalidatePpn(l2p_[lpn]);
     ClearMapping(lpn);
@@ -105,6 +113,7 @@ Status PageFtl::Trim(Lpn lpn) {
 }
 
 Status PageFtl::Flush() {
+  XFTL_RETURN_IF_ERROR(CheckWritable());
   // Data first: the mapping must never point at pages that did not finish
   // programming.
   device_->SyncAll();
@@ -123,6 +132,7 @@ Status PageFtl::Flush() {
 
 StatusOr<flash::Ppn> PageFtl::ProgramDataPage(Lpn lpn, const uint8_t* data,
                                               uint64_t tag) {
+  XFTL_RETURN_IF_ERROR(CheckWritable());
   XFTL_RETURN_IF_ERROR(MaybeGarbageCollect());
   flash::Ppn ppn;
   XFTL_RETURN_IF_ERROR(ProgramDataPageNoGc(lpn, data, tag, &ppn));
@@ -131,34 +141,20 @@ StatusOr<flash::Ppn> PageFtl::ProgramDataPage(Lpn lpn, const uint8_t* data,
 
 StatusOr<flash::Ppn> PageFtl::ProgramDataPageOob(const uint8_t* data,
                                                  const flash::PageOob& oob) {
+  XFTL_RETURN_IF_ERROR(CheckWritable());
   XFTL_RETURN_IF_ERROR(MaybeGarbageCollect());
-  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextDataPpnNoGc());
-  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
-  const auto& fc = device_->config();
-  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
-  uint32_t page = fc.PageInBlock(ppn);
-  blk.valid[page] = true;
-  blk.valid_count++;
-  blk.rmap[page] = oob.lpn;
+  flash::Ppn ppn;
+  XFTL_RETURN_IF_ERROR(ProgramWithRetirement(data, oob, &ppn));
   return ppn;
 }
 
 Status PageFtl::ProgramDataPageNoGc(Lpn lpn, const uint8_t* data, uint64_t tag,
                                     flash::Ppn* out) {
-  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextDataPpnNoGc());
   flash::PageOob oob;
   oob.lpn = lpn;
   oob.seq = next_seq_++;
   oob.tag = tag;
-  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
-  const auto& fc = device_->config();
-  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
-  uint32_t page = fc.PageInBlock(ppn);
-  blk.valid[page] = true;
-  blk.valid_count++;
-  blk.rmap[page] = lpn;
-  *out = ppn;
-  return Status::OK();
+  return ProgramWithRetirement(data, oob, out);
 }
 
 StatusOr<flash::Ppn> PageFtl::NextDataPpnNoGc() {
@@ -197,6 +193,167 @@ StatusOr<flash::Ppn> PageFtl::NextDataPpnNoGc() {
                       active_next_page_[bank]++);
   }
   return Status::ResourceExhausted("no free flash blocks");
+}
+
+// ---------------------------------------------------------------------------
+// NAND failure handling
+// ---------------------------------------------------------------------------
+
+Status PageFtl::CheckWritable() const {
+  if (read_only_) {
+    return Status::ResourceExhausted("FTL is read-only: " + read_only_reason_);
+  }
+  return Status::OK();
+}
+
+void PageFtl::EnterReadOnly(const std::string& reason) {
+  if (read_only_) return;
+  read_only_ = true;
+  read_only_reason_ = reason;
+}
+
+uint32_t PageFtl::UsableMetaBlocks() const {
+  uint32_t usable = 0;
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    if (blocks_[b].kind != BlockInfo::Kind::kBad) usable++;
+  }
+  return usable;
+}
+
+void PageFtl::UpdateDegradation() {
+  const auto& fc = device_->config();
+  uint32_t bad_data = 0;
+  for (flash::BlockNum b : bad_blocks_) {
+    if (b >= config_.meta_blocks) bad_data++;
+  }
+  // Data floor: the surviving blocks must hold the logical space plus the GC
+  // reserve plus the configured spare margin, or GC would grind forever on
+  // near-full victims and eventually wedge mid-write.
+  uint64_t usable_data_pages =
+      uint64_t(fc.num_blocks - config_.meta_blocks - bad_data) *
+      fc.pages_per_block;
+  uint64_t floor =
+      config_.num_logical_pages +
+      uint64_t(config_.min_free_blocks + config_.read_only_spare_blocks) *
+          fc.pages_per_block;
+  if (usable_data_pages < floor) {
+    EnterReadOnly(std::to_string(bad_data) +
+                  " grown bad data blocks exhausted the spare pool");
+  }
+  // Meta floor: compaction needs an active block plus an erased reserve.
+  if (UsableMetaBlocks() < 2) {
+    EnterReadOnly("meta region lost its reserve block to grown bad blocks");
+  }
+}
+
+void PageFtl::MarkBlockBad(flash::BlockNum block) {
+  BlockInfo& blk = blocks_[block];
+  free_blocks_.erase(
+      std::remove(free_blocks_.begin(), free_blocks_.end(), block),
+      free_blocks_.end());
+  for (auto& a : active_blocks_) {
+    if (a == block) a = flash::kInvalidPpn;
+  }
+  blk.kind = BlockInfo::Kind::kBad;
+  blk.valid.clear();
+  blk.rmap.clear();
+  blk.valid_count = 0;
+  if (std::find(bad_blocks_.begin(), bad_blocks_.end(), block) ==
+      bad_blocks_.end()) {
+    bad_blocks_.push_back(block);
+    bad_blocks_dirty_ = true;
+    stats_.grown_bad_blocks++;
+  }
+  UpdateDegradation();
+}
+
+Status PageFtl::ProgramWithRetirement(const uint8_t* data,
+                                      const flash::PageOob& oob,
+                                      flash::Ppn* out) {
+  const auto& fc = device_->config();
+  for (;;) {
+    XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextDataPpnNoGc());
+    Status s = device_->ProgramPage(ppn, data, oob);
+    if (s.ok()) {
+      BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+      uint32_t page = fc.PageInBlock(ppn);
+      blk.valid[page] = true;
+      blk.valid_count++;
+      blk.rmap[page] = oob.lpn;
+      *out = ppn;
+      return Status::OK();
+    }
+    // Power loss and FTL programming bugs (out-of-order, out-of-range) must
+    // propagate; only a status failure on a live device triggers retirement.
+    if (device_->HasFailed() || s.code() != StatusCode::kIoError) return s;
+    // Program status failure: the containing block has grown bad. Relocate
+    // its surviving valid pages, retire it, and re-issue this page on a
+    // fresh block. The failed (torn) page itself was never marked valid.
+    stats_.program_fail_reissues++;
+    XFTL_RETURN_IF_ERROR(RetireBlock(fc.BlockOf(ppn)));
+  }
+}
+
+Status PageFtl::RetireBlock(flash::BlockNum block) {
+  const auto& fc = device_->config();
+  BlockInfo& blk = blocks_[block];
+  if (blk.kind == BlockInfo::Kind::kBad) return Status::OK();
+  if (retire_depth_ >= 8) {
+    EnterReadOnly("cascading program failures while retiring blocks");
+    return CheckWritable();
+  }
+  retire_depth_++;
+  // Detach from the allocator first, so re-issued programs can never land
+  // back on the failing block.
+  for (auto& a : active_blocks_) {
+    if (a == block) a = flash::kInvalidPpn;
+  }
+  Status result = Status::OK();
+  std::vector<uint8_t> buf(fc.page_size);
+  if (!blk.valid.empty()) {
+    for (uint32_t p = 0; p < fc.pages_per_block && result.ok(); ++p) {
+      if (!blk.valid[p]) continue;
+      flash::Ppn from = flash::Ppn(uint64_t(block) * fc.pages_per_block + p);
+      Lpn lpn = blk.rmap[p];
+      flash::PageOob old_oob;
+      Status rs = ReadPhysPage(from, buf.data(), &old_oob);
+      if (!rs.ok()) {
+        if (device_->HasFailed()) {
+          result = rs;
+          break;
+        }
+        // Uncorrectable (or torn) page: its content cannot be saved. Drop
+        // the mapping instead of wedging the retirement.
+        stats_.pages_lost++;
+        InvalidatePpn(from);
+        if (lpn < l2p_.size() && l2p_[lpn] == from) ClearMapping(lpn);
+        continue;
+      }
+      flash::PageOob reloc;
+      reloc.lpn = lpn;
+      reloc.seq = next_seq_++;
+      bool in_l2p = lpn < l2p_.size() && l2p_[lpn] == from;
+      reloc.tag = in_l2p ? kTagData : old_oob.tag;
+      if (!in_l2p && old_oob.tag == kTagSccData) {
+        reloc.seq = old_oob.seq;
+        reloc.link_lpn = old_oob.link_lpn;
+        reloc.link_seq = old_oob.link_seq;
+      }
+      flash::Ppn to;
+      Status ps = ProgramWithRetirement(buf.data(), reloc, &to);
+      if (!ps.ok()) {
+        result = ps;
+        break;
+      }
+      stats_.retire_relocations++;
+      InvalidatePpn(from);
+      if (in_l2p) SetMapping(lpn, to);
+      OnPageRelocated(lpn, from, to);
+    }
+  }
+  retire_depth_--;
+  if (result.ok()) MarkBlockBad(block);
+  return result;
 }
 
 void PageFtl::InvalidatePpn(flash::Ppn ppn) {
@@ -249,7 +406,18 @@ void PageFtl::OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to) {}
 
 Status PageFtl::MaybeGarbageCollect() {
   while (free_blocks_.size() < config_.min_free_blocks) {
-    XFTL_RETURN_IF_ERROR(CollectOneBlock());
+    Status s = CollectOneBlock();
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted &&
+          !device_->HasFailed()) {
+        // Out of victims or out of space mid-collection: the device cannot
+        // reclaim enough blocks to keep writing. Degrade instead of wedging.
+        EnterReadOnly("garbage collection cannot reclaim space: " +
+                      s.ToString());
+        return CheckWritable();
+      }
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -315,10 +483,18 @@ Status PageFtl::CollectOneBlock() {
     flash::Ppn from = flash::Ppn(uint64_t(victim) * fc.pages_per_block + p);
     Lpn lpn = blk.rmap[p];
     flash::PageOob old_oob;
-    XFTL_RETURN_IF_ERROR(device_->ReadPage(from, buf.data(), &old_oob));
+    Status rs = ReadPhysPage(from, buf.data(), &old_oob);
+    if (!rs.ok()) {
+      if (device_->HasFailed()) return rs;
+      // Uncorrectable page in the victim: the content is already gone; drop
+      // the mapping rather than aborting the collection.
+      stats_.pages_lost++;
+      InvalidatePpn(from);
+      if (lpn < l2p_.size() && l2p_[lpn] == from) ClearMapping(lpn);
+      continue;
+    }
     stats_.gc_copyback_reads++;
 
-    XFTL_ASSIGN_OR_RETURN(flash::Ppn to, NextDataPpnNoGc());
     flash::PageOob oob;
     oob.lpn = lpn;
     oob.seq = next_seq_++;
@@ -336,19 +512,23 @@ Status PageFtl::CollectOneBlock() {
       oob.link_lpn = old_oob.link_lpn;
       oob.link_seq = old_oob.link_seq;
     }
-    XFTL_RETURN_IF_ERROR(device_->ProgramPage(to, buf.data(), oob));
+    flash::Ppn to;
+    XFTL_RETURN_IF_ERROR(ProgramWithRetirement(buf.data(), oob, &to));
     stats_.gc_copyback_writes++;
-    BlockInfo& to_blk = blocks_[fc.BlockOf(to)];
-    uint32_t to_page = fc.PageInBlock(to);
-    to_blk.valid[to_page] = true;
-    to_blk.valid_count++;
-    to_blk.rmap[to_page] = lpn;
 
     if (lpn < l2p_.size() && l2p_[lpn] == from) SetMapping(lpn, to);
     OnPageRelocated(lpn, from, to);
   }
 
-  XFTL_RETURN_IF_ERROR(device_->EraseBlock(victim));
+  Status es = device_->EraseBlock(victim);
+  if (!es.ok()) {
+    if (device_->HasFailed() || es.code() != StatusCode::kIoError) return es;
+    // Erase status failure: the victim becomes a grown bad block instead of
+    // returning to the free pool; its valid pages were relocated above, so
+    // the collection itself succeeded — the caller just gained no block.
+    MarkBlockBad(victim);
+    return Status::OK();
+  }
   stats_.block_erases++;
   blk.kind = BlockInfo::Kind::kFree;
   blk.valid.clear();
@@ -364,8 +544,12 @@ Status PageFtl::CollectOneBlock() {
 
 StatusOr<flash::Ppn> PageFtl::NextMetaPpn() {
   const auto& fc = device_->config();
-  if (meta_next_page_ >= fc.pages_per_block ||
-      device_->NextProgramPage(meta_active_) != meta_next_page_) {
+  if (blocks_[meta_active_].kind == BlockInfo::Kind::kBad) {
+    // The active meta block grew bad mid-write; force a move. Its already-
+    // programmed pages stay readable, so nothing persisted is lost.
+    meta_next_page_ = fc.pages_per_block;
+  } else if (meta_next_page_ >= fc.pages_per_block ||
+             device_->NextProgramPage(meta_active_) != meta_next_page_) {
     meta_next_page_ = device_->NextProgramPage(meta_active_);
   }
   if (meta_next_page_ >= fc.pages_per_block) {
@@ -373,7 +557,8 @@ StatusOr<flash::Ppn> PageFtl::NextMetaPpn() {
     // only the reserve block remains.
     std::vector<flash::BlockNum> erased;
     for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
-      if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+      if (b != meta_active_ && blocks_[b].kind != BlockInfo::Kind::kBad &&
+          device_->NextProgramPage(b) == 0) {
         erased.push_back(b);
       }
     }
@@ -403,18 +588,29 @@ StatusOr<flash::Ppn> PageFtl::NextMetaPpn() {
 
 Status PageFtl::ProgramMetaPage(uint64_t tag, uint64_t aux,
                                 const uint8_t* data) {
-  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextMetaPpn());
-  flash::PageOob oob;
-  oob.lpn = aux;
-  oob.seq = next_seq_++;
-  oob.tag = tag;
-  XFTL_RETURN_IF_ERROR(device_->ProgramPage(ppn, data, oob));
-  stats_.meta_page_writes++;
-  if (tag == kTagMetaSegment) {
-    DCHECK_LT(aux, segment_snapshot_ppn_.size());
-    segment_snapshot_ppn_[uint32_t(aux)] = ppn;
+  const auto& fc = device_->config();
+  for (;;) {
+    XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, NextMetaPpn());
+    flash::PageOob oob;
+    oob.lpn = aux;
+    oob.seq = next_seq_++;
+    oob.tag = tag;
+    Status s = device_->ProgramPage(ppn, data, oob);
+    if (s.ok()) {
+      stats_.meta_page_writes++;
+      if (tag == kTagMetaSegment) {
+        DCHECK_LT(aux, segment_snapshot_ppn_.size());
+        segment_snapshot_ppn_[uint32_t(aux)] = ppn;
+      }
+      return Status::OK();
+    }
+    if (device_->HasFailed() || s.code() != StatusCode::kIoError) return s;
+    // Program status failure in the meta ring: the active meta block has
+    // grown bad. Earlier pages on it stay readable (recovery tolerates bad
+    // meta blocks), so just mark it and re-issue on the next good block.
+    stats_.program_fail_reissues++;
+    MarkBlockBad(fc.BlockOf(ppn));
   }
-  return Status::OK();
 }
 
 Status PageFtl::CompactMetaRegion() {
@@ -424,7 +620,8 @@ Status PageFtl::CompactMetaRegion() {
   // ordered by sequence number.
   flash::BlockNum target = flash::kInvalidPpn;
   for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
-    if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+    if (b != meta_active_ && blocks_[b].kind != BlockInfo::Kind::kBad &&
+        device_->NextProgramPage(b) == 0) {
       target = b;
       break;
     }
@@ -439,9 +636,17 @@ Status PageFtl::CompactMetaRegion() {
   XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
   device_->SyncAll();
   for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
-    if (b == target) continue;
+    if (b == meta_active_) continue;
+    if (blocks_[b].kind == BlockInfo::Kind::kBad) continue;
     if (device_->NextProgramPage(b) == 0) continue;
-    XFTL_RETURN_IF_ERROR(device_->EraseBlock(b));
+    Status es = device_->EraseBlock(b);
+    if (!es.ok()) {
+      if (device_->HasFailed() || es.code() != StatusCode::kIoError) return es;
+      // An erase-failed meta block holds only garbage (every page torn), so
+      // no stale root can resurface from it; just retire it.
+      MarkBlockBad(b);
+      continue;
+    }
     stats_.block_erases++;
   }
   return Status::OK();
@@ -464,7 +669,7 @@ Status PageFtl::PersistMapping() {
     segment_dirty_[seg] = false;
     wrote_segment = true;
   }
-  if (wrote_segment || last_root_seq_ == 0) {
+  if (wrote_segment || last_root_seq_ == 0 || bad_blocks_dirty_) {
     XFTL_RETURN_IF_ERROR(WriteRootRecord());
   }
   return Status::OK();
@@ -482,10 +687,22 @@ Status PageFtl::WriteRootRecord() {
     EncodeFixed32(buf.data() + off, segment_snapshot_ppn_[seg]);
     off += 4;
   }
+  // Grown-bad-block list: physical damage must survive power cycles, so it
+  // rides with the root record. A device still worth writing to has far
+  // fewer bad blocks than fit here; cap defensively regardless.
+  size_t max_bad = (fc.page_size - off - 8) / 4;
+  uint32_t nbad = uint32_t(std::min(bad_blocks_.size(), max_bad));
+  EncodeFixed32(buf.data() + off, nbad);
+  off += 4;
+  for (uint32_t i = 0; i < nbad; ++i) {
+    EncodeFixed32(buf.data() + off, bad_blocks_[i]);
+    off += 4;
+  }
   uint32_t crc = Crc32c(buf.data(), off);
   EncodeFixed32(buf.data() + off, crc);
   XFTL_RETURN_IF_ERROR(ProgramMetaPage(kTagMetaRoot, 0, buf.data()));
   last_root_seq_ = seq;
+  bad_blocks_dirty_ = false;
   return Status::OK();
 }
 
@@ -503,6 +720,27 @@ Status PageFtl::Recover() {
   XFTL_RETURN_IF_ERROR(RollForwardDataBlocks());
   RebuildBlockState();
   XFTL_RETURN_IF_ERROR(FinishRecovery());
+
+  // Re-apply grown bad blocks: the persisted list, plus blocks the device
+  // reports bad that failed after the last root record was written. A bad
+  // data block may still hold the newest readable copy of some pages (a
+  // crash can interrupt its retirement), so RetireBlock moves them off
+  // before flagging it; bad meta blocks were already scanned above.
+  std::vector<flash::BlockNum> known_bad = bad_blocks_;
+  for (flash::BlockNum b = 0; b < fc.num_blocks; ++b) {
+    if (device_->IsBadBlock(b) &&
+        std::find(known_bad.begin(), known_bad.end(), b) == known_bad.end()) {
+      known_bad.push_back(b);
+    }
+  }
+  for (flash::BlockNum b : known_bad) {
+    if (b < config_.meta_blocks) {
+      MarkBlockBad(b);
+    } else {
+      XFTL_RETURN_IF_ERROR(RetireBlock(b));
+    }
+  }
+  UpdateDegradation();
   scan_oob_.clear();
 
   // The meta ring's compaction invariant requires at least one ERASED
@@ -512,17 +750,34 @@ Status PageFtl::Recover() {
   // fresh checkpoint.
   bool has_erased_reserve = false;
   for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
-    if (b != meta_active_ && device_->NextProgramPage(b) == 0) {
+    if (b != meta_active_ && blocks_[b].kind != BlockInfo::Kind::kBad &&
+        device_->NextProgramPage(b) == 0) {
       has_erased_reserve = true;
       break;
     }
   }
   if (!has_erased_reserve) {
+    flash::BlockNum first_good = flash::kInvalidPpn;
     for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
-      XFTL_RETURN_IF_ERROR(device_->EraseBlock(b));
+      if (blocks_[b].kind == BlockInfo::Kind::kBad) continue;
+      Status es = device_->EraseBlock(b);
+      if (!es.ok()) {
+        if (device_->HasFailed() || es.code() != StatusCode::kIoError) {
+          return es;
+        }
+        MarkBlockBad(b);
+        continue;
+      }
       stats_.block_erases++;
+      if (first_good == flash::kInvalidPpn) first_good = b;
     }
-    meta_active_ = 0;
+    if (first_good == flash::kInvalidPpn) {
+      // Every meta block is bad: nothing can ever be persisted again, but
+      // the recovered state is fully readable.
+      EnterReadOnly("meta region has no usable blocks left");
+      return Status::OK();
+    }
+    meta_active_ = first_good;
     meta_next_page_ = 0;
     std::fill(segment_snapshot_ppn_.begin(), segment_snapshot_ppn_.end(),
               flash::kInvalidPpn);
@@ -556,15 +811,21 @@ Status PageFtl::ScanMetaRegion() {
       const flash::PageOob& oob = *oob_opt;
       max_seq = std::max(max_seq, oob.seq);
       if (oob.tag == kTagMetaRoot) {
-        if (oob.seq > best_seq && device_->ReadPage(ppn, buf.data()).ok()) {
+        if (oob.seq > best_seq && ReadPhysPage(ppn, buf.data()).ok()) {
           uint32_t nseg = DecodeFixed32(buf.data() + 12);
           if (DecodeFixed32(buf.data()) == kRootMagic &&
               nseg == num_segments()) {
-            size_t crc_off = kRootHeaderSize + size_t(nseg) * 4;
-            uint32_t crc = DecodeFixed32(buf.data() + crc_off);
-            if (crc == Crc32c(buf.data(), crc_off)) {
-              best_seq = oob.seq;
-              best_root = ppn;
+            size_t nbad_off = kRootHeaderSize + size_t(nseg) * 4;
+            if (nbad_off + 8 <= fc.page_size) {
+              uint32_t nbad = DecodeFixed32(buf.data() + nbad_off);
+              size_t crc_off = nbad_off + 4 + size_t(nbad) * 4;
+              if (crc_off + 4 <= fc.page_size) {
+                uint32_t crc = DecodeFixed32(buf.data() + crc_off);
+                if (crc == Crc32c(buf.data(), crc_off)) {
+                  best_seq = oob.seq;
+                  best_root = ppn;
+                }
+              }
             }
           }
         }
@@ -586,14 +847,17 @@ Status PageFtl::ScanMetaRegion() {
             });
   std::vector<uint8_t> page(fc.page_size);
   for (const MetaPage& mp : subclass_pages) {
-    if (!device_->ReadPage(mp.ppn, page.data()).ok()) continue;  // torn
+    if (!ReadPhysPage(mp.ppn, page.data()).ok()) continue;  // torn
     OnMetaPageScanned(mp.oob, page);
   }
 
-  // Position the meta cursor on a block with erased space.
+  // Position the meta cursor on a good block with erased space.
   meta_active_ = 0;
   meta_next_page_ = fc.pages_per_block;
   for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    if (blocks_[b].kind == BlockInfo::Kind::kBad || device_->IsBadBlock(b)) {
+      continue;
+    }
     uint32_t np = device_->NextProgramPage(b);
     if (np < fc.pages_per_block) {
       // Prefer a partially written block; else any erased one.
@@ -610,7 +874,7 @@ Status PageFtl::ScanMetaRegion() {
 Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
   const auto& fc = device_->config();
   std::vector<uint8_t> buf(fc.page_size);
-  XFTL_RETURN_IF_ERROR(device_->ReadPage(root_ppn, buf.data()));
+  XFTL_RETURN_IF_ERROR(ReadPhysPage(root_ppn, buf.data()));
   last_root_seq_ = DecodeFixed64(buf.data() + 4);
   uint32_t nseg = DecodeFixed32(buf.data() + 12);
   std::vector<uint8_t> seg_buf(fc.page_size);
@@ -618,7 +882,7 @@ Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
     flash::Ppn sppn = DecodeFixed32(buf.data() + kRootHeaderSize + size_t(seg) * 4);
     segment_snapshot_ppn_[seg] = sppn;
     if (sppn == flash::kInvalidPpn) continue;
-    Status s = device_->ReadPage(sppn, seg_buf.data());
+    Status s = ReadPhysPage(sppn, seg_buf.data());
     if (!s.ok()) {
       return Status::Corruption("unreadable L2P segment " +
                                 std::to_string(seg) + ": " + s.ToString());
@@ -630,6 +894,21 @@ Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
       l2p_[lpn] = DecodeFixed32(seg_buf.data() + size_t(i) * 4);
     }
   }
+  // Grown-bad-block list: physical damage recorded by the previous life of
+  // the drive. Meta blocks are flagged immediately (the meta cursor and
+  // compaction consult kinds); data blocks are re-marked after the block
+  // scan rebuilds their state, so any still-live pages get relocated.
+  size_t off = kRootHeaderSize + size_t(nseg) * 4;
+  uint32_t nbad = DecodeFixed32(buf.data() + off);
+  off += 4;
+  bad_blocks_.clear();
+  for (uint32_t i = 0; i < nbad; ++i, off += 4) {
+    flash::BlockNum b = DecodeFixed32(buf.data() + off);
+    if (b >= fc.num_blocks) continue;
+    bad_blocks_.push_back(b);
+    if (b < config_.meta_blocks) blocks_[b].kind = BlockInfo::Kind::kBad;
+  }
+  bad_blocks_dirty_ = false;
   return Status::OK();
 }
 
@@ -664,7 +943,7 @@ Status PageFtl::RollForwardDataBlocks() {
                 return a.seq > b.seq;
               });
     for (const Candidate& c : list) {
-      if (device_->ReadPage(c.ppn, buf.data()).ok()) {
+      if (ReadPhysPage(c.ppn, buf.data()).ok()) {
         l2p_[lpn] = c.ppn;
         segment_dirty_[SegmentOf(lpn)] = true;
         break;

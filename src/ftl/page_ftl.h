@@ -17,11 +17,13 @@
 #define XFTL_FTL_PAGE_FTL_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "flash/flash_device.h"
+#include "ftl/ecc.h"
 #include "ftl/ftl_interface.h"
 
 namespace xftl::ftl {
@@ -67,6 +69,13 @@ struct FtlConfig {
   // any mapping that was not checkpointed). Research firmware like the
   // OpenSSD's persists the mapping synchronously instead.
   bool fast_barrier = false;
+  // ECC strength and read-retry policy for every flash read the FTL issues.
+  EccConfig ecc;
+  // Graceful degradation floor: the FTL turns read-only when the usable
+  // (non-bad) data blocks can no longer hold the logical space plus the GC
+  // reserve plus this many spare blocks. Writes then fail with
+  // ResourceExhausted instead of wedging GC or CHECK-crashing.
+  uint32_t read_only_spare_blocks = 1;
 };
 
 class PageFtl : public FtlInterface {
@@ -102,6 +111,12 @@ class PageFtl : public FtlInterface {
   // Current mapping of `lpn` (kInvalidPpn if unmapped). Tests only.
   flash::Ppn MappingOf(Lpn lpn) const;
 
+  // --- NAND failure handling observability --------------------------------
+  bool read_only() const override { return read_only_; }
+  // Grown bad blocks currently known to the FTL (data + meta).
+  size_t bad_block_count() const { return bad_blocks_.size(); }
+  const std::vector<flash::BlockNum>& bad_blocks() const { return bad_blocks_; }
+
  protected:
   // --- hooks overridden by X-FTL ------------------------------------------
   // True if physical page `ppn` (holding logical page `lpn`) must be kept
@@ -133,6 +148,15 @@ class PageFtl : public FtlInterface {
   }
 
   // --- services exposed to subclasses -------------------------------------
+  // Reads a physical page through the ECC decode/read-retry pipeline. All
+  // FTL-side flash reads (host path, GC, recovery, subclass tables) go
+  // through this so wear-driven bit errors are corrected uniformly.
+  Status ReadPhysPage(flash::Ppn ppn, uint8_t* data,
+                      flash::PageOob* oob = nullptr) {
+    return ecc_.Read(device_, ppn, data, oob);
+  }
+  // Fails with ResourceExhausted once the FTL has degraded to read-only.
+  Status CheckWritable() const;
   // Allocates and programs the next data page; returns its ppn. Runs GC if
   // the free pool is low. The new page's valid bit is set and rmap updated;
   // L2P is NOT touched (callers decide, so X-FTL can defer to commit).
@@ -179,7 +203,7 @@ class PageFtl : public FtlInterface {
 
  private:
   struct BlockInfo {
-    enum class Kind : uint8_t { kMeta, kFree, kActive, kSealed };
+    enum class Kind : uint8_t { kMeta, kFree, kActive, kSealed, kBad };
     Kind kind = Kind::kFree;
     uint32_t valid_count = 0;
     uint64_t sealed_seq = 0;  // write sequence when sealed (GC age)
@@ -198,6 +222,27 @@ class PageFtl : public FtlInterface {
   StatusOr<flash::Ppn> NextDataPpnNoGc();
   Status ProgramDataPageNoGc(Lpn lpn, const uint8_t* data, uint64_t tag,
                              flash::Ppn* out);
+
+  // --- NAND failure handling ----------------------------------------------
+  // Programs `oob.lpn`'s data onto the next data page, retiring blocks whose
+  // programs fail with a status error and re-issuing until one sticks (or
+  // power fails / spares run out). Updates validity + rmap on success.
+  Status ProgramWithRetirement(const uint8_t* data, const flash::PageOob& oob,
+                               flash::Ppn* out);
+  // Relocates every valid page off `block`, then marks it as a grown bad
+  // block. Used for program-status failures; erase failures have nothing
+  // left to relocate and go through MarkBlockBad directly.
+  Status RetireBlock(flash::BlockNum block);
+  // Bookkeeping shared by every retirement path: flips the BlockInfo to
+  // kBad, records it in the persisted bad-block list, and re-evaluates the
+  // degradation floor.
+  void MarkBlockBad(flash::BlockNum block);
+  // Transitions to read-only mode (idempotent).
+  void EnterReadOnly(const std::string& reason);
+  // Re-evaluates the read-only floor against the current bad-block counts.
+  void UpdateDegradation();
+  // Usable (non-bad) meta blocks remaining.
+  uint32_t UsableMetaBlocks() const;
 
   // Meta-region management.
   StatusOr<flash::Ppn> NextMetaPpn();
@@ -227,6 +272,19 @@ class PageFtl : public FtlInterface {
   // Meta-region cursor.
   flash::BlockNum meta_active_ = 0;
   uint32_t meta_next_page_ = 0;
+
+  // --- NAND failure state ---------------------------------------------------
+  EccEngine ecc_;
+  // Grown bad blocks (data + meta), persisted with the root record so they
+  // survive power cycles — physical damage does not heal on reboot.
+  std::vector<flash::BlockNum> bad_blocks_;
+  // True when bad_blocks_ changed since the last root record was written.
+  bool bad_blocks_dirty_ = false;
+  // Degraded mode: host-facing writes fail with ResourceExhausted.
+  bool read_only_ = false;
+  std::string read_only_reason_;
+  // Recursion guard: a retirement may itself hit a failing program.
+  int retire_depth_ = 0;
 
   // Recovery-scan OOB cache (valid only during Recover()).
   std::unordered_map<flash::Ppn, flash::PageOob> scan_oob_;

@@ -403,10 +403,14 @@ Status Pager::Commit() {
       for (Pgno pgno : dirty) {
         CacheEntry& e = cache_.at(pgno);
         XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, e.data.data()));
-        e.dirty = false;
       }
       XFTL_RETURN_IF_ERROR(fs_->Fsync(db_fd_));
       XFTL_RETURN_IF_ERROR(DeleteJournal());
+      // Only a fully committed transaction may mark its pages clean: a
+      // failure part-way (e.g. the device degrading to read-only) must leave
+      // them dirty so Rollback() drops them instead of serving stale
+      // "clean" copies.
+      for (Pgno pgno : dirty) cache_.at(pgno).dirty = false;
       break;
     }
     case SqlJournalMode::kWal: {
@@ -416,7 +420,6 @@ Status Pager::Commit() {
         bool last = i + 1 == dirty.size();
         XFTL_RETURN_IF_ERROR(AppendWalFrame(
             dirty[i], e.data.data(), last ? page_count_ : 0));
-        e.dirty = false;
       }
       if (dirty.empty()) {
         // Everything was stolen into the WAL already; emit a pure commit
@@ -432,6 +435,9 @@ Status Pager::Commit() {
       wal_uncommitted_.clear();
       wal_committed_end_ = wal_append_off_;
       wal_committed_crc_ = wal_prev_crc_;
+      // Clean bits flip only after the fsync: a failed append/sync leaves
+      // the pages dirty for Rollback() to drop.
+      for (Pgno pgno : dirty) cache_.at(pgno).dirty = false;
       if (wal_frames_since_checkpoint_ >= options_.wal_autocheckpoint) {
         XFTL_RETURN_IF_ERROR(CheckpointWal());
       }
@@ -445,9 +451,9 @@ Status Pager::Commit() {
       for (Pgno pgno : dirty) {
         CacheEntry& e = cache_.at(pgno);
         XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, e.data.data()));
-        e.dirty = false;
       }
       XFTL_RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+      for (Pgno pgno : dirty) cache_.at(pgno).dirty = false;
       break;
     }
   }

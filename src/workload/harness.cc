@@ -41,6 +41,7 @@ Status Harness::Setup() {
                               : storage::OpenSsdSpec(config_.device_blocks, utilization);
   // X-FTL only for the X-FTL setup; the others run the original FTL.
   spec.transactional = config_.setup == Setup::kXftl;
+  spec.flash.fault = config_.fault;
   ssd_ = std::make_unique<storage::SimSsd>(spec, &clock_);
 
   if (config_.gc_valid_target > 0) {
@@ -119,6 +120,12 @@ Harness::Baseline Harness::Collect() const {
   b.gc_runs = ftl.gc_runs;
   b.erases = ftl.block_erases;
   b.gc_valid_seen = ftl.gc_valid_pages_seen;
+  b.grown_bad = ftl.grown_bad_blocks;
+  const auto& raw = ssd_->flash()->stats();
+  b.program_fails = raw.program_fails;
+  b.erase_fails = raw.erase_fails;
+  b.ecc_corrected = raw.ecc_corrected;
+  b.ecc_uncorrectable = raw.ecc_uncorrectable;
   b.time = clock_.Now();
   return b;
 }
@@ -143,6 +150,11 @@ IoSnapshot Harness::Snapshot() const {
               : double(valid) /
                     (double(gc) *
                      double(ssd_->flash()->config().pages_per_block));
+  s.program_fails = now.program_fails - baseline_.program_fails;
+  s.erase_fails = now.erase_fails - baseline_.erase_fails;
+  s.grown_bad_blocks = now.grown_bad - baseline_.grown_bad;
+  s.ecc_corrected = now.ecc_corrected - baseline_.ecc_corrected;
+  s.ecc_uncorrectable = now.ecc_uncorrectable - baseline_.ecc_uncorrectable;
   s.elapsed = now.time - baseline_.time;
   return s;
 }

@@ -17,6 +17,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "flash/flash_config.h"
 #include "fs/ext_fs.h"
 #include "sql/database.h"
 #include "storage/sim_ssd.h"
@@ -42,6 +43,9 @@ struct HarnessConfig {
   uint32_t db_cache_pages = 2000;
   uint32_t wal_autocheckpoint = 1000;
   uint64_t seed = 42;
+  // NAND failure injection for the measured device (program/erase status
+  // failures + wear-driven bit errors); zeroed = perfect media.
+  flash::FaultModel fault;
 };
 
 // Everything Table 1 reports, for one measured interval.
@@ -57,6 +61,12 @@ struct IoSnapshot {
   uint64_t gc_count = 0;
   uint64_t erase_count = 0;
   double gc_valid_ratio = 0.0;
+  // Reliability (NAND failure handling over the interval).
+  uint64_t program_fails = 0;
+  uint64_t erase_fails = 0;
+  uint64_t grown_bad_blocks = 0;
+  uint64_t ecc_corrected = 0;      // raw bits corrected by the ECC engine
+  uint64_t ecc_uncorrectable = 0;  // reads the decoder had to give up on
   // Time.
   SimNanos elapsed = 0;
 };
@@ -99,6 +109,8 @@ class Harness {
     uint64_t db_writes = 0, journal_writes = 0, fs_meta = 0, fsyncs = 0;
     uint64_t ftl_writes = 0, ftl_reads = 0, gc_runs = 0, erases = 0;
     uint64_t gc_valid_seen = 0;
+    uint64_t program_fails = 0, erase_fails = 0, grown_bad = 0;
+    uint64_t ecc_corrected = 0, ecc_uncorrectable = 0;
     SimNanos time = 0;
   };
   Baseline Collect() const;

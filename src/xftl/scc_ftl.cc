@@ -87,7 +87,7 @@ Status SccFtl::FinishRecovery() {
     for (size_t hops = 0; hops <= nodes.size(); ++hops) {
       auto it = nodes.find(cur);
       if (it == nodes.end()) break;  // missing member: incomplete
-      if (!device()->ReadPage(it->second.ppn, buf.data()).ok()) break;  // torn
+      if (!ReadPhysPage(it->second.ppn, buf.data()).ok()) break;  // torn
       path.push_back(cur);
       cur = {it->second.link_lpn, it->second.link_seq};
       if (cur == id) {

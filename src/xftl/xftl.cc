@@ -96,6 +96,7 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
   if (p >= num_logical_pages()) {
     return Status::OutOfRange("lpn " + std::to_string(p));
   }
+  XFTL_RETURN_IF_ERROR(CheckWritable());
 
   // Re-write within the same transaction: swap the physical address.
   int idx = FindActiveSlot(t, p);
@@ -141,7 +142,7 @@ Status XFtl::TxRead(TxId t, Lpn p, uint8_t* data) {
     if (idx >= 0) {
       xstats_.tx_reads++;
       stats_.host_page_reads++;
-      return device()->ReadPage(slots_[idx].new_ppn, data);
+      return ReadPhysPage(slots_[idx].new_ppn, data);
     }
   }
   return Read(p, data);
@@ -155,6 +156,10 @@ Status XFtl::TxCommit(TxId t) {
     xstats_.empty_commits++;
     return Status::OK();
   }
+  // A device that degraded to read-only mid-transaction cannot write the
+  // commit record; the transaction stays active so the caller can abort it
+  // (aborting writes nothing and is always allowed).
+  XFTL_RETURN_IF_ERROR(CheckWritable());
   std::vector<int> entries = std::move(it->second);
   by_tid_.erase(it);
 

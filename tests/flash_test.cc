@@ -210,6 +210,166 @@ TEST_F(FlashDeviceTest, ContentsSurviveReboot) {
   EXPECT_EQ(r.value()->seq, 17u);
 }
 
+// --- NAND failure injection -------------------------------------------------
+
+TEST_F(FlashDeviceTest, ArmPowerFailureZeroFailsNextProgram) {
+  // Regression: a countdown of 0 used to leave the counter in a state that
+  // never fired (it wrapped instead). Disarmed is a dedicated sentinel now,
+  // so 0 defensively means "the very next program".
+  auto data = Pattern(0xCC);
+  EXPECT_FALSE(dev_.PowerFailureArmed());
+  dev_.ArmPowerFailure(0);
+  EXPECT_TRUE(dev_.PowerFailureArmed());
+  EXPECT_EQ(dev_.ProgramPage(0, data.data(), {}).code(), StatusCode::kIoError);
+  EXPECT_TRUE(dev_.HasFailed());
+}
+
+TEST_F(FlashDeviceTest, DisarmPowerFailureCancels) {
+  auto data = Pattern(0xCD);
+  dev_.ArmPowerFailure(1);
+  dev_.DisarmPowerFailure();
+  EXPECT_FALSE(dev_.PowerFailureArmed());
+  EXPECT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());
+  EXPECT_FALSE(dev_.HasFailed());
+}
+
+TEST_F(FlashDeviceTest, ScriptedProgramFailGrowsBadBlock) {
+  auto data = Pattern(0xD0);
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {.lpn = 1}).ok());
+  dev_.ScriptProgramFail(1);
+  Status s = dev_.ProgramPage(1, data.data(), {.lpn = 2});
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // A status failure is not a power loss: the device stays alive.
+  EXPECT_FALSE(dev_.HasFailed());
+  EXPECT_TRUE(dev_.IsBadBlock(0));
+  EXPECT_EQ(dev_.stats().program_fails, 1u);
+
+  // The failed page holds garbage; earlier pages remain readable so the FTL
+  // can evacuate them.
+  std::vector<uint8_t> out(dev_.config().page_size);
+  EXPECT_EQ(dev_.ReadPage(1, out.data()).code(), StatusCode::kCorruption);
+  ASSERT_TRUE(dev_.ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out, data);
+
+  // The bad block refuses further programs and erases.
+  EXPECT_EQ(dev_.ProgramPage(2, data.data(), {}).code(), StatusCode::kIoError);
+  EXPECT_EQ(dev_.EraseBlock(0).code(), StatusCode::kIoError);
+}
+
+TEST_F(FlashDeviceTest, ScriptedEraseFailGrowsBadBlock) {
+  auto data = Pattern(0xD1);
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {.lpn = 1}).ok());
+  dev_.ScriptEraseFail(1);
+  EXPECT_EQ(dev_.EraseBlock(0).code(), StatusCode::kIoError);
+  EXPECT_FALSE(dev_.HasFailed());
+  EXPECT_TRUE(dev_.IsBadBlock(0));
+  EXPECT_EQ(dev_.stats().erase_fails, 1u);
+  // The erase pulse ran (wear accrues) but left every page garbage.
+  EXPECT_EQ(dev_.EraseCount(0), 1u);
+  std::vector<uint8_t> out(dev_.config().page_size);
+  EXPECT_EQ(dev_.ReadPage(0, out.data()).code(), StatusCode::kCorruption);
+}
+
+TEST_F(FlashDeviceTest, ScriptedFailCountdownTargetsNthOperation) {
+  auto data = Pattern(0xD2);
+  dev_.ScriptProgramFail(3);
+  EXPECT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());
+  EXPECT_TRUE(dev_.ProgramPage(1, data.data(), {}).ok());
+  EXPECT_EQ(dev_.ProgramPage(2, data.data(), {}).code(), StatusCode::kIoError);
+  EXPECT_TRUE(dev_.IsBadBlock(0));
+}
+
+TEST_F(FlashDeviceTest, BadBlockSurvivesReboot) {
+  auto data = Pattern(0xD3);
+  dev_.ScriptProgramFail(1);
+  EXPECT_FALSE(dev_.ProgramPage(0, data.data(), {}).ok());
+  ASSERT_TRUE(dev_.IsBadBlock(0));
+  dev_.ClearFailure();
+  // Grown bad blocks are physical damage; a reboot does not heal them.
+  EXPECT_TRUE(dev_.IsBadBlock(0));
+  EXPECT_EQ(dev_.EraseBlock(0).code(), StatusCode::kIoError);
+}
+
+TEST_F(FlashDeviceTest, ProbabilisticProgramFailAtOneAlwaysFires) {
+  FlashConfig cfg = SmallConfig();
+  cfg.fault.program_fail_prob = 1.0;
+  SimClock clock;
+  FlashDevice dev(cfg, &clock);
+  auto data = Pattern(0xD4);
+  EXPECT_EQ(dev.ProgramPage(0, data.data(), {}).code(), StatusCode::kIoError);
+  EXPECT_TRUE(dev.IsBadBlock(0));
+}
+
+TEST_F(FlashDeviceTest, RberReportsBitErrorsWithoutCorruptingData) {
+  FlashConfig cfg = SmallConfig();
+  cfg.fault.rber_base = 1e-3;  // 512 B page = 4096 bits -> ~4 errors/read
+  SimClock clock;
+  FlashDevice dev(cfg, &clock);
+  std::vector<uint8_t> data(cfg.page_size, 0xAB);
+  ASSERT_TRUE(dev.ProgramPage(0, data.data(), {}).ok());
+
+  std::vector<uint8_t> out(cfg.page_size);
+  uint64_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    uint32_t bit_errors = ~0u;
+    ASSERT_TRUE(dev.ReadPage(0, out.data(), nullptr, &bit_errors).ok());
+    // The buffer is returned intact — the error count is advisory, and it is
+    // the ECC engine's job to act on it.
+    EXPECT_EQ(out, data);
+    total += bit_errors;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(dev.stats().bit_flips, total);
+}
+
+TEST_F(FlashDeviceTest, ReadRetryLowersBitErrorRate) {
+  FlashConfig cfg = SmallConfig();
+  cfg.fault.rber_base = 5e-3;
+  cfg.fault.retry_rber_factor = 0.25;
+  SimClock clock;
+  FlashDevice dev(cfg, &clock);
+  std::vector<uint8_t> data(cfg.page_size, 0x5A);
+  ASSERT_TRUE(dev.ProgramPage(0, data.data(), {}).ok());
+
+  std::vector<uint8_t> out(cfg.page_size);
+  uint64_t at_level0 = 0, at_level4 = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint32_t e = 0;
+    ASSERT_TRUE(dev.ReadPage(0, out.data(), nullptr, &e, 0).ok());
+    at_level0 += e;
+    ASSERT_TRUE(dev.ReadPage(0, out.data(), nullptr, &e, 4).ok());
+    at_level4 += e;
+  }
+  // 0.25^4 = 1/256: shifted sensing voltages must cut the error rate hard.
+  EXPECT_LT(at_level4 * 10, at_level0);
+}
+
+TEST_F(FlashDeviceTest, WearRaisesBitErrorRate) {
+  FlashConfig cfg = SmallConfig();
+  cfg.fault.rber_per_pe_cycle = 1e-4;  // young blocks clean, worn blocks not
+  SimClock clock;
+  FlashDevice dev(cfg, &clock);
+  std::vector<uint8_t> data(cfg.page_size, 0x77);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    ASSERT_TRUE(dev.ProgramPage(0, data.data(), {}).ok());
+    ASSERT_TRUE(dev.EraseBlock(0).ok());
+  }
+  ASSERT_TRUE(dev.ProgramPage(0, data.data(), {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(1 * cfg.pages_per_block, data.data(), {}).ok());
+
+  std::vector<uint8_t> out(cfg.page_size);
+  uint64_t worn = 0, fresh = 0;
+  for (int i = 0; i < 50; ++i) {
+    uint32_t e = 0;
+    ASSERT_TRUE(dev.ReadPage(0, out.data(), nullptr, &e).ok());
+    worn += e;
+    ASSERT_TRUE(dev.ReadPage(1 * cfg.pages_per_block, out.data(), nullptr, &e)
+                    .ok());
+    fresh += e;
+  }
+  EXPECT_GT(worn, fresh);  // 50 P/E cycles vs 0
+}
+
 // Property-style sweep: every page of every block round-trips its own
 // distinct pattern, in program order, across all banks.
 class FlashSweepTest : public ::testing::TestWithParam<uint32_t> {};

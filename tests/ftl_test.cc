@@ -254,6 +254,170 @@ TEST_F(PageFtlTest, FlushBarrierAdvancesClockPastPrograms) {
   EXPECT_GE(clock_.Now() - before, dev_.config().timings.program_page);
 }
 
+// --- NAND failure handling --------------------------------------------------
+
+TEST_F(PageFtlTest, ProgramFailRetiresBlockAndPreservesData) {
+  // Lay down data, then fail the next program: the write must land on a
+  // fresh block, the failing block is retired with its valid pages
+  // relocated, and every mapping still reads back.
+  for (Lpn lpn = 0; lpn < 12; ++lpn) {
+    auto p = Page(100 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  dev_.ScriptProgramFail(1);
+  auto p = Page(999);
+  ASSERT_TRUE(ftl_.Write(12, p.data()).ok());
+
+  EXPECT_EQ(ftl_.stats().program_fail_reissues, 1u);
+  EXPECT_EQ(ftl_.stats().grown_bad_blocks, 1u);
+  EXPECT_EQ(ftl_.bad_block_count(), 1u);
+  EXPECT_TRUE(dev_.IsBadBlock(ftl_.bad_blocks()[0]));
+  EXPECT_FALSE(ftl_.read_only());
+  for (Lpn lpn = 0; lpn < 12; ++lpn) ExpectReads(lpn, 100 + lpn);
+  ExpectReads(12, 999);
+}
+
+TEST_F(PageFtlTest, GcSurvivesEraseFailure) {
+  // The first erase under churn is a GC victim erase; failing it must retire
+  // the victim as a grown bad block, not wedge the collector.
+  dev_.ScriptEraseFail(1);
+  std::map<Lpn, uint64_t> expected;
+  Rng rng(5);
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    Lpn lpn = rng.Uniform(128);
+    auto p = Page(i);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+    expected[lpn] = i;
+  }
+  ASSERT_GT(ftl_.stats().gc_runs, 0u);
+  EXPECT_GE(dev_.stats().erase_fails, 1u);
+  EXPECT_GE(ftl_.bad_block_count(), 1u);
+  EXPECT_FALSE(ftl_.read_only());
+  for (const auto& [lpn, tag] : expected) ExpectReads(lpn, tag);
+}
+
+TEST_F(PageFtlTest, BadBlocksPersistAcrossRecovery) {
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    auto p = Page(200 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  dev_.ScriptProgramFail(1);
+  auto p = Page(777);
+  ASSERT_TRUE(ftl_.Write(8, p.data()).ok());
+  size_t bad = ftl_.bad_block_count();
+  ASSERT_GE(bad, 1u);
+  ASSERT_TRUE(ftl_.Flush().ok());
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  // The bad-block list rides the root record; re-marking after recovery must
+  // not double-count.
+  EXPECT_EQ(ftl_.bad_block_count(), bad);
+  EXPECT_FALSE(ftl_.read_only());
+  for (Lpn lpn = 0; lpn < 8; ++lpn) ExpectReads(lpn, 200 + lpn);
+  ExpectReads(8, 777);
+  auto p2 = Page(888);
+  ASSERT_TRUE(ftl_.Write(9, p2.data()).ok());
+  ExpectReads(9, 888);
+}
+
+TEST_F(PageFtlTest, MetaReserveEraseFailureKeepsRootRecord) {
+  // The first erase in a flush-heavy, GC-free workload is the meta ring
+  // recycling its reserve block. Failing it must not lose the root record:
+  // compaction retires the block, moves on, and recovery still finds
+  // everything.
+  dev_.ScriptEraseFail(1);
+  auto p = Page(0);
+  int last = 119;
+  for (int i = 0; i <= last; ++i) {
+    std::memcpy(p.data(), &i, sizeof(i));
+    ASSERT_TRUE(ftl_.Write(Lpn(i % 8), p.data()).ok());
+    ASSERT_TRUE(ftl_.Flush().ok());
+  }
+  EXPECT_GE(dev_.stats().erase_fails, 1u);  // the scripted failure fired
+  EXPECT_GE(ftl_.bad_block_count(), 1u);
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  EXPECT_FALSE(ftl_.read_only());
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.Read(Lpn(last % 8), out.data()).ok());
+  int got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, last);
+}
+
+TEST(PageFtlFaultTest, EccCorrectsBitErrorsOnHostReads) {
+  flash::FlashConfig fcfg = SmallFlash();
+  fcfg.fault.rber_base = 1e-3;  // ~4 raw errors per 4096-bit page read
+  SimClock clock;
+  flash::FlashDevice dev(fcfg, &clock);
+  PageFtl ftl(&dev, SmallFtl());
+
+  std::vector<uint8_t> buf(fcfg.page_size, 0x3C);
+  ASSERT_TRUE(ftl.Write(0, buf.data()).ok());
+  std::vector<uint8_t> out(fcfg.page_size);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ftl.Read(0, out.data()).ok());
+    EXPECT_EQ(out, buf);  // decoder hands back clean data
+  }
+  EXPECT_GT(dev.stats().ecc_corrected, 0u);
+  EXPECT_EQ(dev.stats().ecc_uncorrectable, 0u);
+}
+
+TEST(PageFtlFaultTest, UncorrectableReadSurfacesCorruption) {
+  flash::FlashConfig fcfg = SmallFlash();
+  fcfg.fault.rber_base = 0.02;         // ~80 errors, far past the budget
+  fcfg.fault.retry_rber_factor = 1.0;  // retries don't help either
+  SimClock clock;
+  flash::FlashDevice dev(fcfg, &clock);
+  PageFtl ftl(&dev, SmallFtl());
+
+  std::vector<uint8_t> buf(fcfg.page_size, 0x42);
+  ASSERT_TRUE(ftl.Write(0, buf.data()).ok());
+  std::vector<uint8_t> out(fcfg.page_size);
+  Status s = ftl.Read(0, out.data());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(ftl.stats().ecc_read_retries, SmallFtl().ecc.max_read_retries);
+  EXPECT_GE(dev.stats().ecc_uncorrectable, 1u);
+}
+
+TEST(PageFtlFaultTest, ExhaustedSparesDegradeToReadOnly) {
+  // Every other program reports a status failure, so retirement relocations
+  // themselves keep failing and the spare pool grinds away. The FTL must end
+  // up read-only — returning ResourceExhausted, never crashing — with the
+  // data written on clean media still readable.
+  SimClock clock;
+  flash::FlashDevice dev(SmallFlash(), &clock);
+  PageFtl ftl(&dev, SmallFtl());
+  std::vector<uint8_t> buf(dev.config().page_size, 0);
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    std::memcpy(buf.data(), &lpn, sizeof(lpn));
+    ASSERT_TRUE(ftl.Write(lpn, buf.data()).ok());
+  }
+
+  dev.ScriptProgramFailEvery(2);
+  for (uint64_t i = 0; i < 5000 && !ftl.read_only(); ++i) {
+    uint64_t v = 1000 + i;
+    std::memcpy(buf.data(), &v, sizeof(v));
+    Status s = ftl.Write(32 + Lpn(i % 8), buf.data());
+    // A write may fail only by running out of space, never by crashing or
+    // surfacing a raw flash error (the write that trips the floor can itself
+    // still succeed — degradation is re-evaluated mid-retirement).
+    if (!s.ok()) ASSERT_EQ(s.code(), StatusCode::kResourceExhausted);
+  }
+  ASSERT_TRUE(ftl.read_only());
+  EXPECT_EQ(ftl.Write(0, buf.data()).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ftl.Trim(0).code(), StatusCode::kResourceExhausted);
+
+  // Degraded means read-only, not dead.
+  std::vector<uint8_t> out(dev.config().page_size);
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    ASSERT_TRUE(ftl.Read(lpn, out.data()).ok()) << "lpn " << lpn;
+    uint64_t got;
+    std::memcpy(&got, out.data(), sizeof(got));
+    EXPECT_EQ(got, lpn);
+  }
+}
+
 // --- GC policies ------------------------------------------------------------
 
 class GcPolicyTest : public ::testing::TestWithParam<GcPolicy> {};
