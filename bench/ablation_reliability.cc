@@ -71,9 +71,7 @@ int main(int argc, char** argv) {
     wl.num_tuples = tuples;
     CHECK(LoadPartsupp(db, wl).ok());
 
-    const ftl::FtlStats& fstats = h.ssd()->ftl()->stats();
-    uint64_t host0 = fstats.host_page_writes;
-    uint64_t total0 = fstats.TotalPageWrites();
+    ftl::FtlStats base = h.ssd()->ftl()->stats();
     h.StartMeasurement();
 
     Rng rng(99);
@@ -87,9 +85,10 @@ int main(int argc, char** argv) {
       }
     }
     IoSnapshot s = h.Snapshot();
-    uint64_t host = fstats.host_page_writes - host0;
-    uint64_t total = fstats.TotalPageWrites() - total0;
-    double wa = host == 0 ? 0.0 : double(total) / double(host);
+    ftl::FtlStats d = h.ssd()->ftl()->stats().Delta(base);
+    double wa = d.host_page_writes == 0
+                    ? 0.0
+                    : double(d.TotalPageWrites()) / double(d.host_page_writes);
     double secs = NanosToSeconds(s.elapsed);
 
     // Degraded or not, everything committed so far must still be readable.

@@ -35,6 +35,17 @@ inline bool FlagBool(int argc, char** argv, const char* name) {
   return false;
 }
 
+inline std::string FlagString(int argc, char** argv, const char* name,
+                              const std::string& def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("==============================================================="
               "=================\n");
@@ -42,6 +53,50 @@ inline void PrintHeader(const char* title) {
   std::printf("==============================================================="
               "=================\n");
 }
+
+// Accumulates one flat JSON object and prints it as a single line, so a
+// bench run with --json emits JSON Lines that scripts can consume without
+// scraping the human-readable tables.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, uint64_t v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(const std::string& key, long v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return AddRaw(key, buf);
+  }
+  JsonObject& Add(const std::string& key, bool v) {
+    return AddRaw(key, v ? "true" : "false");
+  }
+  JsonObject& Add(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return AddRaw(key, quoted);
+  }
+  JsonObject& Add(const std::string& key, const char* v) {
+    return Add(key, std::string(v));
+  }
+
+  void Print() const { std::printf("%s\n", ToString().c_str()); }
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& AddRaw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
 
 }  // namespace xftl::bench
 

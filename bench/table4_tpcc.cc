@@ -4,7 +4,11 @@
 // throughput is what transfers).
 //
 // Flags: --txns=N (per cell, default 400) --warehouses=N --items=N
+// --json (machine-readable JSON Lines instead of the tables)
+// --trace=PREFIX (capture each cell's event stream to
+// PREFIX.<setup>.<mix>.trace for xftl_trace)
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "workload/harness.h"
@@ -15,6 +19,8 @@ using namespace xftl::workload;
 
 int main(int argc, char** argv) {
   uint64_t txns = uint64_t(bench::FlagInt(argc, argv, "txns", 400));
+  bool json = bench::FlagBool(argc, argv, "json");
+  std::string trace_prefix = bench::FlagString(argc, argv, "trace", "");
   TpccScale scale;
   scale.warehouses = int(bench::FlagInt(argc, argv, "warehouses", 2));
   scale.items = int(bench::FlagInt(argc, argv, "items", 500));
@@ -22,37 +28,42 @@ int main(int argc, char** argv) {
   scale.customers_per_district = 30;
   scale.initial_orders_per_district = 30;
 
-  bench::PrintHeader("Table 3: TPC-C workload mixes (percent)");
-  std::printf("%-16s %9s %13s %9s %12s %10s\n", "workload", "Delivery",
-              "OrderStatus", "Payment", "StockLevel", "NewOrder");
   struct MixRow {
     const char* name;
+    const char* slug;  // file-name/JSON friendly
     TpccMix mix;
   };
   const MixRow mixes[] = {
-      {"Write-intensive", WriteIntensiveMix()},
-      {"Read-intensive", ReadIntensiveMix()},
-      {"Selection-only", SelectionOnlyMix()},
-      {"Join-only", JoinOnlyMix()},
+      {"Write-intensive", "write-int", WriteIntensiveMix()},
+      {"Read-intensive", "read-int", ReadIntensiveMix()},
+      {"Selection-only", "select-only", SelectionOnlyMix()},
+      {"Join-only", "join-only", JoinOnlyMix()},
   };
-  for (const MixRow& m : mixes) {
-    std::printf("%-16s %8d%% %12d%% %8d%% %11d%% %9d%%\n", m.name,
-                m.mix.delivery, m.mix.order_status, m.mix.payment,
-                m.mix.stock_level, m.mix.new_order);
-  }
 
-  std::printf("\n");
-  bench::PrintHeader("Table 4: TPC-C throughput (transactions per simulated "
-                     "minute)");
-  std::printf("config: %d warehouses, %d items, %llu transactions per cell\n\n",
-              scale.warehouses, scale.items, (unsigned long long)txns);
-  std::printf("%-8s %16s %16s %16s %16s\n", "mode", "Write-int.",
-              "Read-int.", "Select-only", "Join-only");
+  if (!json) {
+    bench::PrintHeader("Table 3: TPC-C workload mixes (percent)");
+    std::printf("%-16s %9s %13s %9s %12s %10s\n", "workload", "Delivery",
+                "OrderStatus", "Payment", "StockLevel", "NewOrder");
+    for (const MixRow& m : mixes) {
+      std::printf("%-16s %8d%% %12d%% %8d%% %11d%% %9d%%\n", m.name,
+                  m.mix.delivery, m.mix.order_status, m.mix.payment,
+                  m.mix.stock_level, m.mix.new_order);
+    }
+
+    std::printf("\n");
+    bench::PrintHeader("Table 4: TPC-C throughput (transactions per simulated "
+                       "minute)");
+    std::printf(
+        "config: %d warehouses, %d items, %llu transactions per cell\n\n",
+        scale.warehouses, scale.items, (unsigned long long)txns);
+    std::printf("%-8s %16s %16s %16s %16s\n", "mode", "Write-int.",
+                "Read-int.", "Select-only", "Join-only");
+  }
 
   double results[2][4];
   Setup setups[2] = {Setup::kWal, Setup::kXftl};
   for (int si = 0; si < 2; ++si) {
-    std::printf("%-8s", SetupName(setups[si]));
+    if (!json) std::printf("%-8s", SetupName(setups[si]));
     for (int mi = 0; mi < 4; ++mi) {
       HarnessConfig cfg;
       cfg.setup = setups[si];
@@ -71,18 +82,44 @@ int main(int argc, char** argv) {
       CHECK(tpcc.Load().ok());
       // DBT-2 style ramp-up before the measured interval.
       CHECK(tpcc.Run(mixes[mi].mix, txns / 4).ok());
+      if (!trace_prefix.empty()) {
+        std::string path = trace_prefix + "." + SetupName(setups[si]) + "." +
+                           mixes[mi].slug + ".trace";
+        CHECK(h.EnableTracing(path).ok());
+      }
+      h.StartMeasurement();
       auto result = tpcc.Run(mixes[mi].mix, txns);
       CHECK(result.ok()) << result.status().ToString();
+      IoSnapshot s = h.Snapshot();
+      if (!trace_prefix.empty()) CHECK(h.FinishTracing().ok());
       results[si][mi] = result->tpm();
-      std::printf(" %16.0f", results[si][mi]);
+      if (json) {
+        bench::JsonObject o;
+        o.Add("bench", "table4_tpcc")
+            .Add("setup", SetupName(setups[si]))
+            .Add("mix", mixes[mi].slug)
+            .Add("txns", txns)
+            .Add("tpm", results[si][mi])
+            .Add("elapsed_s", NanosToSeconds(s.elapsed))
+            .Add("ftl_page_writes", s.ftl_page_writes)
+            .Add("ftl_page_reads", s.ftl_page_reads)
+            .Add("gc_count", s.gc_count)
+            .Add("erase_count", s.erase_count)
+            .Add("fsync_calls", s.fsync_calls);
+        o.Print();
+      } else {
+        std::printf(" %16.0f", results[si][mi]);
+      }
       std::fflush(stdout);
     }
-    std::printf("\n");
+    if (!json) std::printf("\n");
   }
-  std::printf("\nX-FTL / WAL ratio: %.2fx  %.2fx  %.2fx  %.2fx\n",
-              results[1][0] / results[0][0], results[1][1] / results[0][1],
-              results[1][2] / results[0][2], results[1][3] / results[0][3]);
-  std::printf("paper (tpmC): WAL 251/3942/281856/35662, "
-              "X-FTL 582/9925/277586/35888 -> 2.3x / 2.5x / ~1.0x / ~1.0x\n");
+  if (!json) {
+    std::printf("\nX-FTL / WAL ratio: %.2fx  %.2fx  %.2fx  %.2fx\n",
+                results[1][0] / results[0][0], results[1][1] / results[0][1],
+                results[1][2] / results[0][2], results[1][3] / results[0][3]);
+    std::printf("paper (tpmC): WAL 251/3942/281856/35662, "
+                "X-FTL 582/9925/277586/35888 -> 2.3x / 2.5x / ~1.0x / ~1.0x\n");
+  }
   return 0;
 }

@@ -1,11 +1,12 @@
-// Little-endian fixed-width integer encode/decode helpers for on-"flash"
-// formats (journal records, WAL frames, B-tree pages, inodes, mapping table
-// snapshots).
+// Little-endian fixed-width and varint integer encode/decode helpers for
+// on-"flash" formats (journal records, WAL frames, B-tree pages, inodes,
+// mapping table snapshots) and the trace file format.
 #ifndef XFTL_COMMON_CODING_H_
 #define XFTL_COMMON_CODING_H_
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 namespace xftl {
 
@@ -27,6 +28,36 @@ inline uint64_t DecodeFixed64(const uint8_t* src) {
   uint64_t v;
   std::memcpy(&v, src, 8);
   return v;
+}
+
+// --- LEB128 varints (protobuf-style, 7 bits per byte) -----------------------
+// A uint64 occupies at most 10 bytes; small values (the common case in trace
+// records: op codes, short latencies, delta timestamps) occupy one.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+// Appends the varint encoding of `v` to `dst`.
+inline void PutVarint64(std::vector<uint8_t>* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(uint8_t(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(uint8_t(v));
+}
+
+// Decodes a varint from [p, limit); returns the byte past the encoding, or
+// nullptr if the input is truncated or malformed (> 10 bytes).
+inline const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                                  uint64_t* v) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift < 70 && p < limit; shift += 7) {
+    uint8_t byte = *p++;
+    result |= uint64_t(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace xftl

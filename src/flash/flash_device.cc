@@ -101,9 +101,16 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
                              uint32_t* bit_errors, uint32_t retry_level) {
   XFTL_RETURN_IF_ERROR(CheckAlive());
   XFTL_RETURN_IF_ERROR(CheckPpn(ppn));
+  SimNanos t0 = clock_->Now();
   Block& blk = blocks_[config_.BlockOf(ppn)];
   uint32_t page = config_.PageInBlock(ppn);
   if (bit_errors != nullptr) *bit_errors = 0;
+  auto note = [&](StatusCode code) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace::Layer::kFlash, trace::Op::kRead, t0, 0, ppn, 0,
+                      clock_->Now() - t0, code);
+    }
+  };
 
   // The read must wait for the bank (covers read-after-in-flight-program).
   uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
@@ -115,6 +122,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
   if (blk.data.empty() || blk.page_state[page] == PageState::kErased) {
     std::memset(data, 0xff, config_.page_size);
     if (oob != nullptr) *oob = PageOob{};
+    note(StatusCode::kOk);
     return Status::OK();
   }
   if (blk.page_state[page] == PageState::kTorn) {
@@ -122,6 +130,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
     // detect this in real systems; the explicit status makes tests crisper.
     std::memcpy(data, PageData(blk, page), config_.page_size);
     if (oob != nullptr) *oob = blk.oob[page];
+    note(StatusCode::kCorruption);
     return Status::Corruption("torn page " + std::to_string(ppn));
   }
   std::memcpy(data, PageData(blk, page), config_.page_size);
@@ -129,6 +138,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
   uint32_t flips = SampleBitErrors(blk, retry_level);
   stats_.bit_flips += flips;
   if (bit_errors != nullptr) *bit_errors = flips;
+  note(StatusCode::kOk);
   return Status::OK();
 }
 
@@ -199,9 +209,14 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
     blk.bad = true;
     stats_.program_fails++;
     // The failed program still occupies the plane for roughly tPROG.
+    SimNanos t0 = clock_->Now();
     clock_->AdvanceTo(ScheduleOnBank(config_.BankOf(block),
                                      config_.timings.bus_per_page +
                                          config_.timings.program_page));
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, 0, ppn,
+                      oob.lpn, clock_->Now() - t0, StatusCode::kIoError);
+    }
     return Status::IoError("program status failure at page " +
                            std::to_string(ppn));
   }
@@ -213,9 +228,17 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
   stats_.page_programs++;
 
   uint32_t bank = config_.BankOf(block);
+  SimNanos t0 = clock_->Now();
   SimNanos done = ScheduleOnBank(
       bank, config_.timings.bus_per_page + config_.timings.program_page);
   inflight_.push_back(done);
+  if (tracer_ != nullptr) {
+    // Programs are asynchronous; the recorded latency is issue-to-retire
+    // (queueing on the bank included), which is what the host would see at
+    // the next barrier.
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, 0, ppn,
+                    oob.lpn, done - t0, StatusCode::kOk);
+  }
   return Status::OK();
 }
 
@@ -257,7 +280,12 @@ Status FlashDevice::EraseBlock(BlockNum block) {
   blk.erase_count++;
   stats_.block_erases++;
   uint32_t bank = config_.BankOf(block);
+  SimNanos t0 = clock_->Now();
   clock_->AdvanceTo(ScheduleOnBank(bank, config_.timings.erase_block));
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kErase, t0, 0, block, 0,
+                    clock_->Now() - t0, StatusCode::kOk);
+  }
   return Status::OK();
 }
 

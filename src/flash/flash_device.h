@@ -32,6 +32,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/flash_config.h"
+#include "trace/tracer.h"
 
 namespace xftl::flash {
 
@@ -46,6 +47,10 @@ class FlashDevice {
   const FlashStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FlashStats{}; }
   SimClock* clock() const { return clock_; }
+
+  // Optional event tracing (raw reads/programs/erases); null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
 
   // Reads one page into `data` (page_size bytes) and, optionally, its OOB.
   // Reading an erased page fills `data` with 0xff. Reading a torn page
@@ -145,6 +150,7 @@ class FlashDevice {
 
   const FlashConfig config_;
   SimClock* const clock_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<Block> blocks_;
   std::vector<SimNanos> bank_busy_until_;
   // Completion times of in-flight programs (bounded by write_buffer_pages).

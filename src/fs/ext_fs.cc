@@ -685,12 +685,20 @@ storage::TxId ExtFs::TidFor(Ino ino) {
 }
 
 Status ExtFs::Fsync(Fd fd) {
+  SimNanos t0 = clock_->Now();
   ChargeSyscall();
   if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
     return Status::InvalidArgument("bad fd");
   }
   stats_.fsync_calls++;
-  return CommitDirty(open_files_[fd].ino);
+  Ino ino = open_files_[fd].ino;
+  Status s = CommitDirty(ino);
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFs, trace::Op::kFsync, t0,
+                    static_cast<uint32_t>(ino), 0, 0, clock_->Now() - t0,
+                    s.code());
+  }
+  return s;
 }
 
 Status ExtFs::CommitDirty(Ino ino) {
@@ -830,6 +838,7 @@ Status ExtFs::RunPendingTrims() {
 }
 
 Status ExtFs::IoctlAbort(Fd fd) {
+  SimNanos t0 = clock_->Now();
   ChargeSyscall();
   if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
     return Status::InvalidArgument("bad fd");
@@ -865,6 +874,11 @@ Status ExtFs::IoctlAbort(Fd fd) {
     tx_groups_.erase(m);
   }
   stats_.tx_aborts++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFs, trace::Op::kTxAbort, t0,
+                    static_cast<uint32_t>(ino), to_discard.size(), 0,
+                    clock_->Now() - t0, StatusCode::kOk);
+  }
   return Status::OK();
 }
 

@@ -31,6 +31,7 @@
 #include "fs/fs_format.h"
 #include "fs/journal.h"
 #include "storage/block_device.h"
+#include "trace/tracer.h"
 
 namespace xftl::fs {
 
@@ -148,6 +149,11 @@ class ExtFs {
   JournalMode journal_mode() const { return options_.journal_mode; }
   uint64_t cache_steals() const { return cache_->steals(); }
 
+  // Optional event tracing of durability points (fsync, ioctl-abort);
+  // null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   ExtFs(storage::TxBlockDevice* dev, const FsOptions& options,
         SimClock* clock);
@@ -199,6 +205,7 @@ class ExtFs {
   storage::TxId next_tid_ = 1;
   std::vector<uint32_t> pending_trims_;
   uint64_t alloc_hint_ = 0;
+  trace::Tracer* tracer_ = nullptr;
   FsStats stats_;
 };
 

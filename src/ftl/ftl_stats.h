@@ -45,6 +45,31 @@ struct FtlStats {
     return double(gc_valid_pages_seen) /
            (double(gc_runs) * double(pages_per_block));
   }
+
+  // Field-wise equality (replay-determinism checks compare snapshots).
+  bool operator==(const FtlStats&) const = default;
+
+  // Counter deltas since `base` (a snapshot taken earlier from the same
+  // FTL): the traffic attributable to the interval between the two reads.
+  FtlStats Delta(const FtlStats& base) const {
+    FtlStats d;
+    d.host_page_writes = host_page_writes - base.host_page_writes;
+    d.host_page_reads = host_page_reads - base.host_page_reads;
+    d.gc_runs = gc_runs - base.gc_runs;
+    d.gc_copyback_reads = gc_copyback_reads - base.gc_copyback_reads;
+    d.gc_copyback_writes = gc_copyback_writes - base.gc_copyback_writes;
+    d.gc_valid_pages_seen = gc_valid_pages_seen - base.gc_valid_pages_seen;
+    d.meta_page_writes = meta_page_writes - base.meta_page_writes;
+    d.block_erases = block_erases - base.block_erases;
+    d.flush_barriers = flush_barriers - base.flush_barriers;
+    d.grown_bad_blocks = grown_bad_blocks - base.grown_bad_blocks;
+    d.program_fail_reissues =
+        program_fail_reissues - base.program_fail_reissues;
+    d.retire_relocations = retire_relocations - base.retire_relocations;
+    d.ecc_read_retries = ecc_read_retries - base.ecc_read_retries;
+    d.pages_lost = pages_lost - base.pages_lost;
+    return d;
+  }
 };
 
 }  // namespace xftl::ftl

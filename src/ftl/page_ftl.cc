@@ -80,23 +80,35 @@ Status PageFtl::Read(Lpn lpn, uint8_t* data) {
   if (lpn >= config_.num_logical_pages) {
     return Status::OutOfRange("lpn " + std::to_string(lpn));
   }
+  SimNanos t0 = device_->clock()->Now();
   stats_.host_page_reads++;
   flash::Ppn ppn = l2p_[lpn];
+  Status s;
   if (ppn == flash::kInvalidPpn) {
     std::memset(data, 0xff, page_size());
-    return Status::OK();
+  } else {
+    s = ReadPhysPage(ppn, data);
   }
-  return ReadPhysPage(ppn, data);
+  TraceFtl(trace::Op::kRead, t0, lpn,
+           ppn == flash::kInvalidPpn ? 0 : ppn, s.code());
+  return s;
 }
 
 Status PageFtl::Write(Lpn lpn, const uint8_t* data) {
   if (lpn >= config_.num_logical_pages) {
     return Status::OutOfRange("lpn " + std::to_string(lpn));
   }
-  XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, ProgramDataPage(lpn, data));
+  SimNanos t0 = device_->clock()->Now();
+  auto ppn_or = ProgramDataPage(lpn, data);
+  if (!ppn_or.ok()) {
+    TraceFtl(trace::Op::kWrite, t0, lpn, 0, ppn_or.status().code());
+    return ppn_or.status();
+  }
+  flash::Ppn ppn = ppn_or.value();
   if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpn(l2p_[lpn]);
   SetMapping(lpn, ppn);
   stats_.host_page_writes++;
+  TraceFtl(trace::Op::kWrite, t0, lpn, ppn, StatusCode::kOk);
   return Status::OK();
 }
 
@@ -105,25 +117,32 @@ Status PageFtl::Trim(Lpn lpn) {
     return Status::OutOfRange("lpn " + std::to_string(lpn));
   }
   XFTL_RETURN_IF_ERROR(CheckWritable());
+  SimNanos t0 = device_->clock()->Now();
   if (l2p_[lpn] != flash::kInvalidPpn) {
     InvalidatePpn(l2p_[lpn]);
     ClearMapping(lpn);
   }
+  TraceFtl(trace::Op::kTrim, t0, lpn, 0, StatusCode::kOk);
   return Status::OK();
 }
 
 Status PageFtl::Flush() {
   XFTL_RETURN_IF_ERROR(CheckWritable());
+  SimNanos t0 = device_->clock()->Now();
+  uint64_t meta0 = stats_.meta_page_writes;
   // Data first: the mapping must never point at pages that did not finish
   // programming.
   device_->SyncAll();
+  Status s;
   if (!config_.fast_barrier) {
-    XFTL_RETURN_IF_ERROR(PersistMapping());
-    XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
-    device_->SyncAll();
+    s = PersistMapping();
+    if (s.ok()) s = FlushSubclassMeta();
+    if (s.ok()) device_->SyncAll();
   }
-  stats_.flush_barriers++;
-  return Status::OK();
+  if (s.ok()) stats_.flush_barriers++;
+  TraceFtl(trace::Op::kFlush, t0, 0, stats_.meta_page_writes - meta0,
+           s.code());
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -476,6 +495,8 @@ Status PageFtl::CollectOneBlock() {
   BlockInfo& blk = blocks_[victim];
   stats_.gc_runs++;
   stats_.gc_valid_pages_seen += blk.valid_count;
+  SimNanos gc_t0 = device_->clock()->Now();
+  uint32_t gc_valid = blk.valid_count;
 
   std::vector<uint8_t> buf(fc.page_size);
   for (uint32_t p = 0; p < fc.pages_per_block; ++p) {
@@ -527,6 +548,7 @@ Status PageFtl::CollectOneBlock() {
     // returning to the free pool; its valid pages were relocated above, so
     // the collection itself succeeded — the caller just gained no block.
     MarkBlockBad(victim);
+    TraceFtl(trace::Op::kGc, gc_t0, victim, gc_valid, StatusCode::kIoError);
     return Status::OK();
   }
   stats_.block_erases++;
@@ -535,6 +557,7 @@ Status PageFtl::CollectOneBlock() {
   blk.rmap.clear();
   blk.valid_count = 0;
   free_blocks_.push_back(victim);
+  TraceFtl(trace::Op::kGc, gc_t0, victim, gc_valid, StatusCode::kOk);
   return Status::OK();
 }
 
@@ -713,6 +736,7 @@ Status PageFtl::WriteRootRecord() {
 Status PageFtl::Recover() {
   const auto& fc = device_->config();
   device_->ClearFailure();
+  SimNanos recover_t0 = device_->clock()->Now();
   InitLayout();
   next_seq_ = 1;
   scan_oob_.clear();
@@ -775,6 +799,7 @@ Status PageFtl::Recover() {
       // Every meta block is bad: nothing can ever be persisted again, but
       // the recovered state is fully readable.
       EnterReadOnly("meta region has no usable blocks left");
+      TraceFtl(trace::Op::kRecover, recover_t0, 0, 0, StatusCode::kOk);
       return Status::OK();
     }
     meta_active_ = first_good;
@@ -786,6 +811,7 @@ Status PageFtl::Recover() {
     XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
     device_->SyncAll();
   }
+  TraceFtl(trace::Op::kRecover, recover_t0, 0, 0, StatusCode::kOk);
   return Status::OK();
 }
 

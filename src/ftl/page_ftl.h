@@ -196,6 +196,17 @@ class PageFtl : public FtlInterface {
                     entries_per_segment_);
   }
 
+  // Records one FTL-layer trace event ending now (no-op when the flash
+  // device has no tracer attached). Subclasses record their own layer.
+  void TraceFtl(trace::Op op, SimNanos t0, uint64_t a, uint64_t b,
+                StatusCode code) const {
+    trace::Tracer* t = device_->tracer();
+    if (t != nullptr) {
+      t->Record(trace::Layer::kFtl, op, t0, 0, a, b,
+                device_->clock()->Now() - t0, code);
+    }
+  }
+
   flash::FlashDevice* const device_;
   const FtlConfig config_;
   FtlStats stats_;

@@ -382,11 +382,13 @@ Status Pager::Begin() {
   db_dirtied_in_txn_ = false;
   journal_records_ = 0;
   journal_synced_ = false;
+  TraceSql(trace::Op::kBegin, fs_->clock()->Now(), 0, StatusCode::kOk);
   return Status::OK();
 }
 
 Status Pager::Commit() {
   if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  SimNanos t0 = fs_->clock()->Now();
   std::vector<Pgno> dirty;
   for (auto& [pgno, e] : cache_) {
     if (e.dirty) dirty.push_back(pgno);
@@ -460,11 +462,13 @@ Status Pager::Commit() {
   for (auto& [pgno, e] : cache_) e.journaled = false;
   in_txn_ = false;
   stats_.commits++;
+  TraceSql(trace::Op::kCommit, t0, dirty.size(), StatusCode::kOk);
   return Status::OK();
 }
 
 Status Pager::Rollback() {
   if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  SimNanos t0 = fs_->clock()->Now();
   switch (options_.journal_mode) {
     case SqlJournalMode::kDelete: {
       if (db_dirtied_in_txn_) {
@@ -505,6 +509,7 @@ Status Pager::Rollback() {
   in_txn_ = false;
   stats_.rollbacks++;
   XFTL_RETURN_IF_ERROR(LoadHeader());
+  TraceSql(trace::Op::kRollback, t0, drop.size(), StatusCode::kOk);
   return Status::OK();
 }
 
@@ -711,6 +716,7 @@ Status Pager::RecoverWal() {
 }
 
 Status Pager::CheckpointWal() {
+  SimNanos t0 = fs_->clock()->Now();
   std::vector<uint8_t> buf(page_size_);
   std::vector<std::pair<Pgno, uint64_t>> frames(wal_committed_.begin(),
                                                 wal_committed_.end());
@@ -733,6 +739,7 @@ Status Pager::CheckpointWal() {
   wal_committed_crc_ = 0;
   wal_frames_since_checkpoint_ = 0;
   stats_.checkpoints++;
+  TraceSql(trace::Op::kCheckpoint, t0, frames.size(), StatusCode::kOk);
   return Status::OK();
 }
 

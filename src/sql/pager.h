@@ -32,6 +32,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "fs/ext_fs.h"
+#include "trace/tracer.h"
 
 namespace xftl::sql {
 
@@ -137,8 +138,20 @@ class Pager {
   void ResetStats() { stats_ = PagerStats{}; }
   uint64_t wal_frames() const;  // committed frames currently in the WAL
 
+  // Optional event tracing of transaction boundaries; null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   friend class PageRef;
+
+  // Records an SQL-layer event ending now (no-op without a tracer).
+  void TraceSql(trace::Op op, SimNanos t0, uint64_t a, StatusCode code) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace::Layer::kSql, op, t0, 0, a, 0,
+                      fs_->clock()->Now() - t0, code);
+    }
+  }
 
   struct CacheEntry {
     std::vector<uint8_t> data;
@@ -209,6 +222,7 @@ class Pager {
   std::unordered_map<Pgno, uint64_t> wal_uncommitted_;  // current txn frames
   uint64_t wal_frames_since_checkpoint_ = 0;
 
+  trace::Tracer* tracer_ = nullptr;
   PagerStats stats_;
 };
 

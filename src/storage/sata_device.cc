@@ -17,61 +17,93 @@ void SataDevice::ChargeCommand(bool with_transfer) {
   clock_->Advance(cost);
 }
 
+void SataDevice::Note(trace::Op op, SimNanos t0, TxId t, uint64_t page,
+                      StatusCode code) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kSata, op, t0, static_cast<uint32_t>(t),
+                    page, 0, clock_->Now() - t0, code);
+  }
+}
+
 Status SataDevice::Read(uint64_t page, uint8_t* data) {
+  SimNanos t0 = clock_->Now();
   ChargeCommand(true);
   stats_.read_commands++;
-  return ftl_->Read(page, data);
+  Status s = ftl_->Read(page, data);
+  Note(trace::Op::kRead, t0, ftl::kNoTx, page, s.code());
+  return s;
 }
 
 Status SataDevice::Write(uint64_t page, const uint8_t* data) {
+  SimNanos t0 = clock_->Now();
   ChargeCommand(true);
   stats_.write_commands++;
-  return ftl_->Write(page, data);
+  Status s = ftl_->Write(page, data);
+  Note(trace::Op::kWrite, t0, ftl::kNoTx, page, s.code());
+  return s;
 }
 
 Status SataDevice::Trim(uint64_t page) {
+  SimNanos t0 = clock_->Now();
   ChargeCommand(false);
   stats_.trim_commands++;
-  return ftl_->Trim(page);
+  Status s = ftl_->Trim(page);
+  Note(trace::Op::kTrim, t0, ftl::kNoTx, page, s.code());
+  return s;
 }
 
 Status SataDevice::FlushBarrier() {
+  SimNanos t0 = clock_->Now();
   ChargeCommand(false);
   stats_.barrier_commands++;
-  return ftl_->Flush();
+  Status s = ftl_->Flush();
+  Note(trace::Op::kFlush, t0, ftl::kNoTx, 0, s.code());
+  return s;
 }
 
 Status SataDevice::TxRead(TxId t, uint64_t page, uint8_t* data) {
   if (xftl_ == nullptr) return Read(page, data);
+  SimNanos t0 = clock_->Now();
   ChargeCommand(true);
   stats_.read_commands++;
-  return xftl_->TxRead(t, page, data);
+  Status s = xftl_->TxRead(t, page, data);
+  Note(trace::Op::kTxRead, t0, t, page, s.code());
+  return s;
 }
 
 Status SataDevice::TxWrite(TxId t, uint64_t page, const uint8_t* data) {
   if (xftl_ == nullptr) return Write(page, data);
+  SimNanos t0 = clock_->Now();
   ChargeCommand(true);
   stats_.write_commands++;
-  return xftl_->TxWrite(t, page, data);
+  Status s = xftl_->TxWrite(t, page, data);
+  Note(trace::Op::kTxWrite, t0, t, page, s.code());
+  return s;
 }
 
 Status SataDevice::TxCommit(TxId t) {
   if (xftl_ == nullptr) return FlushBarrier();
   // One extended trim command carries the commit verb.
+  SimNanos t0 = clock_->Now();
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.commit_commands++;
-  return xftl_->TxCommit(t);
+  Status s = xftl_->TxCommit(t);
+  Note(trace::Op::kTxCommit, t0, t, 0, s.code());
+  return s;
 }
 
 Status SataDevice::TxAbort(TxId t) {
   if (xftl_ == nullptr) {
     return Status::NotSupported("abort on a non-transactional device");
   }
+  SimNanos t0 = clock_->Now();
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.abort_commands++;
-  return xftl_->TxAbort(t);
+  Status s = xftl_->TxAbort(t);
+  Note(trace::Op::kTxAbort, t0, t, 0, s.code());
+  return s;
 }
 
 }  // namespace xftl::storage

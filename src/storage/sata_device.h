@@ -11,6 +11,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "storage/block_device.h"
+#include "trace/tracer.h"
 #include "xftl/xftl.h"
 
 namespace xftl::storage {
@@ -58,13 +59,23 @@ class SataDevice : public TxBlockDevice {
   void ResetStats() { stats_ = SataStats{}; }
   ftl::FtlInterface* ftl() const { return ftl_; }
 
+  // Optional command tracing; kSata events are the capture stream a
+  // TraceReplayer re-drives. Null disables.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   void ChargeCommand(bool with_transfer);
+  // Records a host-visible command ending now (issue at `t0`, so the
+  // latency spans link transfer plus FTL execution).
+  void Note(trace::Op op, SimNanos t0, TxId t, uint64_t page,
+            StatusCode code);
 
   ftl::FtlInterface* const ftl_;
   ftl::XFtl* const xftl_;  // non-null when ftl_ is transactional
   const SataTimings timings_;
   SimClock* const clock_;
+  trace::Tracer* tracer_ = nullptr;
   SataStats stats_;
 };
 

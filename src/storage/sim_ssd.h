@@ -51,6 +51,13 @@ class SimSsd {
   // state from flash.
   Status PowerCycle() { return ftl_->Recover(); }
 
+  // Wires `tracer` into every in-drive layer (SATA front-end and raw
+  // flash; the FTL/X-FTL layers reach it through the flash device).
+  void SetTracer(trace::Tracer* tracer) {
+    sata_->set_tracer(tracer);
+    flash_->set_tracer(tracer);
+  }
+
  private:
   SimClock* const clock_;
   std::unique_ptr<flash::FlashDevice> flash_;

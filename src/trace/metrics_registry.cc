@@ -1,0 +1,20 @@
+#include "trace/metrics_registry.h"
+
+#include <sstream>
+
+namespace xftl::trace {
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << value;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace xftl::trace

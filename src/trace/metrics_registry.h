@@ -1,0 +1,44 @@
+// A flat named-counter registry: the single sink the stack's per-module stat
+// structs (FtlStats, FlashStats, XftlStats, SataStats, ...) are flattened
+// into for uniform reporting. Counters are Set (absolute snapshot) or Add
+// (accumulated); readers iterate in name order so output is stable.
+#ifndef XFTL_TRACE_METRICS_REGISTRY_H_
+#define XFTL_TRACE_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace xftl::trace {
+
+class MetricsRegistry {
+ public:
+  void Set(const std::string& name, uint64_t value) { counters_[name] = value; }
+  void Add(const std::string& name, uint64_t delta) {
+    counters_[name] += delta;
+  }
+  // 0 for unknown counters: absent and never-incremented are the same thing.
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  size_t size() const { return counters_.size(); }
+  void Clear() { counters_.clear(); }
+
+  // Visits every counter in lexicographic name order.
+  void ForEach(
+      const std::function<void(const std::string&, uint64_t)>& fn) const {
+    for (const auto& [name, value] : counters_) fn(name, value);
+  }
+
+  // One JSON object {"name":value,...}, keys sorted.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace xftl::trace
+
+#endif  // XFTL_TRACE_METRICS_REGISTRY_H_

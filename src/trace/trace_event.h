@@ -1,0 +1,77 @@
+// The event schema of the trace subsystem: one structured record per
+// instrumented operation, tagged with the stack layer it happened in, the
+// simulated time, the transaction id (when the layer has one), up to two
+// addresses, the operation latency and the resulting status.
+//
+// The same schema serves three purposes:
+//   * full-stack tracing (every layer records what it did and how long it
+//     took, feeding per-layer latency histograms),
+//   * device-command capture (the SATA-layer events alone are a complete
+//     replayable record of what the host asked the drive to do), and
+//   * offline analysis (tools/xftl_trace dump/summary).
+#ifndef XFTL_TRACE_TRACE_EVENT_H_
+#define XFTL_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace xftl::trace {
+
+// Stack layer an event originated in, top to bottom.
+enum class Layer : uint8_t {
+  kSql = 0,    // sql/pager: transaction begin/commit/rollback, checkpoints
+  kFs = 1,     // fs/ext_fs: fsync, ioctl-abort, sync
+  kSata = 2,   // storage/sata_device: the host<->drive command stream
+  kXftl = 3,   // xftl/xftl: extended transactional commands
+  kFtl = 4,    // ftl/page_ftl: logical page ops, GC, mapping persistence
+  kFlash = 5,  // flash/flash_device: raw page reads/programs, block erases
+};
+inline constexpr int kNumLayers = 6;
+const char* LayerName(Layer layer);
+
+// Operation verb. One shared namespace across layers; each layer uses the
+// subset that makes sense for it.
+enum class Op : uint8_t {
+  kRead = 0,        // sata/ftl: logical read; flash: raw page read
+  kWrite = 1,       // sata/ftl: logical write; flash: page program
+  kTrim = 2,
+  kFlush = 3,       // barrier (sata/ftl); fs: SyncAll
+  kTxRead = 4,      // transactional command set (sata/xftl)
+  kTxWrite = 5,
+  kTxCommit = 6,
+  kTxAbort = 7,
+  kFsync = 8,       // fs layer
+  kBegin = 9,       // sql layer
+  kCommit = 10,     // sql layer
+  kRollback = 11,   // sql layer
+  kCheckpoint = 12, // sql layer (WAL)
+  kGc = 13,         // ftl layer: one collected victim block
+  kErase = 14,      // flash layer
+  kRecover = 15,    // ftl/sql: post-crash recovery pass
+};
+inline constexpr int kNumOps = 16;
+const char* OpName(Op op);
+
+// One trace record. Field meaning by layer:
+//   a: lpn (sata/ftl/xftl), ppn or block (flash: kErase/kGc), pgno (sql),
+//      inode (fs).
+//   b: secondary address/size — resulting ppn (ftl), valid pages moved (gc),
+//      dirty pages committed (sql/fs), frames checkpointed (sql).
+struct TraceEvent {
+  SimNanos time = 0;        // simulated time at operation start
+  Layer layer = Layer::kSql;
+  Op op = Op::kRead;
+  uint32_t tid = 0;         // transaction id; 0 = untagged
+  uint64_t a = 0;
+  uint64_t b = 0;
+  SimNanos latency = 0;     // simulated nanoseconds the operation took
+  StatusCode status = StatusCode::kOk;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+}  // namespace xftl::trace
+
+#endif  // XFTL_TRACE_TRACE_EVENT_H_

@@ -68,6 +68,7 @@ StatusOr<sql::Database*> Harness::OpenDatabase(const std::string& name) {
   opt.cache_pages = config_.db_cache_pages;
   opt.wal_autocheckpoint = config_.wal_autocheckpoint;
   XFTL_ASSIGN_OR_RETURN(auto db, sql::Database::Open(fs_.get(), name, opt));
+  if (tracer_ != nullptr) db->pager()->set_tracer(tracer_.get());
   dbs_.emplace_back(name, std::move(db));
   return dbs_.back().second.get();
 }
@@ -98,7 +99,37 @@ Status Harness::CrashAndRecover() {
                             : fs::JournalMode::kOrdered;
   fs_opt.cache_pages = config_.fs_cache_pages;
   XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(ssd_->device(), fs_opt, &clock_));
+  WireTracer();
   return Status::OK();
+}
+
+Status Harness::EnableTracing(const std::string& path) {
+  if (ssd_ == nullptr) {
+    return Status::FailedPrecondition("EnableTracing before Setup");
+  }
+  if (!path.empty()) {
+    XFTL_ASSIGN_OR_RETURN(trace_writer_, trace::TraceWriter::Open(path));
+  }
+  tracer_ = std::make_unique<trace::Tracer>(trace_writer_.get());
+  WireTracer();
+  return Status::OK();
+}
+
+Status Harness::FinishTracing() {
+  if (trace_writer_ == nullptr) return Status::OK();
+  Status s = trace_writer_->Close();
+  trace_writer_.reset();
+  if (tracer_ != nullptr) tracer_->set_sink(nullptr);
+  return s;
+}
+
+void Harness::WireTracer() {
+  if (tracer_ == nullptr) return;
+  ssd_->SetTracer(tracer_.get());
+  if (fs_ != nullptr) fs_->set_tracer(tracer_.get());
+  for (auto& [name, db] : dbs_) {
+    if (db != nullptr) db->pager()->set_tracer(tracer_.get());
+  }
 }
 
 Harness::Baseline Harness::Collect() const {
@@ -112,15 +143,7 @@ Harness::Baseline Harness::Collect() const {
   const auto& fstats = fs_->stats();
   b.fs_meta = fstats.TotalMetadataWrites(fs_->journal_stats());
   b.fsyncs = fstats.fsync_calls;
-  const auto& ftl = ssd_->ftl()->stats();
-  b.ftl_writes = ftl.TotalPageWrites();
-  // The paper's "Read" column tracks host-requested reads; its "Write"
-  // column explicitly includes internal copy-backs.
-  b.ftl_reads = ftl.host_page_reads;
-  b.gc_runs = ftl.gc_runs;
-  b.erases = ftl.block_erases;
-  b.gc_valid_seen = ftl.gc_valid_pages_seen;
-  b.grown_bad = ftl.grown_bad_blocks;
+  b.ftl = ssd_->ftl()->stats();
   const auto& raw = ssd_->flash()->stats();
   b.program_fails = raw.program_fails;
   b.erase_fails = raw.erase_fails;
@@ -134,25 +157,23 @@ void Harness::StartMeasurement() { baseline_ = Collect(); }
 
 IoSnapshot Harness::Snapshot() const {
   Baseline now = Collect();
+  ftl::FtlStats d = now.ftl.Delta(baseline_.ftl);
   IoSnapshot s;
   s.sqlite_db_writes = now.db_writes - baseline_.db_writes;
   s.sqlite_journal_writes = now.journal_writes - baseline_.journal_writes;
   s.fs_meta_writes = now.fs_meta - baseline_.fs_meta;
   s.fsync_calls = now.fsyncs - baseline_.fsyncs;
-  s.ftl_page_writes = now.ftl_writes - baseline_.ftl_writes;
-  s.ftl_page_reads = now.ftl_reads - baseline_.ftl_reads;
-  s.gc_count = now.gc_runs - baseline_.gc_runs;
-  s.erase_count = now.erases - baseline_.erases;
-  uint64_t gc = s.gc_count;
-  uint64_t valid = now.gc_valid_seen - baseline_.gc_valid_seen;
+  // The paper's "Read" column tracks host-requested reads; its "Write"
+  // column explicitly includes internal copy-backs.
+  s.ftl_page_writes = d.TotalPageWrites();
+  s.ftl_page_reads = d.host_page_reads;
+  s.gc_count = d.gc_runs;
+  s.erase_count = d.block_erases;
   s.gc_valid_ratio =
-      gc == 0 ? 0.0
-              : double(valid) /
-                    (double(gc) *
-                     double(ssd_->flash()->config().pages_per_block));
+      d.MeanGcValidRatio(ssd_->flash()->config().pages_per_block);
   s.program_fails = now.program_fails - baseline_.program_fails;
   s.erase_fails = now.erase_fails - baseline_.erase_fails;
-  s.grown_bad_blocks = now.grown_bad - baseline_.grown_bad;
+  s.grown_bad_blocks = d.grown_bad_blocks;
   s.ecc_corrected = now.ecc_corrected - baseline_.ecc_corrected;
   s.ecc_uncorrectable = now.ecc_uncorrectable - baseline_.ecc_uncorrectable;
   s.elapsed = now.time - baseline_.time;

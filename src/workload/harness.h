@@ -19,8 +19,11 @@
 #include "common/status.h"
 #include "flash/flash_config.h"
 #include "fs/ext_fs.h"
+#include "ftl/ftl_stats.h"
 #include "sql/database.h"
 #include "storage/sim_ssd.h"
+#include "trace/trace_file.h"
+#include "trace/tracer.h"
 
 namespace xftl::workload {
 
@@ -104,16 +107,27 @@ class Harness {
   void StartMeasurement();
   IoSnapshot Snapshot() const;
 
+  // Starts event capture: every layer of the stack (pager, fs, SATA, X-FTL,
+  // FTL, flash) records into one Tracer. With a non-empty `path` the events
+  // also stream to a binary trace file whose kSata records a TraceReplayer
+  // can re-drive; an empty path keeps in-memory histograms only. Call after
+  // Setup(); databases opened later are wired automatically.
+  Status EnableTracing(const std::string& path);
+  // Seals and closes the trace file (no-op without a file sink).
+  Status FinishTracing();
+  // Null until EnableTracing().
+  trace::Tracer* tracer() { return tracer_.get(); }
+
  private:
   struct Baseline {
     uint64_t db_writes = 0, journal_writes = 0, fs_meta = 0, fsyncs = 0;
-    uint64_t ftl_writes = 0, ftl_reads = 0, gc_runs = 0, erases = 0;
-    uint64_t gc_valid_seen = 0;
-    uint64_t program_fails = 0, erase_fails = 0, grown_bad = 0;
+    ftl::FtlStats ftl;  // snapshot; intervals diff via FtlStats::Delta
+    uint64_t program_fails = 0, erase_fails = 0;
     uint64_t ecc_corrected = 0, ecc_uncorrectable = 0;
     SimNanos time = 0;
   };
   Baseline Collect() const;
+  void WireTracer();
 
   const HarnessConfig config_;
   SimClock clock_;
@@ -121,6 +135,8 @@ class Harness {
   std::unique_ptr<fs::ExtFs> fs_;
   std::vector<std::pair<std::string, std::unique_ptr<sql::Database>>> dbs_;
   double aged_validity_ = 0.0;
+  std::unique_ptr<trace::TraceWriter> trace_writer_;
+  std::unique_ptr<trace::Tracer> tracer_;
   Baseline baseline_;
 };
 

@@ -16,6 +16,16 @@ constexpr uint32_t kXl2pMagic = 0x584c3250;  // "XL2P"
 //   ... crc(4) at page end.
 constexpr size_t kSnapHeaderSize = 32;
 constexpr size_t kEntrySize = 16;
+
+// Records an X-FTL-layer event ending now (no-op without a tracer).
+void TraceX(flash::FlashDevice* dev, trace::Op op, SimNanos t0, TxId t,
+            uint64_t a, uint64_t b, StatusCode code) {
+  trace::Tracer* tr = dev->tracer();
+  if (tr != nullptr) {
+    tr->Record(trace::Layer::kXftl, op, t0, t, a, b,
+               dev->clock()->Now() - t0, code);
+  }
+}
 }  // namespace
 
 XFtl::XFtl(flash::FlashDevice* device, const FtlConfig& ftl_config,
@@ -97,6 +107,7 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
     return Status::OutOfRange("lpn " + std::to_string(p));
   }
   XFTL_RETURN_IF_ERROR(CheckWritable());
+  SimNanos t0 = device()->clock()->Now();
 
   // Re-write within the same transaction: swap the physical address.
   int idx = FindActiveSlot(t, p);
@@ -108,6 +119,7 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
     stats_.host_page_writes++;
     xstats_.tx_writes++;
     xl2p_dirty_ = true;
+    TraceX(device(), trace::Op::kTxWrite, t0, t, p, ppn, StatusCode::kOk);
     return Status::OK();
   }
 
@@ -119,6 +131,7 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
     const Slot& s = slots_[it->second];
     if (s.status == SlotStatus::kActive && s.tid != t) {
       xstats_.write_conflicts++;
+      TraceX(device(), trace::Op::kTxWrite, t0, t, p, 0, StatusCode::kBusy);
       return Status::Busy("page " + std::to_string(p) +
                           " is being updated by transaction " +
                           std::to_string(s.tid));
@@ -133,6 +146,7 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
   stats_.host_page_writes++;
   xstats_.tx_writes++;
   xl2p_dirty_ = true;
+  TraceX(device(), trace::Op::kTxWrite, t0, t, p, ppn, StatusCode::kOk);
   return Status::OK();
 }
 
@@ -140,20 +154,28 @@ Status XFtl::TxRead(TxId t, Lpn p, uint8_t* data) {
   if (t != kNoTx) {
     int idx = FindActiveSlot(t, p);
     if (idx >= 0) {
+      // The transaction sees its own uncommitted version.
+      SimNanos t0 = device()->clock()->Now();
       xstats_.tx_reads++;
       stats_.host_page_reads++;
-      return ReadPhysPage(slots_[idx].new_ppn, data);
+      Status s = ReadPhysPage(slots_[idx].new_ppn, data);
+      TraceX(device(), trace::Op::kTxRead, t0, t, p, slots_[idx].new_ppn,
+             s.code());
+      return s;
     }
   }
+  // Committed-copy reads record at the FTL layer inside Read().
   return Read(p, data);
 }
 
 Status XFtl::TxCommit(TxId t) {
+  SimNanos t0 = device()->clock()->Now();
   auto it = by_tid_.find(t);
   if (it == by_tid_.end()) {
     // Nothing written under t: a commit of a read-only transaction.
     xstats_.commits++;
     xstats_.empty_commits++;
+    TraceX(device(), trace::Op::kTxCommit, t0, t, 0, 0, StatusCode::kOk);
     return Status::OK();
   }
   // A device that degraded to read-only mid-transaction cannot write the
@@ -194,12 +216,17 @@ Status XFtl::TxCommit(TxId t) {
 
   stats_.flush_barriers++;  // a commit doubles as the write barrier
   xstats_.commits++;
+  TraceX(device(), trace::Op::kTxCommit, t0, t, entries.size(), 0,
+         StatusCode::kOk);
   return Status::OK();
 }
 
 Status XFtl::TxAbort(TxId t) {
+  SimNanos t0 = device()->clock()->Now();
+  uint64_t dropped = 0;
   auto it = by_tid_.find(t);
   if (it != by_tid_.end()) {
+    dropped = it->second.size();
     for (int idx : it->second) {
       InvalidatePpn(slots_[idx].new_ppn);
       FreeSlot(idx);
@@ -210,6 +237,7 @@ Status XFtl::TxAbort(TxId t) {
   // Nothing to persist: if the pre-abort table state were to survive a
   // crash, recovery discards ACTIVE entries anyway.
   xstats_.aborts++;
+  TraceX(device(), trace::Op::kTxAbort, t0, t, dropped, 0, StatusCode::kOk);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -175,6 +176,48 @@ TEST(CodingTest, RoundTrip) {
   EXPECT_EQ(DecodeFixed64(buf), 0x0123456789ABCDEFull);
 }
 
+TEST(CodingTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,       1,        127,        128,
+                             300,     16383,    16384,      1ull << 31,
+                             1ull << 63, ~0ull};
+  for (uint64_t v : values) {
+    std::vector<uint8_t> buf;
+    PutVarint64(&buf, v);
+    EXPECT_LE(buf.size(), kMaxVarint64Bytes);
+    uint64_t out = 0;
+    const uint8_t* next = GetVarint64(buf.data(), buf.data() + buf.size(), &out);
+    ASSERT_NE(next, nullptr) << v;
+    EXPECT_EQ(next, buf.data() + buf.size());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintEncodedLengths) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, ~0ull);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(CodingTest, VarintTruncatedInputReturnsNull) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 300);  // two bytes
+  uint64_t out = 0;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data() + 1, &out), nullptr);
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data(), &out), nullptr);
+}
+
+TEST(CodingTest, VarintMalformedOverlongReturnsNull) {
+  std::vector<uint8_t> buf(11, 0xff);  // never terminates within 10 bytes
+  uint64_t out = 0;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data() + buf.size(), &out), nullptr);
+}
+
 TEST(HistogramTest, BasicStats) {
   Histogram h;
   for (uint64_t v : {1, 2, 3, 4, 100}) h.Add(v);
@@ -192,6 +235,30 @@ TEST(HistogramTest, PercentileMonotonic) {
   EXPECT_LE(p50, p90);
   EXPECT_LE(p90, p99);
   EXPECT_LE(p99, double(h.max()));
+}
+
+// Pins the percentile math (power-of-two buckets, linear interpolation,
+// clamped to [min, max]) so the trace tooling's reported p50/p95/p99 can't
+// drift silently.
+TEST(HistogramTest, PercentilePinnedAllEqual) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(100);
+  // Every sample is 100, so the clamp pins every percentile to it exactly.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 100.0);
+}
+
+TEST(HistogramTest, PercentilePinnedTwoBuckets) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(1);     // bucket [1, 2)
+  for (int i = 0; i < 900; ++i) h.Add(1000);  // bucket [512, 1024)
+  // p50: target 500, 400 into the 900-sample bucket starting at 512.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 512.0 + 400.0 / 900.0 * 512.0);
+  // p95: target 950, 850 into that bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 512.0 + 850.0 / 900.0 * 512.0);
+  // p99: interpolation overshoots the true maximum; the clamp catches it.
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1000.0);
 }
 
 TEST(HistogramTest, MergeAddsCounts) {

@@ -1,0 +1,277 @@
+// Trace subsystem: binary format round-trip, torn-tail tolerance, tracer
+// histograms/metrics, stats snapshots, and capture -> replay determinism.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "ftl/ftl_stats.h"
+#include "storage/sim_ssd.h"
+#include "trace/metrics_registry.h"
+#include "trace/replay.h"
+#include "trace/stats_adapter.h"
+#include "trace/trace_file.h"
+#include "trace/tracer.h"
+
+namespace xftl::trace {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TraceEvent MakeEvent(uint64_t i) {
+  TraceEvent e;
+  e.time = SimNanos(1000 * i);
+  e.layer = Layer(i % kNumLayers);
+  e.op = Op(i % kNumOps);
+  e.tid = uint32_t(i % 7);
+  e.a = i * 31;
+  e.b = i * 97 + 5;
+  e.latency = SimNanos(i % 500);
+  e.status = i % 11 == 0 ? StatusCode::kBusy : StatusCode::kOk;
+  return e;
+}
+
+TEST(TraceFileTest, RoundTripAcrossFrames) {
+  std::string path = TempPath("roundtrip.trace");
+  std::vector<TraceEvent> written;
+  {
+    auto writer = TraceWriter::Open(path, /*events_per_frame=*/4).value();
+    for (uint64_t i = 0; i < 11; ++i) {  // 2 full frames + a partial one
+      TraceEvent e = MakeEvent(i);
+      writer->Append(e);
+      written.push_back(e);
+    }
+    ASSERT_TRUE(writer->Close().ok());
+    EXPECT_EQ(writer->events_written(), 11u);
+  }
+  bool truncated = true;
+  auto events = TraceReader::ReadAll(path, &truncated).value();
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(events.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(events[i], written[i]) << "event " << i;
+  }
+}
+
+TEST(TraceFileTest, EmptyTraceReadsCleanly) {
+  std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(TraceWriter::Open(path).value()->Close().ok());
+  bool truncated = true;
+  auto events = TraceReader::ReadAll(path, &truncated).value();
+  EXPECT_FALSE(truncated);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceFileTest, RejectsNonTraceFile) {
+  std::string path = TempPath("not_a.trace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("definitely not a trace", f);
+  std::fclose(f);
+  EXPECT_FALSE(TraceReader::Open(path).ok());
+}
+
+// A short write at process death tears the final frame; the reader must
+// deliver every complete frame and flag (not fail on) the torn tail.
+TEST(TraceFileTest, TornTailIsDetectedAndSkipped) {
+  std::string path = TempPath("torn.trace");
+  {
+    auto writer = TraceWriter::Open(path, /*events_per_frame=*/4).value();
+    for (uint64_t i = 0; i < 12; ++i) writer->Append(MakeEvent(i));
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Chop a few bytes off the end: the third frame's payload is now short.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size), 0);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  bytes.resize(bytes.size() - 3);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  bool truncated = false;
+  auto events = TraceReader::ReadAll(path, &truncated).value();
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(events.size(), 8u);  // frames 1 and 2 survive, frame 3 is torn
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i], MakeEvent(i));
+  }
+}
+
+// Bit rot inside a sealed frame must be caught by the CRC, not decoded.
+TEST(TraceFileTest, CorruptPayloadFailsCrc) {
+  std::string path = TempPath("corrupt.trace");
+  {
+    auto writer = TraceWriter::Open(path, /*events_per_frame=*/4).value();
+    for (uint64_t i = 0; i < 8; ++i) writer->Append(MakeEvent(i));
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, -2, SEEK_END);  // inside the second frame's payload
+  int c = std::fgetc(f);
+  std::fseek(f, -1, SEEK_CUR);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+
+  bool truncated = false;
+  auto events = TraceReader::ReadAll(path, &truncated).value();
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(events.size(), 4u);  // only the first frame decodes
+}
+
+TEST(TracerTest, HistogramsAndCountsPerLayerOp) {
+  Tracer tracer;
+  tracer.Record(Layer::kSata, Op::kWrite, 0, 0, 1, 0, 100, StatusCode::kOk);
+  tracer.Record(Layer::kSata, Op::kWrite, 10, 0, 2, 0, 300, StatusCode::kOk);
+  tracer.Record(Layer::kFlash, Op::kErase, 20, 0, 3, 0, 2000, StatusCode::kOk);
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.latency(Layer::kSata, Op::kWrite).count(), 2u);
+  EXPECT_EQ(tracer.latency(Layer::kSata, Op::kWrite).max(), 300u);
+  EXPECT_EQ(tracer.latency(Layer::kFlash, Op::kErase).count(), 1u);
+  EXPECT_EQ(tracer.latency(Layer::kFtl, Op::kGc).count(), 0u);
+}
+
+TEST(MetricsRegistryTest, SetAddGetAndJson) {
+  MetricsRegistry m;
+  m.Set("b", 2);
+  m.Add("a", 1);
+  m.Add("a", 4);
+  EXPECT_EQ(m.Get("a"), 5u);
+  EXPECT_EQ(m.Get("b"), 2u);
+  EXPECT_EQ(m.Get("missing"), 0u);
+  EXPECT_EQ(m.ToJson(), "{\"a\":5,\"b\":2}");  // sorted keys
+}
+
+TEST(StatsAdapterTest, AbsorbsFtlCounters) {
+  ftl::FtlStats s;
+  s.host_page_writes = 10;
+  s.gc_copyback_writes = 4;
+  s.meta_page_writes = 2;
+  s.host_page_reads = 7;
+  MetricsRegistry m;
+  AbsorbFtlStats(&m, s);
+  EXPECT_EQ(m.Get("ftl.host_page_writes"), 10u);
+  EXPECT_EQ(m.Get("ftl.total_page_writes"), 16u);
+  EXPECT_EQ(m.Get("ftl.total_page_reads"), 7u);
+}
+
+TEST(FtlStatsTest, DeltaSubtractsFieldwise) {
+  ftl::FtlStats base, now;
+  base.host_page_writes = 10;
+  base.gc_runs = 2;
+  now.host_page_writes = 25;
+  now.gc_runs = 5;
+  now.block_erases = 3;
+  ftl::FtlStats d = now.Delta(base);
+  EXPECT_EQ(d.host_page_writes, 15u);
+  EXPECT_EQ(d.gc_runs, 3u);
+  EXPECT_EQ(d.block_erases, 3u);
+  EXPECT_EQ(d.host_page_reads, 0u);
+  EXPECT_TRUE(now.Delta(now) == ftl::FtlStats{});
+}
+
+// Captures a command stream through a real device, then replays it. The
+// determinism anchor: two replays of one trace on one spec produce
+// bit-identical FtlStats.
+class ReplayTest : public ::testing::Test {
+ protected:
+  // Drives a mixed transactional/plain workload on an X-FTL device with
+  // capture enabled, returning the trace path.
+  std::string Capture(const std::string& name) {
+    std::string path = TempPath(name);
+    SimClock clock;
+    storage::SsdSpec spec = storage::OpenSsdSpec(/*num_blocks=*/64);
+    storage::SimSsd ssd(spec, &clock);
+    auto writer = TraceWriter::Open(path, /*events_per_frame=*/32).value();
+    Tracer tracer(writer.get());
+    ssd.SetTracer(&tracer);
+
+    std::vector<uint8_t> buf(ssd.device()->page_size(), 0xab);
+    storage::SataDevice* dev = ssd.device();
+    for (uint64_t p = 0; p < 40; ++p) {
+      EXPECT_TRUE(dev->Write(p, buf.data()).ok());
+    }
+    for (storage::TxId t = 1; t <= 5; ++t) {
+      for (uint64_t p = 0; p < 8; ++p) {
+        EXPECT_TRUE(dev->TxWrite(t, 40 + p, buf.data()).ok());
+      }
+      if (t == 3) {
+        EXPECT_TRUE(dev->TxAbort(t).ok());
+      } else {
+        EXPECT_TRUE(dev->TxCommit(t).ok());
+      }
+    }
+    for (uint64_t p = 0; p < 20; ++p) {
+      EXPECT_TRUE(dev->Read(p, buf.data()).ok());
+    }
+    EXPECT_TRUE(dev->Trim(2).ok());
+    EXPECT_TRUE(dev->FlushBarrier().ok());
+    EXPECT_TRUE(writer->Close().ok());
+    EXPECT_GT(tracer.event_count(), 0u);
+    return path;
+  }
+};
+
+TEST_F(ReplayTest, ReplaysCapturedCommands) {
+  std::string path = Capture("replay_basic.trace");
+  storage::SsdSpec spec = storage::OpenSsdSpec(64);
+  auto r = ReplayTrace(path, spec).value();
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.reads, 20u);
+  EXPECT_EQ(r.writes, 40u + 5 * 8);  // plain + transactional writes
+  EXPECT_EQ(r.trims, 1u);
+  EXPECT_EQ(r.flushes, 1u);
+  EXPECT_EQ(r.commits, 4u);
+  EXPECT_EQ(r.aborts, 1u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.skipped, 0u);
+  EXPECT_GT(r.ftl.TotalPageWrites(), 0u);
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST_F(ReplayTest, DeterministicOnXftl) {
+  std::string path = Capture("replay_xftl.trace");
+  storage::SsdSpec spec = storage::OpenSsdSpec(64);
+  spec.transactional = true;
+  auto a = ReplayTrace(path, spec).value();
+  auto b = ReplayTrace(path, spec).value();
+  EXPECT_TRUE(a.ftl == b.ftl);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.Commands(), b.Commands());
+}
+
+TEST_F(ReplayTest, DeterministicOnOriginalFtl) {
+  std::string path = Capture("replay_pageftl.trace");
+  storage::SsdSpec spec = storage::OpenSsdSpec(64);
+  spec.transactional = false;  // Tx commands degrade / are skipped
+  auto a = ReplayTrace(path, spec).value();
+  auto b = ReplayTrace(path, spec).value();
+  EXPECT_TRUE(a.ftl == b.ftl);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  // The abort cannot be expressed without a transactional FTL.
+  EXPECT_EQ(a.aborts, 0u);
+  EXPECT_EQ(a.skipped, 1u);
+}
+
+// The same workload capture-replayed on both profiles reaches different
+// devices but each must still count every host command.
+TEST_F(ReplayTest, BothProfilesSeeTheFullStream) {
+  std::string path = Capture("replay_profiles.trace");
+  storage::SsdSpec xftl = storage::OpenSsdSpec(64);
+  storage::SsdSpec page = storage::OpenSsdSpec(64);
+  page.transactional = false;
+  auto rx = ReplayTrace(path, xftl).value();
+  auto rp = ReplayTrace(path, page).value();
+  EXPECT_EQ(rx.Commands() + rx.skipped, rp.Commands() + rp.skipped);
+  EXPECT_GT(rx.ftl.flush_barriers + rx.sata.commit_commands, 0u);
+}
+
+}  // namespace
+}  // namespace xftl::trace

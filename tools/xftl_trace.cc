@@ -1,0 +1,233 @@
+// Offline trace tooling: inspect and re-drive binary traces captured by the
+// simulator's Tracer (src/trace/).
+//
+//   xftl_trace dump <trace>             print events as text
+//   xftl_trace summary <trace>          per-layer latency percentiles,
+//                                       per-transaction page counts and the
+//                                       write-amplification breakdown
+//   xftl_trace replay <trace>           re-drive the SATA-layer command
+//                                       stream against a chosen device
+//                                       profile, twice, and verify the two
+//                                       replays produce identical FtlStats
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/sim_ssd.h"
+#include "trace/replay.h"
+#include "trace/trace_event.h"
+#include "trace/trace_file.h"
+
+namespace xftl::trace {
+namespace {
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const std::string& def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+long FlagInt(int argc, char** argv, const char* name, long def) {
+  std::string v = FlagString(argc, argv, name, "");
+  return v.empty() ? def : std::atol(v.c_str());
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xftl_trace <command> <trace-file> [options]\n"
+      "\n"
+      "commands:\n"
+      "  dump     print events as text (--limit=N caps the output)\n"
+      "  summary  per-layer/op latency percentiles, per-transaction page\n"
+      "           counts, write-amplification breakdown\n"
+      "  replay   re-drive the SATA command stream on a fresh device and\n"
+      "           check replay determinism\n"
+      "           --profile=openssd|s830   device profile (default openssd)\n"
+      "           --ftl=xftl|page          transactional or original FTL\n"
+      "           --blocks=N               device size (default 512)\n");
+  return 2;
+}
+
+int Dump(const std::string& path, long limit) {
+  auto reader_or = TraceReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 reader_or.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = std::move(reader_or).value();
+  std::printf("%14s %-6s %-10s %6s %10s %10s %12s %s\n", "time(ns)", "layer",
+              "op", "tid", "a", "b", "latency(ns)", "status");
+  TraceEvent e;
+  long printed = 0;
+  while ((limit <= 0 || printed < limit) && reader->Next(&e)) {
+    std::printf("%14llu %-6s %-10s %6u %10llu %10llu %12llu %s\n",
+                (unsigned long long)e.time, LayerName(e.layer), OpName(e.op),
+                e.tid, (unsigned long long)e.a, (unsigned long long)e.b,
+                (unsigned long long)e.latency, StatusCodeToString(e.status));
+    printed++;
+  }
+  if (reader->truncated()) {
+    std::printf("(trace ends in a torn frame; complete prefix shown)\n");
+  }
+  std::printf("%llu events\n", (unsigned long long)reader->events_read());
+  return 0;
+}
+
+int Summary(const std::string& path) {
+  bool truncated = false;
+  auto events_or = TraceReader::ReadAll(path, &truncated);
+  if (!events_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 events_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<TraceEvent>& events = events_or.value();
+
+  // Per-(layer, op) latency histograms.
+  Histogram lat[kNumLayers][kNumOps];
+  // Pages written per device-level transaction (kSata tx-writes by tid).
+  std::map<uint32_t, uint64_t> txn_pages;
+  uint64_t host_writes = 0;    // device-level write commands (tx or not)
+  uint64_t flash_programs = 0; // physical page programs
+  uint64_t gc_copybacks = 0;   // valid pages carried by GC
+  uint64_t erases = 0;
+
+  for (const TraceEvent& e : events) {
+    lat[int(e.layer)][int(e.op)].Add(e.latency);
+    if (e.layer == Layer::kSata) {
+      if (e.op == Op::kWrite) host_writes++;
+      if (e.op == Op::kTxWrite) {
+        host_writes++;
+        txn_pages[e.tid]++;
+      }
+    }
+    if (e.layer == Layer::kFlash && e.op == Op::kWrite) flash_programs++;
+    if (e.layer == Layer::kFlash && e.op == Op::kErase) erases++;
+    if (e.layer == Layer::kFtl && e.op == Op::kGc &&
+        e.status == StatusCode::kOk) {
+      gc_copybacks += e.b;  // valid pages the victim carried
+    }
+  }
+
+  std::printf("%llu events%s\n\n", (unsigned long long)events.size(),
+              truncated ? " (torn tail skipped)" : "");
+
+  std::printf("per-layer latency (ns)\n");
+  std::printf("%-6s %-10s %10s %10s %10s %10s %10s\n", "layer", "op", "count",
+              "mean", "p50", "p95", "p99");
+  for (int l = 0; l < kNumLayers; ++l) {
+    for (int o = 0; o < kNumOps; ++o) {
+      const Histogram& h = lat[l][o];
+      if (h.count() == 0) continue;
+      std::printf("%-6s %-10s %10llu %10.0f %10.0f %10.0f %10.0f\n",
+                  LayerName(Layer(l)), OpName(Op(o)),
+                  (unsigned long long)h.count(), h.Mean(), h.Percentile(50),
+                  h.Percentile(95), h.Percentile(99));
+    }
+  }
+
+  if (!txn_pages.empty()) {
+    uint64_t total = 0, mx = 0, mn = ~0ull;
+    for (const auto& [tid, pages] : txn_pages) {
+      total += pages;
+      mx = std::max(mx, pages);
+      mn = std::min(mn, pages);
+    }
+    std::printf("\nper-transaction page counts\n");
+    std::printf("  transactions: %llu   pages/txn min %llu  mean %.1f  "
+                "max %llu\n",
+                (unsigned long long)txn_pages.size(), (unsigned long long)mn,
+                double(total) / double(txn_pages.size()),
+                (unsigned long long)mx);
+  }
+
+  if (flash_programs > 0) {
+    uint64_t other = flash_programs - std::min(flash_programs,
+                                               host_writes + gc_copybacks);
+    std::printf("\nwrite amplification\n");
+    std::printf("  host writes %llu, flash programs %llu "
+                "(gc copy-backs %llu, meta/other %llu)\n",
+                (unsigned long long)host_writes,
+                (unsigned long long)flash_programs,
+                (unsigned long long)gc_copybacks, (unsigned long long)other);
+    std::printf("  erases %llu   WA %.3f\n", (unsigned long long)erases,
+                host_writes == 0
+                    ? 0.0
+                    : double(flash_programs) / double(host_writes));
+  }
+  return 0;
+}
+
+int Replay(const std::string& path, int argc, char** argv) {
+  std::string profile = FlagString(argc, argv, "profile", "openssd");
+  std::string ftl = FlagString(argc, argv, "ftl", "xftl");
+  long blocks = FlagInt(argc, argv, "blocks", 512);
+
+  storage::SsdSpec spec = profile == "s830"
+                              ? storage::S830Spec(uint32_t(blocks))
+                              : storage::OpenSsdSpec(uint32_t(blocks));
+  spec.transactional = ftl != "page";
+
+  auto first_or = ReplayTrace(path, spec);
+  if (!first_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", first_or.status().ToString().c_str());
+    return 1;
+  }
+  const ReplayResult& r = first_or.value();
+  std::printf("replayed %llu commands on %s/%s: %llu reads, %llu writes, "
+              "%llu trims, %llu flushes, %llu commits, %llu aborts "
+              "(%llu skipped, %llu errors)%s\n",
+              (unsigned long long)r.Commands(), profile.c_str(), ftl.c_str(),
+              (unsigned long long)r.reads, (unsigned long long)r.writes,
+              (unsigned long long)r.trims, (unsigned long long)r.flushes,
+              (unsigned long long)r.commits, (unsigned long long)r.aborts,
+              (unsigned long long)r.skipped, (unsigned long long)r.errors,
+              r.truncated ? " [torn tail skipped]" : "");
+  std::printf("device: %llu page programs, %llu reads, %llu erases, "
+              "%llu gc runs, elapsed %.3f ms\n",
+              (unsigned long long)r.ftl.TotalPageWrites(),
+              (unsigned long long)r.ftl.TotalPageReads(),
+              (unsigned long long)r.ftl.block_erases,
+              (unsigned long long)r.ftl.gc_runs, double(r.elapsed) / 1e6);
+
+  // Determinism check: a second replay of the same trace on the same spec
+  // must land on bit-identical FTL counters.
+  auto second_or = ReplayTrace(path, spec);
+  if (!second_or.ok()) {
+    std::fprintf(stderr, "error on second replay: %s\n",
+                 second_or.status().ToString().c_str());
+    return 1;
+  }
+  bool deterministic = first_or.value().ftl == second_or.value().ftl;
+  std::printf("determinism: FtlStats across two replays %s\n",
+              deterministic ? "identical" : "DIVERGED");
+  return deterministic ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+  if (cmd == "dump") return Dump(path, FlagInt(argc, argv, "limit", 0));
+  if (cmd == "summary") return Summary(path);
+  if (cmd == "replay") return Replay(path, argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace xftl::trace
+
+int main(int argc, char** argv) { return xftl::trace::Main(argc, argv); }
