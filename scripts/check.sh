@@ -3,14 +3,26 @@
 # UBSan. Each configuration builds into its own tree so switching sanitizers
 # never poisons an existing build.
 #
-#   scripts/check.sh            # all three configurations
-#   scripts/check.sh plain      # just the plain build
-#   scripts/check.sh asan ubsan # a subset
+#   scripts/check.sh                      # all three configurations
+#   scripts/check.sh plain                # just the plain build
+#   scripts/check.sh asan ubsan           # a subset
+#   scripts/check.sh --sweep-seeds=500    # crash states per sweep config
+#
+# --sweep-seeds=N sets XFTL_SWEEP_SEEDS for the randomized crash sweep
+# (tests/crash_sweep_test.cc): N seeded power-cut points per (journal mode x
+# FTL) configuration, each checked for ACID invariants and a clean xftl_fsck
+# after recovery. The test default is 200.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
-CONFIGS=("$@")
+CONFIGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --sweep-seeds=*) export XFTL_SWEEP_SEEDS="${arg#--sweep-seeds=}" ;;
+    *) CONFIGS+=("${arg}") ;;
+  esac
+done
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=(plain asan ubsan)
 fi

@@ -1,0 +1,42 @@
+// Save / load a powered-off flash image to a file, so a crashed simulated
+// device can be inspected offline (tools/xftl_fsck). The image records the
+// array geometry, the FTL parameters needed to interpret it, and every
+// non-erased page with its durability state, OOB and data — including torn
+// pages, which is the whole point: the file is the flash exactly as the
+// power cut left it. Timings and fault-model parameters are not persisted
+// (an offline checker never advances the clock or samples noise).
+#ifndef XFTL_CHECK_FLASH_IMAGE_H_
+#define XFTL_CHECK_FLASH_IMAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/flash_device.h"
+
+namespace xftl::check {
+
+// What the checker needs to interpret an image, beyond raw geometry.
+struct ImageParams {
+  uint32_t meta_blocks = 0;
+  uint64_t num_logical_pages = 0;
+  bool transactional = false;
+};
+
+// Writes `dev`'s current contents to `path` (overwrites).
+Status SaveImage(const flash::FlashDevice& dev, const ImageParams& params,
+                 const std::string& path);
+
+struct LoadedImage {
+  ImageParams params;
+  flash::FlashConfig config;
+  std::unique_ptr<flash::FlashDevice> dev;
+};
+
+// Reads an image written by SaveImage into a fresh device on `clock`.
+StatusOr<LoadedImage> LoadImage(const std::string& path, SimClock* clock);
+
+}  // namespace xftl::check
+
+#endif  // XFTL_CHECK_FLASH_IMAGE_H_

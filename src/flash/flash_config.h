@@ -52,11 +52,34 @@ struct FaultModel {
   uint64_t seed = 0xfa117;
 };
 
+// Seeded description of a power cut. Arming a plan makes the
+// `crash_after_programs`-th subsequent program the crash point: the device
+// dies at that instant, every still-buffered (issued but not yet retired)
+// program is independently persisted or dropped with `persist_prob`, and the
+// crashing program itself tears at a random sector boundary. Dropping is
+// per-block prefix-consistent (NAND programs pages in order, so a block
+// cannot hold page k+1 without page k), but blocks on different banks drop
+// independently — buffered writes may persist out of issue order across
+// banks, exactly the hazard barrier-enabled I/O stacks guard against.
+//
+// Everything is derived from `seed`, so a crash state is reproducible.
+// `legacy_full_tear` reproduces the pre-buffer model (every buffered program
+// persists; the torn page is whole-page garbage) for the deterministic
+// boundary sweeps.
+struct CrashPlan {
+  uint64_t crash_after_programs = 0;  // N-th program from arming (1 = next)
+  uint64_t seed = 0;
+  double persist_prob = 0.5;  // per buffered program, prefix-consistent
+  bool legacy_full_tear = false;
+};
+
 struct FlashConfig {
   uint32_t page_size = 8192;
   uint32_t pages_per_block = 128;
   uint32_t num_blocks = 1024;  // whole device
   uint32_t num_banks = 4;      // interleaved block-wise
+  // NAND sector granule: a torn program lands on a sector boundary.
+  uint32_t sector_size = 512;
   // Maximum programs in flight before the issuer must stall (controller
   // write-buffer depth).
   uint32_t write_buffer_pages = 16;
@@ -91,6 +114,10 @@ struct FlashStats {
   uint64_t page_programs = 0;
   uint64_t block_erases = 0;
   uint64_t torn_programs = 0;  // programs destroyed by power failure
+  // Volatile write-buffer model.
+  uint64_t buffer_flushes = 0;    // SyncAll flush barriers issued
+  uint64_t programs_flushed = 0;  // buffered programs made durable by a flush
+  uint64_t programs_dropped = 0;  // buffered programs lost at a power cut
   // NAND failure model.
   uint64_t program_fails = 0;      // program status failures (block retired)
   uint64_t erase_fails = 0;        // erase status failures (block retired)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <map>
 
 namespace xftl::flash {
 
@@ -85,16 +86,25 @@ SimNanos FlashDevice::ScheduleOnBank(uint32_t bank, SimNanos latency) {
   return bank_busy_until_[bank];
 }
 
-void FlashDevice::StallIfBufferFull() {
-  if (inflight_.size() < config_.write_buffer_pages) return;
-  // Wait for the earliest completion, then retire everything done by then.
-  auto it = std::min_element(inflight_.begin(), inflight_.end());
-  clock_->AdvanceTo(*it);
+void FlashDevice::RetireDrained() {
   SimNanos now = clock_->Now();
-  inflight_.erase(
-      std::remove_if(inflight_.begin(), inflight_.end(),
-                     [now](SimNanos t) { return t <= now; }),
-      inflight_.end());
+  buffered_.erase(
+      std::remove_if(buffered_.begin(), buffered_.end(),
+                     [now](const BufferedProgram& p) { return p.done <= now; }),
+      buffered_.end());
+}
+
+void FlashDevice::StallIfBufferFull() {
+  RetireDrained();
+  if (buffered_.size() < config_.write_buffer_pages) return;
+  // Wait for the earliest completion, then retire everything done by then.
+  auto it = std::min_element(
+      buffered_.begin(), buffered_.end(),
+      [](const BufferedProgram& a, const BufferedProgram& b) {
+        return a.done < b.done;
+      });
+  clock_->AdvanceTo(it->done);
+  RetireDrained();
 }
 
 Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
@@ -127,9 +137,17 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
   }
   if (blk.page_state[page] == PageState::kTorn) {
     // The caller still sees the garbled bytes — checksums upstream are what
-    // detect this in real systems; the explicit status makes tests crisper.
+    // detect this in real systems. On the ECC path (bit_errors != nullptr) a
+    // torn page senses as hopelessly noisy at every retry level, so the ECC
+    // engine reports it as an uncorrectable read; raw callers keep the
+    // explicit status, which makes tests crisper.
     std::memcpy(data, PageData(blk, page), config_.page_size);
     if (oob != nullptr) *oob = blk.oob[page];
+    if (bit_errors != nullptr) {
+      *bit_errors = config_.page_size * 8;
+      note(StatusCode::kOk);
+      return Status::OK();
+    }
     note(StatusCode::kCorruption);
     return Status::Corruption("torn page " + std::to_string(ppn));
   }
@@ -181,19 +199,10 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
 
   StallIfBufferFull();
 
-  // Power-failure injection: the program starts and the cells are left in an
-  // indeterminate state.
-  if (PowerFailureArmed() && --fail_after_programs_ == 0) {
-    fail_after_programs_ = kPowerFailureDisarmed;
-    garbage_rng_.FillBytes(PageData(blk, page), config_.page_size);
-    blk.page_state[page] = PageState::kTorn;
-    blk.oob[page] = oob;  // OOB may or may not have landed; keep it but the
-                          // data checksum is what recovery must rely on.
-    blk.next_page = page + 1;
-    stats_.torn_programs++;
-    failed_ = true;
-    return Status::IoError("power failure during program of page " +
-                           std::to_string(ppn));
+  // Power-failure injection: the device dies the instant this program is
+  // issued. CrashNow decides what the cells end up holding.
+  if (crash_armed_ && --crash_countdown_ == 0) {
+    return CrashNow(ppn, data, oob);
   }
 
   // Program status failure: the chip reports FAIL, the cells hold garbage
@@ -231,7 +240,7 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
   SimNanos t0 = clock_->Now();
   SimNanos done = ScheduleOnBank(
       bank, config_.timings.bus_per_page + config_.timings.program_page);
-  inflight_.push_back(done);
+  buffered_.push_back(BufferedProgram{ppn, done});
   if (tracer_ != nullptr) {
     // Programs are asynchronous; the recorded latency is issue-to-retire
     // (queueing on the bank included), which is what the host would see at
@@ -290,8 +299,107 @@ Status FlashDevice::EraseBlock(BlockNum block) {
 }
 
 void FlashDevice::SyncAll() {
+  SimNanos t0 = clock_->Now();
+  RetireDrained();  // programs that drained on their own were already durable
   for (SimNanos t : bank_busy_until_) clock_->AdvanceTo(t);
-  inflight_.clear();
+  uint64_t flushed = buffered_.size();
+  buffered_.clear();
+  stats_.programs_flushed += flushed;
+  stats_.buffer_flushes++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kFlush, t0, 0, flushed,
+                    0, clock_->Now() - t0, StatusCode::kOk);
+  }
+}
+
+void FlashDevice::ArmCrashPlan(const CrashPlan& plan) {
+  crash_plan_ = plan;
+  crash_countdown_ = std::max<uint64_t>(plan.crash_after_programs, 1);
+  crash_armed_ = true;
+}
+
+void FlashDevice::DropPage(BlockNum block, uint32_t page) {
+  Block& blk = blocks_[block];
+  if (blk.data.empty()) return;
+  std::memset(PageData(blk, page), 0xff, config_.page_size);
+  blk.page_state[page] = PageState::kErased;
+  blk.oob[page] = PageOob{};
+  blk.next_page = std::min(blk.next_page, page);
+}
+
+Status FlashDevice::CrashNow(Ppn ppn, const uint8_t* data,
+                             const PageOob& oob) {
+  crash_armed_ = false;
+  failed_ = true;
+  RetireDrained();
+
+  // Sample the fate of every buffered program plus the one being issued.
+  // NAND programs pages of a block strictly in order, so the first drop in a
+  // block kills the rest of that block's buffered suffix; blocks (planes)
+  // are independent, which is what lets buffered writes persist out of their
+  // issue order.
+  Rng rng(crash_plan_.seed ^ 0x9e3779b97f4a7c15ull);
+  std::map<BlockNum, std::vector<uint32_t>> pending;
+  for (const BufferedProgram& p : buffered_) {
+    pending[config_.BlockOf(p.ppn)].push_back(config_.PageInBlock(p.ppn));
+  }
+  buffered_.clear();
+  const BlockNum crash_block = config_.BlockOf(ppn);
+  const uint32_t crash_page = config_.PageInBlock(ppn);
+  pending[crash_block].push_back(crash_page);
+
+  bool issue_survives = false;
+  for (auto& [block, pages] : pending) {
+    std::sort(pages.begin(), pages.end());
+    bool dropping = false;
+    for (uint32_t pg : pages) {
+      if (!dropping && !rng.Bernoulli(crash_plan_.persist_prob)) {
+        dropping = true;
+      }
+      if (block == crash_block && pg == crash_page) {
+        // The issued program's data never reached the cells (it is still in
+        // `data`); nothing to revert if it drops.
+        issue_survives = !dropping;
+        if (dropping) stats_.programs_dropped++;
+      } else if (dropping) {
+        DropPage(block, pg);
+        stats_.programs_dropped++;
+      }
+    }
+  }
+
+  if (issue_survives) {
+    // The in-flight program tears at a sector boundary: the first `landed`
+    // sectors hold the intended data, the rest is indeterminate garbage.
+    Block& blk = blocks_[crash_block];
+    EnsureAllocated(blk);
+    uint8_t* dst = PageData(blk, crash_page);
+    garbage_rng_.FillBytes(dst, config_.page_size);
+    uint32_t sectors = std::max(1u, config_.page_size / config_.sector_size);
+    uint32_t landed =
+        crash_plan_.legacy_full_tear ? 0 : uint32_t(rng.Uniform(sectors));
+    std::memcpy(dst, data, size_t(landed) * config_.sector_size);
+    blk.page_state[crash_page] = PageState::kTorn;
+    blk.oob[crash_page] = oob;  // OOB may or may not have landed; keep it
+                                // but the data checksum is what recovery
+                                // must rely on.
+    blk.next_page = crash_page + 1;
+    stats_.torn_programs++;
+  }
+  return Status::IoError("power failure during program of page " +
+                         std::to_string(ppn));
+}
+
+void FlashDevice::PowerCut() {
+  if (failed_) return;  // already dead at an armed crash point
+  RetireDrained();
+  for (const BufferedProgram& p : buffered_) {
+    DropPage(config_.BlockOf(p.ppn), config_.PageInBlock(p.ppn));
+    stats_.programs_dropped++;
+  }
+  buffered_.clear();
+  crash_armed_ = false;
+  failed_ = true;
 }
 
 bool FlashDevice::IsProgrammed(Ppn ppn) const {
@@ -310,8 +418,55 @@ uint32_t FlashDevice::NextProgramPage(BlockNum block) const {
 
 void FlashDevice::ClearFailure() {
   failed_ = false;
-  fail_after_programs_ = kPowerFailureDisarmed;
-  inflight_.clear();
+  crash_armed_ = false;
+  // RAM-side timing state only: the cells already hold whatever survived.
+  // Buffer loss happens at the cut (PowerCut / CrashNow), not at reboot.
+  buffered_.clear();
+}
+
+FlashDevice::PageState FlashDevice::PageStateOf(Ppn ppn) const {
+  const Block& blk = blocks_[config_.BlockOf(ppn)];
+  if (blk.data.empty()) return PageState::kErased;
+  return blk.page_state[config_.PageInBlock(ppn)];
+}
+
+const uint8_t* FlashDevice::PeekPageData(Ppn ppn) const {
+  const Block& blk = blocks_[config_.BlockOf(ppn)];
+  if (blk.data.empty()) return nullptr;
+  return blk.data.data() +
+         size_t(config_.PageInBlock(ppn)) * config_.page_size;
+}
+
+std::optional<PageOob> FlashDevice::PeekOob(Ppn ppn) const {
+  const Block& blk = blocks_[config_.BlockOf(ppn)];
+  if (blk.data.empty()) return std::nullopt;
+  uint32_t page = config_.PageInBlock(ppn);
+  if (blk.page_state[page] == PageState::kErased) return std::nullopt;
+  return blk.oob[page];
+}
+
+void FlashDevice::RestorePage(Ppn ppn, PageState state, const uint8_t* data,
+                              const PageOob& oob) {
+  Block& blk = blocks_[config_.BlockOf(ppn)];
+  EnsureAllocated(blk);
+  uint32_t page = config_.PageInBlock(ppn);
+  blk.page_state[page] = state;
+  blk.oob[page] = state == PageState::kErased ? PageOob{} : oob;
+  uint8_t* dst = PageData(blk, page);
+  if (state == PageState::kErased || data == nullptr) {
+    std::memset(dst, 0xff, config_.page_size);
+  } else {
+    std::memcpy(dst, data, config_.page_size);
+  }
+  if (state != PageState::kErased) {
+    blk.next_page = std::max(blk.next_page, page + 1);
+  }
+}
+
+void FlashDevice::RestoreBlockMeta(BlockNum block, uint64_t erase_count,
+                                   bool bad) {
+  blocks_[block].erase_count = erase_count;
+  blocks_[block].bad = bad;
 }
 
 }  // namespace xftl::flash

@@ -11,10 +11,24 @@
 // write bandwidth). A bounded write buffer stalls the issuer when full, and
 // SyncAll() models a flush barrier that waits for every in-flight program.
 //
-// Power-failure injection: ArmPowerFailure(n) makes the n-th subsequent
-// program "tear" — the page contents are destroyed mid-write and the device
-// refuses further work until ClearFailure() (the reboot). Flash contents
-// survive, which is exactly what crash-recovery code must cope with.
+// Durability: the write buffer is VOLATILE. A program is durable once it has
+// drained (its modeled completion time has passed) or once a SyncAll() flush
+// barrier lands; until then it lives only in controller RAM. PowerCut()
+// models pulling the plug: every still-buffered program is lost. A seeded
+// CrashPlan (ArmCrashPlan) crashes mid-workload instead: each buffered
+// program independently persists or drops (prefix-consistent within a block,
+// independent across banks — so writes can persist out of issue order) and
+// the crashing program tears at a sector boundary. ArmPowerFailure(n) is the
+// legacy deterministic trigger: all buffered programs persist and the n-th
+// program is whole-page garbage. After any cut the device refuses work until
+// ClearFailure() (the reboot). Flash contents survive, which is exactly what
+// crash-recovery code must cope with.
+//
+// Torn pages read through the ECC path (bit_errors != nullptr) as pages with
+// more raw bit errors than any code can correct, so the FTL sees them as
+// uncorrectable reads after its retries — not as silent garbage and not as a
+// magic "torn" status. Raw reads (bit_errors == nullptr) keep the explicit
+// Corruption status for tests and tools.
 //
 // NAND failure injection (FaultModel + Script*Fail): program and erase
 // operations can complete with the status-fail bit set, which permanently
@@ -38,6 +52,9 @@ namespace xftl::flash {
 
 class FlashDevice {
  public:
+  // Durability state of one physical page.
+  enum class PageState : uint8_t { kErased, kProgrammed, kTorn };
+
   FlashDevice(const FlashConfig& config, SimClock* clock);
 
   FlashDevice(const FlashDevice&) = delete;
@@ -74,7 +91,8 @@ class FlashDevice {
   // Erases a whole block (synchronous).
   Status EraseBlock(BlockNum block);
 
-  // Waits for all in-flight programs to retire (flush barrier).
+  // Waits for all in-flight programs to retire (flush barrier). Everything
+  // buffered becomes durable.
   void SyncAll();
 
   // True if the page has been programmed since its block's last erase.
@@ -86,20 +104,34 @@ class FlashDevice {
   uint32_t NextProgramPage(BlockNum block) const;
 
   // --- power-failure injection -------------------------------------------
-  // The `countdown`-th program from now tears: 1 (and, defensively, 0) mean
-  // the very next program. Disarmed is an explicit sentinel, so every
-  // countdown value actually arms a failure.
+  // Arms a seeded crash: the plan's crash_after_programs-th program from now
+  // is the crash point (see CrashPlan). Replaces any armed plan.
+  void ArmCrashPlan(const CrashPlan& plan);
+  // Legacy deterministic trigger: the `countdown`-th program from now tears
+  // (1 and, defensively, 0 mean the very next program), every buffered
+  // program persists and the torn page is whole-page garbage.
   void ArmPowerFailure(uint64_t countdown) {
-    fail_after_programs_ = countdown == 0 ? 1 : countdown;
+    CrashPlan plan;
+    plan.crash_after_programs = countdown == 0 ? 1 : countdown;
+    plan.seed = 0x70726e21;  // fixed: legacy tears carry no sampling
+    plan.persist_prob = 1.0;
+    plan.legacy_full_tear = true;
+    ArmCrashPlan(plan);
   }
-  void DisarmPowerFailure() { fail_after_programs_ = kPowerFailureDisarmed; }
-  bool PowerFailureArmed() const {
-    return fail_after_programs_ != kPowerFailureDisarmed;
-  }
+  void DisarmPowerFailure() { crash_armed_ = false; }
+  bool PowerFailureArmed() const { return crash_armed_; }
   bool HasFailed() const { return failed_; }
+  // Pulls the plug without a crash plan: every still-buffered program is
+  // dropped (drained programs are already durable) and the device refuses
+  // further work until ClearFailure(). No-op if the device already died at
+  // an armed crash point. This is what a clean host power cycle must call —
+  // a power cycle that keeps the buffer is not a power cycle.
+  void PowerCut();
   // Simulated reboot: the device accepts commands again; flash contents are
   // untouched and all RAM-side (in-flight) state is gone. Grown bad blocks
-  // are physical damage and survive.
+  // are physical damage and survive. Note this does NOT drop the buffer —
+  // losing power does (PowerCut / an armed CrashPlan); a host-only reboot
+  // with the device powered keeps buffered programs draining.
   void ClearFailure();
 
   // --- NAND failure injection --------------------------------------------
@@ -120,11 +152,23 @@ class FlashDevice {
   void NoteEccCorrected(uint64_t bits) { stats_.ecc_corrected += bits; }
   void NoteEccUncorrectable() { stats_.ecc_uncorrectable++; }
 
+  // --- offline inspection (xftl_fsck, image dump) ------------------------
+  // Side-effect-free peeks at a powered-off image: no clock, no stats, no
+  // RBER sampling. PeekPageData returns nullptr for never-touched blocks.
+  PageState PageStateOf(Ppn ppn) const;
+  const uint8_t* PeekPageData(Ppn ppn) const;
+  std::optional<PageOob> PeekOob(Ppn ppn) const;
+  // Buffered (issued, not yet durable) program count — tests and benches.
+  size_t BufferedPrograms() const { return buffered_.size(); }
+
+  // --- image restore (flash_image.cc only) -------------------------------
+  // Rebuilds a page / block directly, bypassing program-order checks and
+  // timing. `data` may be null for erased pages.
+  void RestorePage(Ppn ppn, PageState state, const uint8_t* data,
+                   const PageOob& oob);
+  void RestoreBlockMeta(BlockNum block, uint64_t erase_count, bool bad);
+
  private:
-  enum class PageState : uint8_t { kErased, kProgrammed, kTorn };
-
-  static constexpr uint64_t kPowerFailureDisarmed = ~uint64_t{0};
-
   struct Block {
     std::vector<uint8_t> data;   // allocated lazily, pages_per_block pages
     std::vector<PageState> page_state;
@@ -134,6 +178,12 @@ class FlashDevice {
     bool bad = false;            // grown bad block (program/erase fail)
   };
 
+  // One issued-but-not-yet-durable program.
+  struct BufferedProgram {
+    Ppn ppn;
+    SimNanos done;  // completion (drain) time on its bank
+  };
+
   Status CheckAlive() const;
   Status CheckPpn(Ppn ppn) const;
   void EnsureAllocated(Block& blk);
@@ -141,6 +191,16 @@ class FlashDevice {
   // Schedules `latency` on `bank`; returns completion time.
   SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency);
   void StallIfBufferFull();
+  // Retires buffered programs whose drain time has passed (they are durable
+  // from here on).
+  void RetireDrained();
+  // Reverts a programmed page to erased (a buffered program that never made
+  // it to the cells).
+  void DropPage(BlockNum block, uint32_t page);
+  // The armed crash point: samples the fate of every buffered program plus
+  // the one being issued (`ppn`, whose data is still only in `data`), then
+  // kills the device. Returns the IoError the caller propagates.
+  Status CrashNow(Ppn ppn, const uint8_t* data, const PageOob& oob);
   // Decides whether the current (already counted) op fails, consuming any
   // matching one-shot script entry.
   bool FaultFires(std::vector<uint64_t>& scripted, uint64_t op_count,
@@ -153,10 +213,13 @@ class FlashDevice {
   trace::Tracer* tracer_ = nullptr;
   std::vector<Block> blocks_;
   std::vector<SimNanos> bank_busy_until_;
-  // Completion times of in-flight programs (bounded by write_buffer_pages).
-  std::vector<SimNanos> inflight_;
+  // Volatile write buffer: issued programs that have not drained yet
+  // (bounded by write_buffer_pages).
+  std::vector<BufferedProgram> buffered_;
   FlashStats stats_;
-  uint64_t fail_after_programs_ = kPowerFailureDisarmed;
+  CrashPlan crash_plan_;
+  bool crash_armed_ = false;
+  uint64_t crash_countdown_ = 0;
   bool failed_ = false;
   // Fault-injection state: absolute op numbers of scripted failures, the
   // periodic settings, and op counters.

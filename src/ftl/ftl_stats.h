@@ -29,6 +29,12 @@ struct FtlStats {
   uint64_t retire_relocations = 0;    // valid pages moved off retiring blocks
   uint64_t ecc_read_retries = 0;      // read-retry rounds by the ECC engine
   uint64_t pages_lost = 0;            // unrecoverable pages dropped at retire
+  // Crash recovery (what a power cut cost us and what recovery discarded).
+  uint64_t recovery_torn_meta_pages = 0;  // unreadable pages in the meta ring
+  uint64_t recovery_root_fallbacks = 0;   // checkpoint epochs skipped (bad
+                                          // segments, torn X-L2P snapshots)
+  uint64_t recovery_stale_mappings = 0;   // checkpointed mappings discarded
+  uint64_t recovery_discarded_txn_pages = 0;   // ACTIVE X-L2P entries rolled back
 
   // Total physical page programs, as the paper's Table 1 "Write" column
   // counts them (host + copied-back + metadata).
@@ -68,6 +74,14 @@ struct FtlStats {
     d.retire_relocations = retire_relocations - base.retire_relocations;
     d.ecc_read_retries = ecc_read_retries - base.ecc_read_retries;
     d.pages_lost = pages_lost - base.pages_lost;
+    d.recovery_torn_meta_pages =
+        recovery_torn_meta_pages - base.recovery_torn_meta_pages;
+    d.recovery_root_fallbacks =
+        recovery_root_fallbacks - base.recovery_root_fallbacks;
+    d.recovery_stale_mappings =
+        recovery_stale_mappings - base.recovery_stale_mappings;
+    d.recovery_discarded_txn_pages =
+        recovery_discarded_txn_pages - base.recovery_discarded_txn_pages;
     return d;
   }
 };

@@ -818,8 +818,6 @@ Status PageFtl::Recover() {
 Status PageFtl::ScanMetaRegion() {
   const auto& fc = device_->config();
   std::vector<uint8_t> buf(fc.page_size);
-  flash::Ppn best_root = flash::kInvalidPpn;
-  uint64_t best_seq = 0;
   uint64_t max_seq = 0;
 
   struct MetaPage {
@@ -827,6 +825,14 @@ Status PageFtl::ScanMetaRegion() {
     flash::Ppn ppn;
   };
   std::vector<MetaPage> subclass_pages;
+  // Every CRC-valid root in the region, newest first. A crash can leave the
+  // newest root pointing at a segment that never became durable, so loading
+  // falls back epoch by epoch until one checkpoint is whole.
+  struct RootCandidate {
+    uint64_t seq;
+    flash::Ppn ppn;
+  };
+  std::vector<RootCandidate> roots;
 
   for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
     uint32_t np = device_->NextProgramPage(b);
@@ -837,20 +843,21 @@ Status PageFtl::ScanMetaRegion() {
       const flash::PageOob& oob = *oob_opt;
       max_seq = std::max(max_seq, oob.seq);
       if (oob.tag == kTagMetaRoot) {
-        if (oob.seq > best_seq && ReadPhysPage(ppn, buf.data()).ok()) {
-          uint32_t nseg = DecodeFixed32(buf.data() + 12);
-          if (DecodeFixed32(buf.data()) == kRootMagic &&
-              nseg == num_segments()) {
-            size_t nbad_off = kRootHeaderSize + size_t(nseg) * 4;
-            if (nbad_off + 8 <= fc.page_size) {
-              uint32_t nbad = DecodeFixed32(buf.data() + nbad_off);
-              size_t crc_off = nbad_off + 4 + size_t(nbad) * 4;
-              if (crc_off + 4 <= fc.page_size) {
-                uint32_t crc = DecodeFixed32(buf.data() + crc_off);
-                if (crc == Crc32c(buf.data(), crc_off)) {
-                  best_seq = oob.seq;
-                  best_root = ppn;
-                }
+        if (!ReadPhysPage(ppn, buf.data()).ok()) {
+          stats_.recovery_torn_meta_pages++;
+          continue;
+        }
+        uint32_t nseg = DecodeFixed32(buf.data() + 12);
+        if (DecodeFixed32(buf.data()) == kRootMagic &&
+            nseg == num_segments()) {
+          size_t nbad_off = kRootHeaderSize + size_t(nseg) * 4;
+          if (nbad_off + 8 <= fc.page_size) {
+            uint32_t nbad = DecodeFixed32(buf.data() + nbad_off);
+            size_t crc_off = nbad_off + 4 + size_t(nbad) * 4;
+            if (crc_off + 4 <= fc.page_size) {
+              uint32_t crc = DecodeFixed32(buf.data() + crc_off);
+              if (crc == Crc32c(buf.data(), crc_off)) {
+                roots.push_back({oob.seq, ppn});
               }
             }
           }
@@ -862,8 +869,19 @@ Status PageFtl::ScanMetaRegion() {
   }
   next_seq_ = max_seq + 1;
 
-  if (best_root != flash::kInvalidPpn) {
-    XFTL_RETURN_IF_ERROR(LoadRootAndSegments(best_root));
+  std::sort(roots.begin(), roots.end(),
+            [](const RootCandidate& a, const RootCandidate& b) {
+              return a.seq > b.seq;
+            });
+  for (const RootCandidate& rc : roots) {
+    Status ls = LoadRootAndSegments(rc.ppn);
+    if (ls.ok()) break;
+    if (ls.code() != StatusCode::kCorruption) return ls;
+    // This epoch references a segment that never became durable (or tore).
+    // Fall back to the previous checkpoint; the OOB roll-forward scan will
+    // recapture any newer durable data pages.
+    stats_.recovery_root_fallbacks++;
+    ResetMappingState();
   }
 
   // Hand subclass meta pages over in sequence order.
@@ -897,6 +915,21 @@ Status PageFtl::ScanMetaRegion() {
   return Status::OK();
 }
 
+void PageFtl::ResetMappingState() {
+  std::fill(l2p_.begin(), l2p_.end(), flash::kInvalidPpn);
+  std::fill(segment_snapshot_ppn_.begin(), segment_snapshot_ppn_.end(),
+            flash::kInvalidPpn);
+  std::fill(segment_dirty_.begin(), segment_dirty_.end(), false);
+  last_root_seq_ = 0;
+  bad_blocks_.clear();
+  bad_blocks_dirty_ = false;
+  // LoadRootAndSegments flags persisted-bad meta blocks; un-flag them (the
+  // device-reported list is re-applied at the end of Recover()).
+  for (flash::BlockNum b = 0; b < config_.meta_blocks; ++b) {
+    blocks_[b].kind = BlockInfo::Kind::kMeta;
+  }
+}
+
 Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
   const auto& fc = device_->config();
   std::vector<uint8_t> buf(fc.page_size);
@@ -908,6 +941,21 @@ Status PageFtl::LoadRootAndSegments(flash::Ppn root_ppn) {
     flash::Ppn sppn = DecodeFixed32(buf.data() + kRootHeaderSize + size_t(seg) * 4);
     segment_snapshot_ppn_[seg] = sppn;
     if (sppn == flash::kInvalidPpn) continue;
+    // The referenced page must actually BE this segment: a power cut can
+    // drop a buffered segment program while the root (on another meta
+    // block) persists, leaving the reference dangling at an erased page —
+    // which would otherwise read back as an innocent all-0xff segment and
+    // silently lose every mapping it held.
+    if (sppn >= fc.TotalPages() || fc.BlockOf(sppn) >= config_.meta_blocks) {
+      return Status::Corruption("root references out-of-region segment " +
+                                std::to_string(seg));
+    }
+    XFTL_ASSIGN_OR_RETURN(auto seg_oob, device_->ReadOob(sppn));
+    if (!seg_oob.has_value() || seg_oob->tag != kTagMetaSegment ||
+        seg_oob->lpn != seg) {
+      return Status::Corruption("L2P segment " + std::to_string(seg) +
+                                " missing at ppn " + std::to_string(sppn));
+    }
     Status s = ReadPhysPage(sppn, seg_buf.data());
     if (!s.ok()) {
       return Status::Corruption("unreadable L2P segment " +
@@ -1017,15 +1065,19 @@ void PageFtl::RebuildBlockState() {
   // Validate checkpointed mappings: a checkpoint may reference a page whose
   // block was collected and reprogrammed with unrelated data (the logical
   // page was trimmed afterwards, so no newer copy exists to win roll-
-  // forward). Such stale entries are dropped.
+  // forward), a page the crash dropped back to erased before it drained, or
+  // a page the crash tore mid-program. Such entries are dropped — the L2P
+  // must never map to an erased or unreadable physical page.
   for (Lpn lpn = 0; lpn < l2p_.size(); ++lpn) {
     flash::Ppn ppn = l2p_[lpn];
     if (ppn == flash::kInvalidPpn) continue;
     if (page_lpn[ppn] != lpn ||
         (page_tag[ppn] != kTagData && page_tag[ppn] != kTagTxData &&
-         page_tag[ppn] != kTagSccData)) {
+         page_tag[ppn] != kTagSccData) ||
+        device_->PageStateOf(ppn) == flash::FlashDevice::PageState::kTorn) {
       l2p_[lpn] = flash::kInvalidPpn;
       segment_dirty_[SegmentOf(lpn)] = true;
+      stats_.recovery_stale_mappings++;
       continue;
     }
     BlockInfo& blk = blocks_[fc.BlockOf(ppn)];

@@ -116,6 +116,12 @@ class PageFtl : public FtlInterface {
   // Grown bad blocks currently known to the FTL (data + meta).
   size_t bad_block_count() const { return bad_blocks_.size(); }
   const std::vector<flash::BlockNum>& bad_blocks() const { return bad_blocks_; }
+  // Per-block count of valid (GC-live) pages as the FTL tracks it; zero for
+  // meta, free and bad blocks. xftl_fsck cross-checks this against the
+  // union of the mapping tables it derives from the raw image.
+  uint32_t BlockValidCount(flash::BlockNum block) const {
+    return blocks_[block].valid_count;
+  }
 
  protected:
   // --- hooks overridden by X-FTL ------------------------------------------
@@ -263,6 +269,9 @@ class PageFtl : public FtlInterface {
   // Recovery helpers.
   Status ScanMetaRegion();
   Status LoadRootAndSegments(flash::Ppn root_ppn);
+  // Reverts everything LoadRootAndSegments may have touched, so the next
+  // (older) root candidate starts from a clean slate.
+  void ResetMappingState();
   Status RollForwardDataBlocks();
   void RebuildBlockState();
 

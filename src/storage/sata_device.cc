@@ -77,6 +77,7 @@ Status SataDevice::TxWrite(TxId t, uint64_t page, const uint8_t* data) {
   ChargeCommand(true);
   stats_.write_commands++;
   Status s = xftl_->TxWrite(t, page, data);
+  if (s.ok()) open_txns_.insert(t);
   Note(trace::Op::kTxWrite, t0, t, page, s.code());
   return s;
 }
@@ -89,6 +90,7 @@ Status SataDevice::TxCommit(TxId t) {
   stats_.trim_commands++;
   stats_.commit_commands++;
   Status s = xftl_->TxCommit(t);
+  if (s.ok()) open_txns_.erase(t);
   Note(trace::Op::kTxCommit, t0, t, 0, s.code());
   return s;
 }
@@ -102,6 +104,7 @@ Status SataDevice::TxAbort(TxId t) {
   stats_.trim_commands++;
   stats_.abort_commands++;
   Status s = xftl_->TxAbort(t);
+  if (s.ok()) open_txns_.erase(t);
   Note(trace::Op::kTxAbort, t0, t, 0, s.code());
   return s;
 }

@@ -7,6 +7,7 @@
 #define XFTL_STORAGE_SATA_DEVICE_H_
 
 #include <cstdint>
+#include <set>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -59,6 +60,14 @@ class SataDevice : public TxBlockDevice {
   void ResetStats() { stats_ = SataStats{}; }
   ftl::FtlInterface* ftl() const { return ftl_; }
 
+  // Transactions with at least one write issued and no commit/abort yet.
+  // This is volatile front-end state: it does not survive a power cycle.
+  const std::set<TxId>& open_transactions() const { return open_txns_; }
+  // Drops all volatile front-end state (in-flight transaction ids). Called
+  // by SimSsd::PowerCycle(); the FTL learns the same fact from recovery,
+  // which discards the uncommitted pages those transactions wrote.
+  void ResetVolatile() { open_txns_.clear(); }
+
   // Optional command tracing; kSata events are the capture stream a
   // TraceReplayer re-drives. Null disables.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
@@ -77,6 +86,7 @@ class SataDevice : public TxBlockDevice {
   SimClock* const clock_;
   trace::Tracer* tracer_ = nullptr;
   SataStats stats_;
+  std::set<TxId> open_txns_;
 };
 
 }  // namespace xftl::storage

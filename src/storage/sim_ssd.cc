@@ -1,5 +1,6 @@
 #include "storage/sim_ssd.h"
 
+#include "check/xftl_fsck.h"
 #include "ftl/page_ftl.h"
 
 namespace xftl::storage {
@@ -61,7 +62,8 @@ SsdSpec S830Spec(uint32_t num_blocks, double utilization) {
   return spec;
 }
 
-SimSsd::SimSsd(const SsdSpec& spec, SimClock* clock) : clock_(clock) {
+SimSsd::SimSsd(const SsdSpec& spec, SimClock* clock)
+    : spec_(spec), clock_(clock) {
   flash_ = std::make_unique<flash::FlashDevice>(spec.flash, clock);
   if (spec.transactional) {
     auto x = std::make_unique<ftl::XFtl>(flash_.get(), spec.ftl, spec.xftl);
@@ -71,6 +73,30 @@ SimSsd::SimSsd(const SsdSpec& spec, SimClock* clock) : clock_(clock) {
     ftl_ = std::make_unique<ftl::PageFtl>(flash_.get(), spec.ftl);
   }
   sata_ = std::make_unique<SataDevice>(ftl_.get(), spec.sata, clock);
+}
+
+Status SimSsd::PowerCycle() {
+  // Pulling the plug drops whatever the volatile program buffer still held
+  // and forgets in-flight host transactions; only then does the firmware
+  // boot and rebuild from what actually reached the cells. (Recover() also
+  // clears the device's failed latch via ClearFailure.)
+  flash_->PowerCut();
+  sata_->ResetVolatile();
+  XFTL_RETURN_IF_ERROR(ftl_->Recover());
+  if (spec_.fsck_on_power_cycle) {
+    auto* pftl = dynamic_cast<ftl::PageFtl*>(ftl_.get());
+    if (pftl != nullptr) {
+      check::FsckOptions opt;
+      opt.ftl = spec_.ftl;
+      opt.transactional = spec_.transactional;
+      check::FsckReport report = check::CheckRecovered(*flash_, opt, *pftl);
+      if (!report.ok()) {
+        return Status::Corruption("post-recovery fsck failed:\n" +
+                                  report.Summary());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace xftl::storage

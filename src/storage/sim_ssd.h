@@ -21,6 +21,10 @@ struct SsdSpec {
   SataTimings sata;
   // Build an X-FTL (extended command set) or the original page-mapping FTL.
   bool transactional = true;
+  // Run the offline invariant checker (xftl_fsck) against the recovered
+  // state after every PowerCycle(). Cheap at simulated scale; tests leave it
+  // on so every crash point in the suite is also an fsck test case.
+  bool fsck_on_power_cycle = true;
 };
 
 // OpenSSD profile (paper §6.1): Samsung K9LCG08U1M MLC, 8 KB pages, 128
@@ -47,9 +51,11 @@ class SimSsd {
   flash::FlashDevice* flash() { return flash_.get(); }
   SimClock* clock() { return clock_; }
 
-  // Simulated power cycle: the drive reboots and rebuilds its volatile
-  // state from flash.
-  Status PowerCycle() { return ftl_->Recover(); }
+  // Simulated power cycle: the plug is pulled (undrained buffered programs
+  // are lost, SATA front-end state evaporates), then the drive reboots and
+  // rebuilds its volatile state from flash. When the spec asks for it, the
+  // recovered state is cross-checked by the offline invariant checker.
+  Status PowerCycle();
 
   // Wires `tracer` into every in-drive layer (SATA front-end and raw
   // flash; the FTL/X-FTL layers reach it through the flash device).
@@ -59,6 +65,7 @@ class SimSsd {
   }
 
  private:
+  const SsdSpec spec_;
   SimClock* const clock_;
   std::unique_ptr<flash::FlashDevice> flash_;
   std::unique_ptr<ftl::FtlInterface> ftl_;

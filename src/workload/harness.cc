@@ -42,6 +42,9 @@ Status Harness::Setup() {
   // X-FTL only for the X-FTL setup; the others run the original FTL.
   spec.transactional = config_.setup == Setup::kXftl;
   spec.flash.fault = config_.fault;
+  if (config_.write_buffer_pages > 0) {
+    spec.flash.write_buffer_pages = config_.write_buffer_pages;
+  }
   ssd_ = std::make_unique<storage::SimSsd>(spec, &clock_);
 
   if (config_.gc_valid_target > 0) {

@@ -49,6 +49,10 @@ struct HarnessConfig {
   // NAND failure injection for the measured device (program/erase status
   // failures + wear-driven bit errors); zeroed = perfect media.
   flash::FaultModel fault;
+  // Volatile program-buffer depth; 0 keeps the device profile's default.
+  // Depth 1 is effectively write-through (every program drains before the
+  // next), isolating what the buffer saves at flush barriers.
+  uint32_t write_buffer_pages = 0;
 };
 
 // Everything Table 1 reports, for one measured interval.

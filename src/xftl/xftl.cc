@@ -263,15 +263,23 @@ Status XFtl::WriteXl2pSnapshot() {
   const uint32_t page_size = this->page_size();
   const size_t entries_per_page = (page_size - kSnapHeaderSize - 4) / kEntrySize;
 
-  std::vector<const Slot*> occupied;
+  // Copy the occupied slots BY VALUE and latch the epoch id before writing
+  // anything: programming a snapshot page can trigger a meta-ring
+  // compaction, whose checkpoint frees committed slots and (through
+  // FlushSubclassMeta) writes a nested snapshot of its own. Serializing
+  // through pointers would then emit freed slots, and re-reading
+  // snapshot_id_ would stamp this write's remaining pages with the nested
+  // epoch's id — letting recovery assemble a "complete" snapshot out of
+  // pages from two different epochs.
+  std::vector<Slot> occupied;
   occupied.reserve(Xl2pOccupancy());
   for (const Slot& s : slots_) {
-    if (s.status != SlotStatus::kFree) occupied.push_back(&s);
+    if (s.status != SlotStatus::kFree) occupied.push_back(s);
   }
   uint32_t total_pages =
       std::max<uint32_t>(1, uint32_t((occupied.size() + entries_per_page - 1) /
                                      entries_per_page));
-  snapshot_id_++;
+  const uint64_t snap_id = ++snapshot_id_;
 
   std::vector<uint8_t> buf(page_size);
   size_t cursor = 0;
@@ -279,13 +287,13 @@ Status XFtl::WriteXl2pSnapshot() {
     std::memset(buf.data(), 0, buf.size());
     size_t n = std::min(entries_per_page, occupied.size() - cursor);
     EncodeFixed32(buf.data(), kXl2pMagic);
-    EncodeFixed64(buf.data() + 4, snapshot_id_);
+    EncodeFixed64(buf.data() + 4, snap_id);
     EncodeFixed32(buf.data() + 12, pg);
     EncodeFixed32(buf.data() + 16, total_pages);
     EncodeFixed32(buf.data() + 20, uint32_t(n));
     size_t off = kSnapHeaderSize;
     for (size_t i = 0; i < n; ++i, ++cursor) {
-      const Slot& s = *occupied[cursor];
+      const Slot& s = occupied[cursor];
       EncodeFixed32(buf.data() + off, s.tid);
       EncodeFixed32(buf.data() + off + 4, uint32_t(s.lpn));
       EncodeFixed32(buf.data() + off + 8, s.new_ppn);
@@ -354,17 +362,27 @@ Status XFtl::FinishRecovery() {
   by_tid_.clear();
   xl2p_dirty_ = false;
 
-  // Latest complete snapshot wins.
+  // Latest complete snapshot wins. A crash mid-snapshot leaves a newer
+  // incomplete epoch in the ring; it is skipped (and counted) rather than
+  // failing recovery.
   std::vector<Slot> entries;
   for (auto it = recovery_snaps_.rbegin(); it != recovery_snaps_.rend(); ++it) {
     const SnapshotPages& snap = it->second;
-    if (snap.pages.size() != snap.total_pages) continue;  // torn snapshot
+    if (snap.pages.size() != snap.total_pages) {  // torn snapshot
+      stats_.recovery_root_fallbacks++;
+      continue;
+    }
     for (const auto& [pg, list] : snap.pages) {
       entries.insert(entries.end(), list.begin(), list.end());
     }
-    snapshot_id_ = it->first;
     xl2p_pages_scanned_ = snap.total_pages;  // the table actually loaded
     break;
+  }
+  // The next snapshot id must be newer than ANY id on flash — including
+  // torn epochs that were skipped above. Reusing a torn epoch's id would
+  // let its leftover pages masquerade as part of the next snapshot.
+  if (!recovery_snaps_.empty()) {
+    snapshot_id_ = recovery_snaps_.rbegin()->first;
   }
   recovery_snaps_.clear();
 
@@ -373,6 +391,7 @@ Status XFtl::FinishRecovery() {
       // ACTIVE at crash time: the transaction never committed; its pages are
       // already unreferenced in the rebuilt bitmaps. This IS the rollback.
       xstats_.recovered_discarded++;
+      stats_.recovery_discarded_txn_pages++;
       continue;
     }
     // Re-apply a committed mapping, unless it is already superseded. The
@@ -383,6 +402,14 @@ Status XFtl::FinishRecovery() {
     if (cur == e.new_ppn) continue;  // already in the checkpointed L2P
     const flash::PageOob* oob = ScannedOob(e.new_ppn);
     if (oob == nullptr) continue;  // page erased since the snapshot
+    if (device()->PageStateOf(e.new_ppn) ==
+        flash::FlashDevice::PageState::kTorn) {
+      // The committed copy tore mid-program: unreadable, so it must not
+      // re-enter the L2P. Only reachable when a crash interrupted the
+      // commit's own flush; the transaction was never acknowledged.
+      stats_.recovery_stale_mappings++;
+      continue;
+    }
     if (oob->lpn != e.lpn || oob->tag != kTagTxData) {
       // The block was collected and reused; the moved copy was retagged to
       // plain data and recovered by roll-forward already.

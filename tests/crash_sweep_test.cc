@@ -15,12 +15,28 @@
 // This is the closest thing to a model checker the simulated stack has, and
 // it exercises arbitrary interleavings of torn pages with journal writes,
 // WAL frames, X-L2P snapshots, checkpoints and GC.
+//
+// Two suites share one body:
+//   * Points — the original deterministic crash points (legacy full-tear
+//     power failure at program K), still pinned so regressions bisect.
+//   * Randomized — seeded CrashPlans: crash point, per-program survival of
+//     the volatile write buffer and the torn-sector count are all drawn from
+//     the seed, turning the sweep into a randomized model checker that is
+//     still deterministic per seed. XFTL_SWEEP_SEEDS overrides the seed
+//     count per configuration (scripts/check.sh --sweep-seeds=N).
+//
+// Every PowerCycle() additionally runs the offline invariant checker
+// (xftl_fsck) against the recovered state, so each crash point is also an
+// fsck test case.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
 
+#include "common/rng.h"
 #include "common/sim_clock.h"
 #include "sql/btree_check.h"
 #include "sql/database.h"
@@ -29,7 +45,7 @@
 namespace xftl::sql {
 namespace {
 
-storage::SsdSpec SweepSpec() {
+storage::SsdSpec SweepSpec(bool transactional) {
   storage::SsdSpec spec = storage::OpenSsdSpec(64, 0.6);
   spec.flash.page_size = 1024;
   spec.flash.pages_per_block = 16;
@@ -38,6 +54,7 @@ storage::SsdSpec SweepSpec() {
   spec.ftl.min_free_blocks = 4;
   spec.ftl.num_logical_pages = 2600;
   spec.xftl.xl2p_capacity = 180;
+  spec.transactional = transactional;
   return spec;
 }
 
@@ -53,14 +70,17 @@ struct SweepParam {
   // power cut interleave arbitrarily.
   uint64_t program_fail_every = 0;
   uint64_t erase_fail_every = 0;
+  // FTL under test: the transactional X-FTL or the plain page-mapping FTL.
+  bool transactional = true;
+  // When non-zero, arm a seeded CrashPlan (randomized buffer survival +
+  // sector-granular tear) instead of the legacy deterministic full tear.
+  uint64_t seed = 0;
+  double persist_prob = 0.5;
 };
 
-class CrashSweepTest : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(CrashSweepTest, AcidInvariantsHold) {
-  const SweepParam param = GetParam();
+void RunCrashPoint(const SweepParam& param) {
   SimClock clock;
-  storage::SimSsd ssd(SweepSpec(), &clock);
+  storage::SimSsd ssd(SweepSpec(param.transactional), &clock);
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = param.mode == SqlJournalMode::kOff
                             ? fs::JournalMode::kOff
@@ -80,7 +100,15 @@ TEST_P(CrashSweepTest, AcidInvariantsHold) {
   // the post-recovery verification.
   ssd.flash()->ScriptProgramFailEvery(param.program_fail_every);
   ssd.flash()->ScriptEraseFailEvery(param.erase_fail_every);
-  ssd.flash()->ArmPowerFailure(param.crash_after_programs);
+  if (param.seed != 0) {
+    flash::CrashPlan plan;
+    plan.crash_after_programs = param.crash_after_programs;
+    plan.seed = param.seed;
+    plan.persist_prob = param.persist_prob;
+    ssd.flash()->ArmCrashPlan(plan);
+  } else {
+    ssd.flash()->ArmPowerFailure(param.crash_after_programs);
+  }
   int64_t acked = 0;
   const int64_t kMaxTxns = 200;
   bool crashed = false;
@@ -104,11 +132,13 @@ TEST_P(CrashSweepTest, AcidInvariantsHold) {
     GTEST_SKIP() << "failure point beyond this workload";
   }
 
-  // Power-cycle and recover the entire stack.
+  // Power-cycle and recover the entire stack (drops the volatile program
+  // buffer per the armed plan, recovers, then fsck-checks the result).
   db->Abandon();
   db.reset();
   fs.reset();
-  ASSERT_TRUE(ssd.PowerCycle().ok());
+  Status cycled = ssd.PowerCycle();
+  ASSERT_TRUE(cycled.ok()) << cycled.ToString();
   fs = std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
   db = std::move(Database::Open(fs.get(), "sweep.db", db_opt)).value();
 
@@ -158,6 +188,10 @@ TEST_P(CrashSweepTest, AcidInvariantsHold) {
   }
 }
 
+class CrashSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrashSweepTest, AcidInvariantsHold) { RunCrashPoint(GetParam()); }
+
 std::vector<SweepParam> SweepPoints() {
   std::vector<SweepParam> points;
   for (SqlJournalMode mode : {SqlJournalMode::kDelete, SqlJournalMode::kWal,
@@ -205,6 +239,71 @@ INSTANTIATE_TEST_SUITE_P(
           info.param.erase_fail_every != 0) {
         name += "_faulty";
       }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Randomized model checking: per-seed CrashPlans over every journal mode ×
+// FTL profile. The page-mapping FTL cannot run SQL's kOff mode (it needs the
+// device transaction commands), so that cell is absent.
+// ---------------------------------------------------------------------------
+
+int SweepSeedsPerConfig() {
+  if (const char* env = std::getenv("XFTL_SWEEP_SEEDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+std::vector<SweepParam> RandomizedPoints() {
+  struct Config {
+    bool transactional;
+    SqlJournalMode mode;
+  };
+  const Config configs[] = {
+      {true, SqlJournalMode::kDelete}, {true, SqlJournalMode::kWal},
+      {true, SqlJournalMode::kOff},    {false, SqlJournalMode::kDelete},
+      {false, SqlJournalMode::kWal},
+  };
+  const double kPersistProbs[] = {0.25, 0.5, 0.75};
+  const int per_config = SweepSeedsPerConfig();
+  std::vector<SweepParam> points;
+  for (const Config& cfg : configs) {
+    for (int i = 0; i < per_config; ++i) {
+      // The seed pins everything: the crash point and persist probability
+      // are drawn from it here, the buffer-survival and tear sampling from
+      // it inside the device. Reproduce any failure from its test name.
+      uint64_t seed = (uint64_t(cfg.transactional) << 62) ^
+                      (uint64_t(cfg.mode) << 56) ^
+                      ((uint64_t(i) + 1) * 0x9e3779b97f4a7c15ull);
+      Rng rng(seed);
+      SweepParam p;
+      p.mode = cfg.mode;
+      p.transactional = cfg.transactional;
+      p.seed = seed;
+      p.crash_after_programs = 20 + rng.Uniform(900);
+      p.persist_prob = kPersistProbs[rng.Uniform(3)];
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+class RandomCrashSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomCrashSweepTest, AcidInvariantsHold) { RunCrashPoint(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, RandomCrashSweepTest, ::testing::ValuesIn(RandomizedPoints()),
+    [](const auto& info) {
+      std::string name = info.param.transactional ? "xftl" : "pageftl";
+      name += "_" + std::string(SqlJournalModeName(info.param.mode));
+      char hex[24];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(info.param.seed));
+      name += "_s";
+      name += hex;
       return name;
     });
 

@@ -345,6 +345,82 @@ TEST_F(PageFtlTest, MetaReserveEraseFailureKeepsRootRecord) {
   EXPECT_EQ(got, last);
 }
 
+TEST_F(PageFtlTest, TornNewestRootFallsBackToOlderEpoch) {
+  // Two checkpoint epochs, then the newest root page is torn the way a
+  // power cut mid-root-program leaves it. Recovery must fall back to the
+  // older epoch and roll the rest forward from OOB — losing nothing.
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    auto p = Page(300 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+  for (Lpn lpn = 8; lpn < 16; ++lpn) {
+    auto p = Page(300 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+
+  // Find the newest root record in the meta ring.
+  const auto& fc = dev_.config();
+  flash::Ppn newest_root = flash::kInvalidPpn;
+  uint64_t newest_seq = 0;
+  for (flash::Ppn ppn = 0;
+       ppn < flash::Ppn(SmallFtl().meta_blocks) * fc.pages_per_block; ++ppn) {
+    auto oob = dev_.PeekOob(ppn);
+    if (oob.has_value() && oob->tag == kTagMetaRoot && oob->seq > newest_seq) {
+      newest_seq = oob->seq;
+      newest_root = ppn;
+    }
+  }
+  ASSERT_NE(newest_root, flash::kInvalidPpn);
+  std::vector<uint8_t> garbage(fc.page_size, 0xa5);
+  dev_.RestorePage(newest_root, flash::FlashDevice::PageState::kTorn,
+                   garbage.data(), *dev_.PeekOob(newest_root));
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  for (Lpn lpn = 0; lpn < 16; ++lpn) ExpectReads(lpn, 300 + lpn);
+  EXPECT_GE(ftl_.stats().recovery_torn_meta_pages, 1u);
+}
+
+TEST_F(PageFtlTest, DroppedSegmentPageSkipsTheWholeEpoch) {
+  // A checkpoint whose L2P segment page was lost at a power cut (the root
+  // landed, the segment it references did not). The segment slot reads back
+  // erased — benign 0xff through ReadPage — so recovery must notice via the
+  // OOB that the epoch is incomplete and fall back, not silently load an
+  // empty table.
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    auto p = Page(400 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+  for (Lpn lpn = 8; lpn < 16; ++lpn) {
+    auto p = Page(400 + lpn);
+    ASSERT_TRUE(ftl_.Write(lpn, p.data()).ok());
+  }
+  ASSERT_TRUE(ftl_.Flush().ok());
+
+  // Drop the newest epoch's segment page (the newest kTagMetaSegment).
+  const auto& fc = dev_.config();
+  flash::Ppn newest_seg = flash::kInvalidPpn;
+  uint64_t newest_seq = 0;
+  for (flash::Ppn ppn = 0;
+       ppn < flash::Ppn(SmallFtl().meta_blocks) * fc.pages_per_block; ++ppn) {
+    auto oob = dev_.PeekOob(ppn);
+    if (oob.has_value() && oob->tag == kTagMetaSegment &&
+        oob->seq > newest_seq) {
+      newest_seq = oob->seq;
+      newest_seg = ppn;
+    }
+  }
+  ASSERT_NE(newest_seg, flash::kInvalidPpn);
+  dev_.RestorePage(newest_seg, flash::FlashDevice::PageState::kErased, nullptr,
+                   flash::PageOob{});
+
+  ASSERT_TRUE(ftl_.Recover().ok());
+  for (Lpn lpn = 0; lpn < 16; ++lpn) ExpectReads(lpn, 400 + lpn);
+  EXPECT_GE(ftl_.stats().recovery_root_fallbacks, 1u);
+}
+
 TEST(PageFtlFaultTest, EccCorrectsBitErrorsOnHostReads) {
   flash::FlashConfig fcfg = SmallFlash();
   fcfg.fault.rber_base = 1e-3;  // ~4 raw errors per 4096-bit page read

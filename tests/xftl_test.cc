@@ -326,6 +326,67 @@ TEST_F(XFtlTest, RecoveryTimeIsTracked) {
   EXPECT_GT(ftl_.xstats().last_recovery_nanos, 0u);
 }
 
+TEST(XFtlTornSnapshotTest, TornNewestSnapshotEpochFallsBackToOlder) {
+  // The newest X-L2P snapshot spans two pages and the second page tore at
+  // the power cut. Recovery must detect the incomplete epoch, count the
+  // fallback, and load the previous complete snapshot — so the earlier
+  // commit survives while the torn epoch is ignored.
+  SimClock clock;
+  flash::FlashDevice dev(SmallFlash(), &clock);
+  // 512-byte pages hold 29 snapshot entries; capacity 40 lets a commit of
+  // 30 pages (plus 4 retained entries) span two snapshot pages.
+  XFtl ftl(&dev, SmallFtl(), XftlConfig{.xl2p_capacity = 40});
+
+  auto page = [&](uint64_t tag) {
+    std::vector<uint8_t> p(dev.config().page_size, 0);
+    std::memcpy(p.data(), &tag, sizeof(tag));
+    return p;
+  };
+  auto read_tag = [&](Lpn lpn) {
+    std::vector<uint8_t> out(dev.config().page_size);
+    Status s = ftl.TxRead(kNoTx, lpn, out.data());
+    CHECK(s.ok()) << s.ToString();
+    uint64_t got;
+    std::memcpy(&got, out.data(), sizeof(got));
+    return got;
+  };
+
+  for (Lpn p = 0; p < 4; ++p) {
+    auto d = page(50 + p);
+    ASSERT_TRUE(ftl.TxWrite(1, p, d.data()).ok());
+  }
+  ASSERT_TRUE(ftl.TxCommit(1).ok());  // snapshot A: one page
+  for (Lpn p = 10; p < 40; ++p) {
+    auto d = page(100 + p);
+    ASSERT_TRUE(ftl.TxWrite(2, p, d.data()).ok());
+  }
+  ASSERT_TRUE(ftl.TxCommit(2).ok());  // snapshot B: two pages
+
+  // Tear the newest snapshot page (snapshot B's second page).
+  const auto& fc = dev.config();
+  flash::Ppn newest = flash::kInvalidPpn;
+  uint64_t newest_seq = 0;
+  for (flash::Ppn ppn = 0;
+       ppn < flash::Ppn(SmallFtl().meta_blocks) * fc.pages_per_block; ++ppn) {
+    auto oob = dev.PeekOob(ppn);
+    if (oob.has_value() && oob->tag == kTagXl2p && oob->seq > newest_seq) {
+      newest_seq = oob->seq;
+      newest = ppn;
+    }
+  }
+  ASSERT_NE(newest, flash::kInvalidPpn);
+  std::vector<uint8_t> garbage(fc.page_size, 0x5a);
+  dev.RestorePage(newest, flash::FlashDevice::PageState::kTorn, garbage.data(),
+                  *dev.PeekOob(newest));
+
+  ASSERT_TRUE(ftl.Recover().ok());
+  EXPECT_GE(ftl.stats().recovery_root_fallbacks, 1u);
+  // Snapshot A's transaction is intact; snapshot B's epoch was never
+  // assembled, so its freshly written lpns have no mapping.
+  for (Lpn p = 0; p < 4; ++p) EXPECT_EQ(read_tag(p), 50 + p);
+  EXPECT_EQ(ftl.MappingOf(39), flash::kInvalidPpn);
+}
+
 // --- atomic-write FTL baseline ---------------------------------------------
 
 class AtomicWriteFtlTest : public ::testing::Test {

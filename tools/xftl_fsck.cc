@@ -1,0 +1,230 @@
+// Offline invariant checker CLI.
+//
+//   xftl_fsck <image>
+//       Load a flash image (check::SaveImage format) and run the checker;
+//       prints the report and exits 0 if clean, 1 if inconsistent.
+//
+//   xftl_fsck --make-demo <image> [--seed=N] [--mode=off|wal|delete]
+//             [--corrupt]
+//       Build a small simulated stack, run a transactional SQL workload
+//       with a seeded CrashPlan armed, pull the plug mid-program, and dump
+//       the crashed (pre-recovery) flash to <image>. With --corrupt, a
+//       forged CRC-valid X-L2P snapshot naming a COMMITTED entry that
+//       points at an erased page is planted on top — the checker must
+//       reject the result (the EXPERIMENTS.md negative demo).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/flash_image.h"
+#include "check/xftl_fsck.h"
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "sql/database.h"
+#include "storage/sim_ssd.h"
+
+namespace xftl {
+namespace {
+
+constexpr uint32_t kXl2pMagic = 0x584c3250;  // "XL2P"
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xftl_fsck <image>\n"
+               "       xftl_fsck --make-demo <image> [--seed=N]"
+               " [--mode=off|wal|delete] [--corrupt]\n");
+  return 2;
+}
+
+flash::Ppn FindErasedPage(const flash::FlashDevice& dev, flash::BlockNum lo,
+                          flash::BlockNum hi) {
+  const flash::FlashConfig& fc = dev.config();
+  for (flash::BlockNum b = lo; b < hi; ++b) {
+    for (uint32_t p = 0; p < fc.pages_per_block; ++p) {
+      flash::Ppn ppn = flash::Ppn(uint64_t(b) * fc.pages_per_block + p);
+      if (dev.PageStateOf(ppn) == flash::FlashDevice::PageState::kErased) {
+        return ppn;
+      }
+    }
+  }
+  return flash::kInvalidPpn;
+}
+
+// Plants a forged, CRC-valid, newest-id X-L2P snapshot whose single
+// COMMITTED entry maps an (unwritten) lpn to an erased data page: exactly
+// the "committed transaction vanished" corruption invariant 2 catches.
+bool PlantCorruption(storage::SimSsd& ssd, uint32_t meta_blocks,
+                     uint64_t num_logical_pages) {
+  flash::FlashDevice& dev = *ssd.flash();
+  const flash::FlashConfig& fc = dev.config();
+  flash::Ppn slot = FindErasedPage(dev, 0, meta_blocks);
+  flash::Ppn victim = FindErasedPage(dev, meta_blocks, fc.num_blocks);
+  if (slot == flash::kInvalidPpn || victim == flash::kInvalidPpn) {
+    return false;
+  }
+  std::vector<uint8_t> buf(fc.page_size, 0);
+  EncodeFixed32(buf.data(), kXl2pMagic);
+  EncodeFixed64(buf.data() + 4, uint64_t(1) << 40);  // newest snapshot id
+  EncodeFixed32(buf.data() + 12, 0);                 // page_index
+  EncodeFixed32(buf.data() + 16, 1);                 // total_pages
+  EncodeFixed32(buf.data() + 20, 1);                 // count
+  EncodeFixed32(buf.data() + 32, 999);               // tid
+  EncodeFixed32(buf.data() + 36, uint32_t(num_logical_pages - 1));
+  EncodeFixed32(buf.data() + 40, victim);
+  buf[44] = 2;  // COMMITTED
+  EncodeFixed32(buf.data() + fc.page_size - 4,
+                Crc32c(buf.data(), fc.page_size - 4));
+  flash::PageOob oob;
+  oob.lpn = 0;               // X-L2P page index
+  oob.seq = uint64_t(1) << 40;  // newest rewrite of that index
+  oob.tag = ftl::kTagXl2p;
+  dev.RestorePage(slot, flash::FlashDevice::PageState::kProgrammed,
+                  buf.data(), oob);
+  return true;
+}
+
+storage::SsdSpec DemoSpec() {
+  storage::SsdSpec spec = storage::OpenSsdSpec(64, 0.6);
+  spec.flash.page_size = 1024;
+  spec.flash.pages_per_block = 16;
+  spec.flash.num_blocks = 256;
+  spec.ftl.meta_blocks = 6;
+  spec.ftl.min_free_blocks = 4;
+  spec.ftl.num_logical_pages = 2600;
+  spec.xftl.xl2p_capacity = 180;
+  return spec;
+}
+
+int MakeDemo(const std::string& path, uint64_t seed, const std::string& mode,
+             bool corrupt) {
+  SimClock clock;
+  storage::SsdSpec spec = DemoSpec();
+  storage::SimSsd ssd(spec, &clock);
+
+  sql::SqlJournalMode jmode = sql::SqlJournalMode::kOff;
+  if (mode == "wal") {
+    jmode = sql::SqlJournalMode::kWal;
+  } else if (mode == "delete") {
+    jmode = sql::SqlJournalMode::kDelete;
+  } else if (mode != "off") {
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 2;
+  }
+  fs::FsOptions fs_opt;
+  fs_opt.journal_mode = jmode == sql::SqlJournalMode::kOff
+                            ? fs::JournalMode::kOff
+                            : fs::JournalMode::kOrdered;
+  if (!fs::ExtFs::Mkfs(ssd.device(), fs_opt).ok()) return 1;
+  auto fs_or = fs::ExtFs::Mount(ssd.device(), fs_opt, &clock);
+  if (!fs_or.ok()) return 1;
+  auto fs = std::move(fs_or).value();
+  sql::DbOptions db_opt;
+  db_opt.journal_mode = jmode;
+  db_opt.cache_pages = 16;
+  auto db_or = sql::Database::Open(fs.get(), "demo.db", db_opt);
+  if (!db_or.ok()) return 1;
+  auto db = std::move(db_or).value();
+  if (!db->Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)")
+           .ok()) {
+    return 1;
+  }
+
+  Rng rng(seed);
+  flash::CrashPlan plan;
+  plan.crash_after_programs = 20 + rng.Uniform(900);
+  plan.seed = seed;
+  plan.persist_prob = 0.5;
+  ssd.flash()->ArmCrashPlan(plan);
+
+  bool crashed = false;
+  for (int64_t txn = 1; txn <= 400 && !crashed; ++txn) {
+    std::string sql = "BEGIN;";
+    for (int64_t r = 3 * txn - 2; r <= 3 * txn; ++r) {
+      sql += " INSERT INTO t VALUES (" + std::to_string(r) + ", " +
+             std::to_string(r * 7) + ", 'v" + std::to_string(r) + "');";
+    }
+    sql += " COMMIT;";
+    if (!db->Exec(sql).ok()) crashed = true;
+  }
+  if (!crashed) {
+    std::fprintf(stderr, "workload finished before the crash point\n");
+    return 1;
+  }
+  db->Abandon();
+
+  if (corrupt && !PlantCorruption(ssd, spec.ftl.meta_blocks,
+                                  spec.ftl.num_logical_pages)) {
+    std::fprintf(stderr, "no erased page available for the corruption\n");
+    return 1;
+  }
+
+  check::ImageParams params;
+  params.meta_blocks = spec.ftl.meta_blocks;
+  params.num_logical_pages = spec.ftl.num_logical_pages;
+  params.transactional = spec.transactional;
+  Status s = check::SaveImage(*ssd.flash(), params, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("crashed image written to %s (crash at program %llu, seed %llu%s)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(plan.crash_after_programs),
+              static_cast<unsigned long long>(seed),
+              corrupt ? ", corruption planted" : "");
+  return 0;
+}
+
+int CheckImageFile(const std::string& path) {
+  SimClock clock;
+  auto img_or = check::LoadImage(path, &clock);
+  if (!img_or.ok()) {
+    std::fprintf(stderr, "%s\n", img_or.status().ToString().c_str());
+    return 2;
+  }
+  check::LoadedImage img = std::move(img_or).value();
+  check::FsckOptions opt;
+  opt.ftl.meta_blocks = img.params.meta_blocks;
+  opt.ftl.num_logical_pages = img.params.num_logical_pages;
+  opt.transactional = img.params.transactional;
+  check::FsckReport rep = check::CheckImage(*img.dev, opt);
+  std::printf("%s\n", rep.Summary().c_str());
+  return rep.ok() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool make_demo = false;
+  bool corrupt = false;
+  uint64_t seed = 42;
+  std::string mode = "off";
+  std::string path;
+  for (const std::string& a : args) {
+    if (a == "--make-demo") {
+      make_demo = true;
+    } else if (a == "--corrupt") {
+      corrupt = true;
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+    } else if (a.rfind("--mode=", 0) == 0) {
+      mode = a.substr(7);
+    } else if (!a.empty() && a[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+  if (make_demo) return MakeDemo(path, seed, mode, corrupt);
+  return CheckImageFile(path);
+}
+
+}  // namespace
+}  // namespace xftl
+
+int main(int argc, char** argv) { return xftl::Main(argc, argv); }

@@ -104,9 +104,22 @@ int Summary(const std::string& path) {
   uint64_t flash_programs = 0; // physical page programs
   uint64_t gc_copybacks = 0;   // valid pages carried by GC
   uint64_t erases = 0;
+  // Durability barriers per layer: flush/fsync command counts and the
+  // simulated time spent inside them (the price of the volatile write
+  // buffer's guarantees).
+  uint64_t flush_count[kNumLayers] = {};
+  uint64_t flush_nanos[kNumLayers] = {};
+  uint64_t programs_made_durable = 0;  // buffered programs retired by barriers
 
   for (const TraceEvent& e : events) {
     lat[int(e.layer)][int(e.op)].Add(e.latency);
+    if (e.op == Op::kFlush || e.op == Op::kFsync) {
+      flush_count[int(e.layer)]++;
+      flush_nanos[int(e.layer)] += e.latency;
+      if (e.layer == Layer::kFlash && e.op == Op::kFlush) {
+        programs_made_durable += e.b;
+      }
+    }
     if (e.layer == Layer::kSata) {
       if (e.op == Op::kWrite) host_writes++;
       if (e.op == Op::kTxWrite) {
@@ -152,6 +165,23 @@ int Summary(const std::string& path) {
                 (unsigned long long)txn_pages.size(), (unsigned long long)mn,
                 double(total) / double(txn_pages.size()),
                 (unsigned long long)mx);
+  }
+
+  uint64_t total_flushes = 0;
+  for (int l = 0; l < kNumLayers; ++l) total_flushes += flush_count[l];
+  if (total_flushes > 0) {
+    std::printf("\ndurability barriers (flush / fsync)\n");
+    std::printf("%-6s %10s %12s %12s\n", "layer", "count", "total-us",
+                "mean-us");
+    for (int l = 0; l < kNumLayers; ++l) {
+      if (flush_count[l] == 0) continue;
+      std::printf("%-6s %10llu %12.1f %12.1f\n", LayerName(Layer(l)),
+                  (unsigned long long)flush_count[l],
+                  double(flush_nanos[l]) / 1e3,
+                  double(flush_nanos[l]) / 1e3 / double(flush_count[l]));
+    }
+    std::printf("  flash barriers made %llu buffered programs durable\n",
+                (unsigned long long)programs_made_durable);
   }
 
   if (flash_programs > 0) {
