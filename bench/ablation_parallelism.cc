@@ -1,0 +1,135 @@
+// Parallelism ablation: how much simulated write throughput the
+// queued-command pipeline buys, as a function of the two knobs it exploits —
+// flash banks (device-side program overlap) and NCQ queue depth (host-side
+// outstanding commands). Sweeps banks x depth on the OpenSSD timing profile
+// and reports IOPS plus the speedup against the same bank count at depth 1
+// (the legacy fully synchronous front-end). A final row per bank count
+// drives the same pages through the batched write command (WriteBatch) to
+// show the group-writeback path.
+//
+// Flags: --writes=N (default 2000) --json (JSON Lines instead of the table)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/sim_ssd.h"
+
+using namespace xftl;
+
+namespace {
+
+struct RunResult {
+  SimNanos elapsed = 0;
+  double iops = 0;
+  uint64_t queue_full_stalls = 0;
+};
+
+RunResult RunOne(uint32_t banks, uint32_t qd, uint64_t writes,
+                 uint32_t batch) {
+  SimClock clock;
+  storage::SsdSpec spec = storage::OpenSsdSpec(256);
+  spec.flash.num_banks = banks;
+  spec.sata.ncq_depth = qd;
+  spec.transactional = false;  // plain page-mapping FTL: pure write path
+  storage::SimSsd ssd(spec, &clock);
+  storage::SataDevice* dev = ssd.device();
+
+  const uint32_t page_size = dev->page_size();
+  const uint64_t logical = dev->num_pages();
+  std::vector<uint8_t> data(page_size, 0xab);
+
+  SimNanos start = clock.Now();
+  if (batch <= 1) {
+    for (uint64_t i = 0; i < writes; ++i) {
+      CHECK(dev->Write(i % logical, data.data()).ok());
+    }
+  } else {
+    std::vector<uint64_t> pages(batch);
+    std::vector<const uint8_t*> datas(batch, data.data());
+    for (uint64_t i = 0; i < writes; i += batch) {
+      uint64_t n = std::min<uint64_t>(batch, writes - i);
+      for (uint64_t j = 0; j < n; ++j) pages[j] = (i + j) % logical;
+      CHECK(dev->WriteBatch(pages.data(), datas.data(), n).ok());
+    }
+  }
+  CHECK(dev->FlushBarrier().ok());
+
+  RunResult r;
+  r.elapsed = clock.Now() - start;
+  r.iops = double(writes) / (double(r.elapsed) * 1e-9);
+  r.queue_full_stalls = dev->stats().queue_full_stalls;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t writes = uint64_t(bench::FlagInt(argc, argv, "writes", 2000));
+  bool json = bench::FlagBool(argc, argv, "json");
+
+  const uint32_t kBanks[] = {1, 2, 4};
+  const uint32_t kDepths[] = {1, 4, 32};
+  const uint32_t kBatch = 32;
+
+  if (!json) {
+    bench::PrintHeader(
+        "Parallelism ablation: write IOPS vs flash banks x NCQ queue depth "
+        "(OpenSSD timings)");
+    std::printf("config: %llu sequential 8 KiB writes per cell; speedup is "
+                "vs the same bank count at queue depth 1\n\n",
+                (unsigned long long)writes);
+    std::printf("%-8s", "banks");
+    for (uint32_t qd : kDepths) std::printf("      qd=%-7u", qd);
+    std::printf("      batch=%u\n", kBatch);
+  }
+
+  for (uint32_t banks : kBanks) {
+    double base_iops = 0;
+    if (!json) std::printf("%-8u", banks);
+    for (uint32_t qd : kDepths) {
+      RunResult r = RunOne(banks, qd, writes, 1);
+      if (qd == 1) base_iops = r.iops;
+      double speedup = r.iops / base_iops;
+      if (json) {
+        bench::JsonObject o;
+        o.Add("bench", "ablation_parallelism")
+            .Add("mode", "ncq")
+            .Add("banks", uint64_t(banks))
+            .Add("queue_depth", uint64_t(qd))
+            .Add("writes", writes)
+            .Add("elapsed_ns", uint64_t(r.elapsed))
+            .Add("iops", r.iops)
+            .Add("speedup_vs_qd1", speedup)
+            .Add("queue_full_stalls", r.queue_full_stalls);
+        o.Print();
+      } else {
+        std::printf("  %7.0f %4.1fx", r.iops, speedup);
+      }
+    }
+    // Batched writes use the full device queue regardless of qd.
+    RunResult rb = RunOne(banks, 32, writes, kBatch);
+    if (json) {
+      bench::JsonObject o;
+      o.Add("bench", "ablation_parallelism")
+          .Add("mode", "batch")
+          .Add("banks", uint64_t(banks))
+          .Add("queue_depth", uint64_t(32))
+          .Add("batch_pages", uint64_t(kBatch))
+          .Add("writes", writes)
+          .Add("elapsed_ns", uint64_t(rb.elapsed))
+          .Add("iops", rb.iops)
+          .Add("speedup_vs_qd1", rb.iops / base_iops);
+      o.Print();
+    } else {
+      std::printf("  %7.0f %4.1fx\n", rb.iops, rb.iops / base_iops);
+    }
+  }
+  if (!json) {
+    std::printf("\nexpect: depth barely matters on 1 bank (the single bank "
+                "is the bottleneck); on 4 banks qd=32 overlaps programs "
+                "across banks for >=2x over qd=1, and batching matches or "
+                "beats raw queued writes by amortizing command overhead\n");
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 // collection count, vs the GC valid-page ratio (30/50/70%).
 //
 // Flags: --tuples=N --txns=N --scale=F
+//        --json (JSON Lines, one object per cell, instead of the table)
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -17,13 +18,17 @@ int main(int argc, char** argv) {
   uint32_t tuples =
       uint32_t(bench::FlagInt(argc, argv, "tuples", 60000) * scale);
   uint32_t txns = uint32_t(bench::FlagInt(argc, argv, "txns", 1000) * scale);
+  bool json = bench::FlagBool(argc, argv, "json");
 
-  bench::PrintHeader(
-      "Figure 6: I/O activities inside the drive (5 updated pages per "
-      "transaction)");
-  std::printf("config: %u tuples, %u transactions per cell\n\n", tuples, txns);
-  std::printf("%-9s %-8s %14s %10s %12s\n", "validity", "mode",
-              "page-writes", "GC-count", "achieved");
+  if (!json) {
+    bench::PrintHeader(
+        "Figure 6: I/O activities inside the drive (5 updated pages per "
+        "transaction)");
+    std::printf("config: %u tuples, %u transactions per cell\n\n", tuples,
+                txns);
+    std::printf("%-9s %-8s %14s %10s %12s\n", "validity", "mode",
+                "page-writes", "GC-count", "achieved");
+  }
 
   for (double validity : {0.3, 0.5, 0.7}) {
     for (Setup setup : {Setup::kRbj, Setup::kWal, Setup::kXftl}) {
@@ -42,12 +47,24 @@ int main(int argc, char** argv) {
       h.StartMeasurement();
       CHECK(RunSyntheticUpdates(db, wl).ok());
       IoSnapshot s = h.Snapshot();
-      std::printf("%7.0f%%  %-8s %14llu %10llu %11.0f%%\n", validity * 100,
-                  SetupName(setup), (unsigned long long)s.ftl_page_writes,
-                  (unsigned long long)s.gc_count, s.gc_valid_ratio * 100);
-      std::fflush(stdout);
+      if (json) {
+        bench::JsonObject o;
+        o.Add("bench", "fig6_gc_activity")
+            .Add("validity_target", validity)
+            .Add("mode", SetupName(setup))
+            .Add("page_writes", s.ftl_page_writes)
+            .Add("gc_count", s.gc_count)
+            .Add("achieved_validity", s.gc_valid_ratio);
+        o.Print();
+      } else {
+        std::printf("%7.0f%%  %-8s %14llu %10llu %11.0f%%\n", validity * 100,
+                    SetupName(setup), (unsigned long long)s.ftl_page_writes,
+                    (unsigned long long)s.gc_count, s.gc_valid_ratio * 100);
+        std::fflush(stdout);
+      }
     }
   }
+  if (json) return 0;
   std::printf("\npaper (50%%): writes RBJ~244k WAL~93k X-FTL~33k; "
               "GC RBJ~756 WAL~409 X-FTL~115; both rise with validity and "
               "keep the RBJ > WAL > X-FTL ordering\n");

@@ -4,7 +4,7 @@
 // board with X-FTL lands between the much faster consumer SSD's two
 // journaling modes.
 //
-// Flags: --writes=N (default 6000)
+// Flags: --writes=N (default 6000) --json (JSON Lines instead of the table)
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -44,13 +44,16 @@ double RunOne(fs::JournalMode mode, uint32_t per_fsync, bool s830,
 
 int main(int argc, char** argv) {
   uint64_t writes = uint64_t(bench::FlagInt(argc, argv, "writes", 6000));
-  bench::PrintHeader(
-      "Figure 9: FIO with 16 concurrent threads - OpenSSD + X-FTL vs Samsung "
-      "S830");
-  std::printf("config: %llu writes total\n\n", (unsigned long long)writes);
-  std::printf("%-30s", "updates per fsync:");
-  for (int k : {1, 5, 10, 15, 20}) std::printf("%9d", k);
-  std::printf("\n");
+  bool json = bench::FlagBool(argc, argv, "json");
+  if (!json) {
+    bench::PrintHeader(
+        "Figure 9: FIO with 16 concurrent threads - OpenSSD + X-FTL vs "
+        "Samsung S830");
+    std::printf("config: %llu writes total\n\n", (unsigned long long)writes);
+    std::printf("%-30s", "updates per fsync:");
+    for (int k : {1, 5, 10, 15, 20}) std::printf("%9d", k);
+    std::printf("\n");
+  }
 
   struct Row {
     const char* name;
@@ -63,13 +66,26 @@ int main(int argc, char** argv) {
       {"S830, full journaling", fs::JournalMode::kFull, true},
   };
   for (const Row& row : rows) {
-    std::printf("%-30s", row.name);
+    if (!json) std::printf("%-30s", row.name);
     for (int k : {1, 5, 10, 15, 20}) {
-      std::printf("%9.0f", RunOne(row.mode, uint32_t(k), row.s830, writes));
-      std::fflush(stdout);
+      double iops = RunOne(row.mode, uint32_t(k), row.s830, writes);
+      if (json) {
+        bench::JsonObject o;
+        o.Add("bench", "fig9_fio_ssd")
+            .Add("drive", row.s830 ? "s830" : "openssd")
+            .Add("mode", row.name)
+            .Add("writes_per_fsync", long(k))
+            .Add("writes", writes)
+            .Add("iops", iops);
+        o.Print();
+      } else {
+        std::printf("%9.0f", iops);
+        std::fflush(stdout);
+      }
     }
-    std::printf("\n");
+    if (!json) std::printf("\n");
   }
+  if (json) return 0;
   std::printf("\npaper: the OpenSSD+X-FTL curve sits between S830 ordered "
               "(above it) and S830 full journaling (below it); OpenSSD "
               "throughput is <25%% of S830's in ordered mode but >35%% in "

@@ -86,6 +86,12 @@ SimNanos FlashDevice::ScheduleOnBank(uint32_t bank, SimNanos latency) {
   return bank_busy_until_[bank];
 }
 
+SimNanos FlashDevice::ScheduleOnChannel(SimNanos not_before, SimNanos latency) {
+  SimNanos start = std::max({clock_->Now(), not_before, channel_busy_until_});
+  channel_busy_until_ = start + latency;
+  return channel_busy_until_;
+}
+
 void FlashDevice::RetireDrained() {
   SimNanos now = clock_->Now();
   buffered_.erase(
@@ -115,18 +121,22 @@ Status FlashDevice::ReadPage(Ppn ppn, uint8_t* data, PageOob* oob,
   Block& blk = blocks_[config_.BlockOf(ppn)];
   uint32_t page = config_.PageInBlock(ppn);
   if (bit_errors != nullptr) *bit_errors = 0;
+  // Data-dependent wait: the sense queues behind whatever the bank is doing
+  // (covers read-after-in-flight-program) and the transfer back then queues
+  // on the shared channel. Flash-layer events carry the bank in `tid` so
+  // xftl_trace summary can report per-bank utilization.
+  uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
   auto note = [&](StatusCode code) {
     if (tracer_ != nullptr) {
-      tracer_->Record(trace::Layer::kFlash, trace::Op::kRead, t0, 0, ppn, 0,
-                      clock_->Now() - t0, code);
+      tracer_->Record(trace::Layer::kFlash, trace::Op::kRead, t0, bank, ppn,
+                      0, clock_->Now() - t0, code);
     }
   };
 
-  // The read must wait for the bank (covers read-after-in-flight-program).
-  uint32_t bank = config_.BankOf(config_.BlockOf(ppn));
-  SimNanos done = ScheduleOnBank(
-      bank, config_.timings.read_page + config_.timings.bus_per_page);
+  SimNanos sensed = ScheduleOnBank(bank, config_.timings.read_page);
+  SimNanos done = ScheduleOnChannel(sensed, config_.timings.bus_per_page);
   clock_->AdvanceTo(done);
+  last_op_done_ = done;
   stats_.page_reads++;
 
   if (blk.data.empty() || blk.page_state[page] == PageState::kErased) {
@@ -217,14 +227,18 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
     blk.next_page = page + 1;
     blk.bad = true;
     stats_.program_fails++;
-    // The failed program still occupies the plane for roughly tPROG.
+    // A status failure is only visible at the completion poll, so the host
+    // waits out the transfer plus tPROG before it can react.
     SimNanos t0 = clock_->Now();
-    clock_->AdvanceTo(ScheduleOnBank(config_.BankOf(block),
-                                     config_.timings.bus_per_page +
-                                         config_.timings.program_page));
+    uint32_t fail_bank = config_.BankOf(block);
+    clock_->AdvanceTo(
+        ScheduleOnChannel(t0, config_.timings.bus_per_page));
+    SimNanos fail_done = ScheduleOnBank(fail_bank, config_.timings.program_page);
+    clock_->AdvanceTo(fail_done);
+    last_op_done_ = fail_done;
     if (tracer_ != nullptr) {
-      tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, 0, ppn,
-                      oob.lpn, clock_->Now() - t0, StatusCode::kIoError);
+      tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, fail_bank,
+                      ppn, oob.lpn, clock_->Now() - t0, StatusCode::kIoError);
     }
     return Status::IoError("program status failure at page " +
                            std::to_string(ppn));
@@ -236,16 +250,19 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
   blk.next_page = page + 1;
   stats_.page_programs++;
 
+  // Submit: the host pays only the serialized channel transfer; the cell
+  // program overlaps on its bank and drains in the background.
   uint32_t bank = config_.BankOf(block);
   SimNanos t0 = clock_->Now();
-  SimNanos done = ScheduleOnBank(
-      bank, config_.timings.bus_per_page + config_.timings.program_page);
+  clock_->AdvanceTo(ScheduleOnChannel(t0, config_.timings.bus_per_page));
+  SimNanos done = ScheduleOnBank(bank, config_.timings.program_page);
   buffered_.push_back(BufferedProgram{ppn, done});
+  last_op_done_ = done;
   if (tracer_ != nullptr) {
     // Programs are asynchronous; the recorded latency is issue-to-retire
-    // (queueing on the bank included), which is what the host would see at
-    // the next barrier.
-    tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, 0, ppn,
+    // (queueing on the channel and the bank included), which is what the
+    // host would see at the next barrier.
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kWrite, t0, bank, ppn,
                     oob.lpn, done - t0, StatusCode::kOk);
   }
   return Status::OK();
@@ -274,8 +291,12 @@ Status FlashDevice::EraseBlock(BlockNum block) {
     blk.erase_count++;
     blk.bad = true;
     stats_.erase_fails++;
-    clock_->AdvanceTo(
-        ScheduleOnBank(config_.BankOf(block), config_.timings.erase_block));
+    // Like a program failure, this surfaces at the status poll, so the host
+    // waits out the erase pulse.
+    SimNanos fail_done =
+        ScheduleOnBank(config_.BankOf(block), config_.timings.erase_block);
+    clock_->AdvanceTo(fail_done);
+    last_op_done_ = fail_done;
     return Status::IoError("erase status failure at block " +
                            std::to_string(block));
   }
@@ -288,12 +309,17 @@ Status FlashDevice::EraseBlock(BlockNum block) {
   blk.next_page = 0;
   blk.erase_count++;
   stats_.block_erases++;
+  // Submit: the erase pulse runs on the bank in the background. There is no
+  // data transfer, so the host does not even touch the channel; any later
+  // program or read on this bank queues behind the pulse, and SyncAll()
+  // waits it out.
   uint32_t bank = config_.BankOf(block);
   SimNanos t0 = clock_->Now();
-  clock_->AdvanceTo(ScheduleOnBank(bank, config_.timings.erase_block));
+  SimNanos done = ScheduleOnBank(bank, config_.timings.erase_block);
+  last_op_done_ = done;
   if (tracer_ != nullptr) {
-    tracer_->Record(trace::Layer::kFlash, trace::Op::kErase, t0, 0, block, 0,
-                    clock_->Now() - t0, StatusCode::kOk);
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kErase, t0, bank, block,
+                    0, done - t0, StatusCode::kOk);
   }
   return Status::OK();
 }

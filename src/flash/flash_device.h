@@ -5,11 +5,20 @@
 //   * pages within a block must be programmed in order (MLC constraint),
 //   * erases operate on whole blocks.
 //
-// Timing: reads and erases are synchronous; programs are issued
-// asynchronously onto their bank and retire in the background, so sequential
-// writes striped across banks overlap (this is what gives the device its
-// write bandwidth). A bounded write buffer stalls the issuer when full, and
-// SyncAll() models a flush barrier that waits for every in-flight program.
+// Timing (queued-command model): every command is split into submit and
+// wait. Submit serializes only the shared channel/bus transfer — the host
+// clock advances by bus_per_page per page moved over the wire — while the
+// cell operation (program, erase) is scheduled onto the page's bank and
+// retires in the background, so work striped across banks overlaps (this is
+// what gives the device its bandwidth). The host waits (AdvanceTo) only at
+// data-dependent points: reads, which must sense the bank and then occupy
+// the channel for the transfer back, and flush barriers. Erases are
+// submit-only on success; a program/erase *status failure* is synchronous,
+// because real firmware only learns of it at the completion status poll.
+// ProgramPage/EraseBlock record their bank completion time, readable via
+// last_op_done(), which is what the SATA layer's NCQ queue tracks. A bounded
+// write buffer stalls the issuer when full, and SyncAll() models a flush
+// barrier that waits for every bank to go idle.
 //
 // Durability: the write buffer is VOLATILE. A program is durable once it has
 // drained (its modeled completion time has passed) or once a SyncAll() flush
@@ -83,17 +92,25 @@ class FlashDevice {
   // a full page read). Returns nullopt for erased pages.
   StatusOr<std::optional<PageOob>> ReadOob(Ppn ppn);
 
-  // Programs one page. Fails if the page is not erased or out of program
-  // order within its block. The data is latched immediately; the program
-  // time is scheduled on the page's bank.
+  // Programs one page (submit). Fails if the page is not erased or out of
+  // program order within its block. The data is latched immediately; the
+  // host pays only the channel transfer, and the cell program is scheduled
+  // on the page's bank (completion time readable via last_op_done()).
   Status ProgramPage(Ppn ppn, const uint8_t* data, const PageOob& oob);
 
-  // Erases a whole block (synchronous).
+  // Erases a whole block (submit; the erase pulse runs on the block's bank
+  // in the background — only a status failure is synchronous).
   Status EraseBlock(BlockNum block);
 
-  // Waits for all in-flight programs to retire (flush barrier). Everything
-  // buffered becomes durable.
+  // Waits for all in-flight programs and erases to retire (flush barrier).
+  // Everything buffered becomes durable.
   void SyncAll();
+
+  // Bank completion time of the most recently submitted program/erase/read —
+  // the "completion token" of the submit/wait split. The SATA layer's NCQ
+  // queue records this per command and waits on it only when the queue
+  // fills or a barrier lands.
+  SimNanos last_op_done() const { return last_op_done_; }
 
   // True if the page has been programmed since its block's last erase.
   bool IsProgrammed(Ppn ppn) const;
@@ -190,6 +207,11 @@ class FlashDevice {
   uint8_t* PageData(Block& blk, uint32_t page);
   // Schedules `latency` on `bank`; returns completion time.
   SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency);
+  // Schedules `latency` on the shared channel, starting no earlier than
+  // `not_before` (a bank sense completion for reads, now for programs);
+  // returns the transfer's completion time. The channel is the one resource
+  // every command serializes on.
+  SimNanos ScheduleOnChannel(SimNanos not_before, SimNanos latency);
   void StallIfBufferFull();
   // Retires buffered programs whose drain time has passed (they are durable
   // from here on).
@@ -213,6 +235,11 @@ class FlashDevice {
   trace::Tracer* tracer_ = nullptr;
   std::vector<Block> blocks_;
   std::vector<SimNanos> bank_busy_until_;
+  // Shared channel (bus) between the controller and every bank: data
+  // transfers serialize here even when the cell operations overlap.
+  SimNanos channel_busy_until_ = 0;
+  // Completion time of the most recent submit (see last_op_done()).
+  SimNanos last_op_done_ = 0;
   // Volatile write buffer: issued programs that have not drained yet
   // (bounded by write_buffer_pages).
   std::vector<BufferedProgram> buffered_;

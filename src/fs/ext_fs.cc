@@ -735,14 +735,25 @@ Status ExtFs::CommitDirty(Ino ino) {
         return RunPendingTrims();
       }
       storage::TxId tid = TidFor(ino);
+      // Group writeback: the whole dirty set goes down as one queued batch
+      // so the device stripes the programs across banks before the commit
+      // barrier waits for them.
+      std::vector<uint64_t> batch_pages;
+      std::vector<const uint8_t*> batch_datas;
+      batch_pages.reserve(data_entries.size() + meta_entries.size());
+      batch_datas.reserve(data_entries.size() + meta_entries.size());
       for (auto* e : data_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->TxWrite(tid, e->page, e->data.data()));
-        stats_.data_page_writes++;
+        batch_pages.push_back(e->page);
+        batch_datas.push_back(e->data.data());
       }
       for (auto* e : meta_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->TxWrite(tid, e->page, e->data.data()));
-        stats_.metadata_page_writes++;
+        batch_pages.push_back(e->page);
+        batch_datas.push_back(e->data.data());
       }
+      XFTL_RETURN_IF_ERROR(dev_->TxWriteBatch(
+          tid, batch_pages.data(), batch_datas.data(), batch_pages.size()));
+      stats_.data_page_writes += data_entries.size();
+      stats_.metadata_page_writes += meta_entries.size();
       XFTL_RETURN_IF_ERROR(dev_->TxCommit(tid));
       // Entries flip clean only once the whole transaction committed. If a
       // TxWrite fails part-way (the device degrading to read-only, say), the
@@ -766,12 +777,23 @@ Status ExtFs::CommitDirty(Ino ino) {
       return RunPendingTrims();
     }
     case JournalMode::kOrdered: {
-      // Data first, in place.
-      for (auto* e : data_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->Write(e->page, e->data.data()));
-        stats_.data_page_writes++;
-        e->dirty = false;
-        e->pinned = false;
+      // Data first, in place — one queued batch; the journal's Barrier 1
+      // waits for the striped programs.
+      if (!data_entries.empty()) {
+        std::vector<uint64_t> dp;
+        std::vector<const uint8_t*> dd;
+        dp.reserve(data_entries.size());
+        dd.reserve(data_entries.size());
+        for (auto* e : data_entries) {
+          dp.push_back(e->page);
+          dd.push_back(e->data.data());
+        }
+        XFTL_RETURN_IF_ERROR(dev_->WriteBatch(dp.data(), dd.data(), dp.size()));
+        stats_.data_page_writes += data_entries.size();
+        for (auto* e : data_entries) {
+          e->dirty = false;
+          e->pinned = false;
+        }
       }
       if (meta_entries.empty()) {
         XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
@@ -783,11 +805,21 @@ Status ExtFs::CommitDirty(Ino ino) {
       XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn));
       // Checkpoint: metadata to home locations (made durable by the next
       // transaction's first barrier).
-      for (auto* e : meta_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->Write(e->page, e->data.data()));
-        stats_.checkpoint_page_writes++;
-        e->dirty = false;
-        e->pinned = false;
+      {
+        std::vector<uint64_t> mp;
+        std::vector<const uint8_t*> md;
+        mp.reserve(meta_entries.size());
+        md.reserve(meta_entries.size());
+        for (auto* e : meta_entries) {
+          mp.push_back(e->page);
+          md.push_back(e->data.data());
+        }
+        XFTL_RETURN_IF_ERROR(dev_->WriteBatch(mp.data(), md.data(), mp.size()));
+        stats_.checkpoint_page_writes += meta_entries.size();
+        for (auto* e : meta_entries) {
+          e->dirty = false;
+          e->pinned = false;
+        }
       }
       return RunPendingTrims();
     }
@@ -803,17 +835,31 @@ Status ExtFs::CommitDirty(Ino ino) {
       for (auto* e : data_entries) txn.emplace_back(e->page, e->data.data());
       for (auto* e : meta_entries) txn.emplace_back(e->page, e->data.data());
       XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn));
-      for (auto* e : data_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->Write(e->page, e->data.data()));
-        stats_.data_page_writes++;
-        e->dirty = false;
-        e->pinned = false;
-      }
-      for (auto* e : meta_entries) {
-        XFTL_RETURN_IF_ERROR(dev_->Write(e->page, e->data.data()));
-        stats_.checkpoint_page_writes++;
-        e->dirty = false;
-        e->pinned = false;
+      // Checkpoint everything in place as one queued batch.
+      {
+        std::vector<uint64_t> cp;
+        std::vector<const uint8_t*> cd;
+        cp.reserve(txn.size());
+        cd.reserve(txn.size());
+        for (auto* e : data_entries) {
+          cp.push_back(e->page);
+          cd.push_back(e->data.data());
+        }
+        for (auto* e : meta_entries) {
+          cp.push_back(e->page);
+          cd.push_back(e->data.data());
+        }
+        XFTL_RETURN_IF_ERROR(dev_->WriteBatch(cp.data(), cd.data(), cp.size()));
+        stats_.data_page_writes += data_entries.size();
+        stats_.checkpoint_page_writes += meta_entries.size();
+        for (auto* e : data_entries) {
+          e->dirty = false;
+          e->pinned = false;
+        }
+        for (auto* e : meta_entries) {
+          e->dirty = false;
+          e->pinned = false;
+        }
       }
       return RunPendingTrims();
     }

@@ -44,12 +44,19 @@ Status Journal::CommitTransaction(
   XFTL_RETURN_IF_ERROR(dev_->Write(start_, buf.data()));
   stats_.journal_page_writes++;
 
-  // Copies.
+  // Copies: one queued batch, striped across banks by the FTL. The commit
+  // page below still serializes after them in program order, and Barrier 2
+  // is what makes any of it durable.
   uint32_t jp = start_ + 1;
-  for (const auto& [home, data] : pages) {
-    XFTL_RETURN_IF_ERROR(dev_->Write(jp++, data));
-    stats_.journal_page_writes++;
+  std::vector<uint64_t> copy_pages(pages.size());
+  std::vector<const uint8_t*> copy_datas(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    copy_pages[i] = jp++;
+    copy_datas[i] = pages[i].second;
   }
+  XFTL_RETURN_IF_ERROR(
+      dev_->WriteBatch(copy_pages.data(), copy_datas.data(), pages.size()));
+  stats_.journal_page_writes += pages.size();
 
   // Commit page: its checksum covers the copies, so a torn copy invalidates
   // the whole transaction.

@@ -4,8 +4,10 @@
 #ifndef XFTL_FTL_FTL_INTERFACE_H_
 #define XFTL_FTL_FTL_INTERFACE_H_
 
+#include <cstddef>
 #include <cstdint>
 
+#include "common/sim_clock.h"
 #include "common/status.h"
 #include "ftl/ftl_stats.h"
 
@@ -28,6 +30,19 @@ class FtlInterface {
   // Copy-on-write update of `lpn`. Durable only after Flush().
   virtual Status Write(Lpn lpn, const uint8_t* data) = 0;
 
+  // Batched write path: updates `n` logical pages in order. Implementations
+  // stripe the batch's programs across banks before any data-dependent wait,
+  // so a batch of B pages costs ~B channel transfers plus one overlapped
+  // program time instead of B serialized commands. The default simply loops
+  // Write(). Stops at the first error (earlier pages stay written).
+  virtual Status WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
+                            size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      XFTL_RETURN_IF_ERROR(Write(lpns[i], datas[i]));
+    }
+    return Status::OK();
+  }
+
   // Drops the mapping of `lpn`; the physical page becomes garbage.
   virtual Status Trim(Lpn lpn) = 0;
 
@@ -37,6 +52,13 @@ class FtlInterface {
 
   // Rebuilds all volatile state from flash after a power failure.
   virtual Status Recover() = 0;
+
+  // Device-side completion time of the most recently issued flash command —
+  // the queued-command model's completion token. A caller that submitted a
+  // write may return to the host immediately and later AdvanceTo() this time
+  // (or past it) to model out-of-order command completion. Implementations
+  // without a simulated device report "already complete".
+  virtual SimNanos LastCompletionTime() const { return 0; }
 
   // True once the device degraded to read-only mode (spare blocks or the
   // meta region exhausted by grown bad blocks). Writes, trims and barriers

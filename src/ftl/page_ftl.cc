@@ -59,6 +59,8 @@ void PageFtl::InitLayout() {
   active_blocks_.assign(fc.num_banks, flash::kInvalidPpn);
   active_next_page_.assign(fc.num_banks, 0);
   bank_cursor_ = 0;
+  gc_buckets_.assign(fc.pages_per_block + 1, {});
+  gc_min_bucket_ = uint32_t(gc_buckets_.size());
   segment_dirty_.assign(num_segments(), false);
   segment_snapshot_ppn_.assign(num_segments(), flash::kInvalidPpn);
   last_root_seq_ = 0;
@@ -109,6 +111,32 @@ Status PageFtl::Write(Lpn lpn, const uint8_t* data) {
   SetMapping(lpn, ppn);
   stats_.host_page_writes++;
   TraceFtl(trace::Op::kWrite, t0, lpn, ppn, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status PageFtl::WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
+                           size_t n) {
+  // The per-page programs are submit-only, so the batch's cell programs
+  // stripe across the active blocks' banks and overlap; the host pays one
+  // serialized channel transfer per page. One FTL-layer event covers the
+  // whole batch (`b` = batch size); the flash layer still records each
+  // program.
+  SimNanos t0 = device_->clock()->Now();
+  for (size_t i = 0; i < n; ++i) {
+    Lpn lpn = lpns[i];
+    if (lpn >= config_.num_logical_pages) {
+      return Status::OutOfRange("lpn " + std::to_string(lpn));
+    }
+    auto ppn_or = ProgramDataPage(lpn, datas[i]);
+    if (!ppn_or.ok()) {
+      TraceFtl(trace::Op::kWrite, t0, lpn, i, ppn_or.status().code());
+      return ppn_or.status();
+    }
+    if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpn(l2p_[lpn]);
+    SetMapping(lpn, ppn_or.value());
+    stats_.host_page_writes++;
+  }
+  if (n > 0) TraceFtl(trace::Op::kWrite, t0, lpns[0], n, StatusCode::kOk);
   return Status::OK();
 }
 
@@ -185,6 +213,7 @@ StatusOr<flash::Ppn> PageFtl::NextDataPpnNoGc() {
         active_next_page_[bank] >= fc.pages_per_block) {
       blocks_[active_blocks_[bank]].kind = BlockInfo::Kind::kSealed;
       blocks_[active_blocks_[bank]].sealed_seq = next_seq_;
+      GcBucketInsert(active_blocks_[bank]);
       active_blocks_[bank] = flash::kInvalidPpn;
     }
     if (active_blocks_[bank] == flash::kInvalidPpn) {
@@ -267,6 +296,9 @@ void PageFtl::UpdateDegradation() {
 
 void PageFtl::MarkBlockBad(flash::BlockNum block) {
   BlockInfo& blk = blocks_[block];
+  if (blk.kind == BlockInfo::Kind::kSealed) {
+    GcBucketErase(block, blk.valid_count);
+  }
   free_blocks_.erase(
       std::remove(free_blocks_.begin(), free_blocks_.end(), block),
       free_blocks_.end());
@@ -377,18 +409,26 @@ Status PageFtl::RetireBlock(flash::BlockNum block) {
 
 void PageFtl::InvalidatePpn(flash::Ppn ppn) {
   const auto& fc = device_->config();
-  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  flash::BlockNum block = fc.BlockOf(ppn);
+  BlockInfo& blk = blocks_[block];
   uint32_t page = fc.PageInBlock(ppn);
   if (!blk.valid.empty() && blk.valid[page]) {
     blk.valid[page] = false;
     DCHECK_GT(blk.valid_count, 0u);
-    blk.valid_count--;
+    if (blk.kind == BlockInfo::Kind::kSealed) {
+      GcBucketErase(block, blk.valid_count);
+      blk.valid_count--;
+      GcBucketInsert(block);
+    } else {
+      blk.valid_count--;
+    }
   }
 }
 
 void PageFtl::MarkPpnValid(flash::Ppn ppn, Lpn lpn) {
   const auto& fc = device_->config();
-  BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  flash::BlockNum block = fc.BlockOf(ppn);
+  BlockInfo& blk = blocks_[block];
   uint32_t page = fc.PageInBlock(ppn);
   if (blk.valid.empty()) {
     blk.valid.assign(fc.pages_per_block, false);
@@ -396,7 +436,13 @@ void PageFtl::MarkPpnValid(flash::Ppn ppn, Lpn lpn) {
   }
   if (!blk.valid[page]) {
     blk.valid[page] = true;
-    blk.valid_count++;
+    if (blk.kind == BlockInfo::Kind::kSealed) {
+      GcBucketErase(block, blk.valid_count);
+      blk.valid_count++;
+      GcBucketInsert(block);
+    } else {
+      blk.valid_count++;
+    }
   }
   blk.rmap[page] = lpn;
 }
@@ -453,14 +499,112 @@ const char* GcPolicyName(GcPolicy policy) {
   return "?";
 }
 
+uint64_t PageFtl::GcBucketKey(const BlockInfo& blk) const {
+  // Greedy orders purely by block number within a bucket (the legacy scan's
+  // tie-break); the age-aware policies order by seal time.
+  return config_.gc_policy == GcPolicy::kGreedy ? 0 : blk.sealed_seq;
+}
+
+void PageFtl::GcBucketInsert(flash::BlockNum b) {
+  const BlockInfo& blk = blocks_[b];
+  gc_buckets_[blk.valid_count].emplace(GcBucketKey(blk), b);
+  gc_min_bucket_ = std::min(gc_min_bucket_, blk.valid_count);
+}
+
+void PageFtl::GcBucketErase(flash::BlockNum b, uint32_t valid_count) {
+  gc_buckets_[valid_count].erase({GcBucketKey(blocks_[b]), b});
+}
+
+void PageFtl::RebuildGcBuckets() {
+  const auto& fc = device_->config();
+  for (auto& bucket : gc_buckets_) bucket.clear();
+  gc_min_bucket_ = uint32_t(gc_buckets_.size());
+  for (flash::BlockNum b = config_.meta_blocks; b < fc.num_blocks; ++b) {
+    if (blocks_[b].kind == BlockInfo::Kind::kSealed) GcBucketInsert(b);
+  }
+}
+
 StatusOr<flash::BlockNum> PageFtl::PickVictim() {
+  const auto& fc = device_->config();
+  // Sweep the hint past buckets that have drained. The hint only moves down
+  // when a block lands in a lower bucket, so across a run of collections
+  // this loop does amortized O(1) work per valid-count change.
+  while (gc_min_bucket_ < gc_buckets_.size() &&
+         gc_buckets_[gc_min_bucket_].empty()) {
+    gc_min_bucket_++;
+  }
+  // Fully valid blocks (bucket pages_per_block) offer nothing to reclaim.
+  if (gc_min_bucket_ >= fc.pages_per_block) {
+    return Status::ResourceExhausted("garbage collection found no victim");
+  }
+
+  switch (config_.gc_policy) {
+    case GcPolicy::kGreedy:
+      // Lowest non-empty bucket, lowest block number — identical to the
+      // legacy linear scan (PeekVictimLinear pins this in ftl_test).
+      return gc_buckets_[gc_min_bucket_].begin()->second;
+
+    case GcPolicy::kFifo: {
+      // Oldest seal time across buckets; the per-bucket sets are ordered by
+      // (sealed_seq, block), so comparing their heads suffices.
+      std::pair<uint64_t, flash::BlockNum> best{~0ull, flash::kInvalidPpn};
+      for (uint32_t v = gc_min_bucket_; v < fc.pages_per_block; ++v) {
+        if (gc_buckets_[v].empty()) continue;
+        best = std::min(best, *gc_buckets_[v].begin());
+      }
+      return best.second;
+    }
+
+    case GcPolicy::kCostBenefit: {
+      // Every fully invalid block scores the maximal 1e18; the legacy scan
+      // broke that tie by block number, so preserve it here (the bucket is
+      // ordered by seal time and is almost always tiny).
+      if (!gc_buckets_[0].empty()) {
+        flash::BlockNum best = flash::kInvalidPpn;
+        for (const auto& [key, b] : gc_buckets_[0]) best = std::min(best, b);
+        return best;
+      }
+      // Within one bucket u is fixed, so the score is monotone in age and
+      // each bucket's head (oldest seal, lowest block) is its best
+      // candidate; only the O(pages_per_block) heads need scoring.
+      flash::BlockNum best = flash::kInvalidPpn;
+      double best_score = -1;
+      for (uint32_t v = gc_min_bucket_; v < fc.pages_per_block; ++v) {
+        if (gc_buckets_[v].empty()) continue;
+        const auto& [sealed_seq, b] = *gc_buckets_[v].begin();
+        double u = double(v) / double(fc.pages_per_block);
+        double age = double(next_seq_ - sealed_seq);
+        double score = age * (1.0 - u) / (2.0 * u);
+        if (best == flash::kInvalidPpn || score > best_score) {
+          best_score = score;
+          best = b;
+        }
+      }
+      return best;
+    }
+  }
+  return Status::FailedPrecondition("unreachable gc policy");
+}
+
+StatusOr<flash::BlockNum> PageFtl::PeekVictimLinear() const {
   const auto& fc = device_->config();
   flash::BlockNum best = flash::kInvalidPpn;
   double best_score = -1;
+  uint64_t best_seq = ~0ull;
   for (flash::BlockNum b = config_.meta_blocks; b < fc.num_blocks; ++b) {
     const BlockInfo& blk = blocks_[b];
     if (blk.kind != BlockInfo::Kind::kSealed) continue;
     if (blk.valid_count >= fc.pages_per_block) continue;  // nothing to gain
+    if (config_.gc_policy == GcPolicy::kFifo) {
+      // Oldest seal wins, exact integer compare. (The scan originally
+      // computed `1e18 - double(sealed_seq)`, whose 128-ulp rounding folded
+      // nearby seal times together and silently tie-broke by block number.)
+      if (best == flash::kInvalidPpn || blk.sealed_seq < best_seq) {
+        best_seq = blk.sealed_seq;
+        best = b;
+      }
+      continue;
+    }
     double score = 0;
     switch (config_.gc_policy) {
       case GcPolicy::kGreedy:
@@ -475,8 +619,7 @@ StatusOr<flash::BlockNum> PageFtl::PickVictim() {
         break;
       }
       case GcPolicy::kFifo:
-        score = 1e18 - double(blk.sealed_seq);  // oldest first
-        break;
+        break;  // handled above
     }
     if (best == flash::kInvalidPpn || score > best_score) {
       best_score = score;
@@ -552,6 +695,7 @@ Status PageFtl::CollectOneBlock() {
     return Status::OK();
   }
   stats_.block_erases++;
+  GcBucketErase(victim, blk.valid_count);
   blk.kind = BlockInfo::Kind::kFree;
   blk.valid.clear();
   blk.rmap.clear();
@@ -1088,6 +1232,10 @@ void PageFtl::RebuildBlockState() {
     }
   }
   for (auto& a : active_blocks_) a = flash::kInvalidPpn;
+  // Validity counts are final for everything the checkpoint knew about;
+  // subclass recovery (MarkPpnValid for transactional pages) keeps the
+  // buckets current incrementally from here.
+  RebuildGcBuckets();
 }
 
 }  // namespace xftl::ftl

@@ -17,8 +17,10 @@
 #define XFTL_FTL_PAGE_FTL_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -96,9 +98,14 @@ class PageFtl : public FtlInterface {
 
   Status Read(Lpn lpn, uint8_t* data) override;
   Status Write(Lpn lpn, const uint8_t* data) override;
+  Status WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
+                    size_t n) override;
   Status Trim(Lpn lpn) override;
   Status Flush() override;
   Status Recover() override;
+  SimNanos LastCompletionTime() const override {
+    return device_->last_op_done();
+  }
 
   const FtlStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = FtlStats{}; }
@@ -122,6 +129,14 @@ class PageFtl : public FtlInterface {
   uint32_t BlockValidCount(flash::BlockNum block) const {
     return blocks_[block].valid_count;
   }
+
+  // Victim the bucketed picker would choose right now (tests/observability;
+  // only the min-bucket hint may move).
+  StatusOr<flash::BlockNum> PeekVictim() { return PickVictim(); }
+  // Reference implementation: the legacy O(num_blocks) linear scan. Kept so
+  // the equivalence test can pin bucketed == linear selection under the
+  // greedy policy on an aged device.
+  StatusOr<flash::BlockNum> PeekVictimLinear() const;
 
  protected:
   // --- hooks overridden by X-FTL ------------------------------------------
@@ -235,6 +250,22 @@ class PageFtl : public FtlInterface {
   Status MaybeGarbageCollect();
   Status CollectOneBlock();
   StatusOr<flash::BlockNum> PickVictim();
+
+  // --- O(1) amortized victim selection ------------------------------------
+  // Sealed blocks live in validity buckets: gc_buckets_[v] holds every
+  // sealed block with v valid pages, ordered by (key, block) where key is 0
+  // under greedy (pure block-number order, matching the legacy scan's
+  // tie-break exactly) and sealed_seq otherwise (age order for cost-benefit
+  // and FIFO). The buckets are updated incrementally wherever a sealed
+  // block's valid_count or kind changes, so PickVictim no longer scans all
+  // of blocks_ per collection.
+  uint64_t GcBucketKey(const BlockInfo& blk) const;
+  void GcBucketInsert(flash::BlockNum b);
+  // Removes `b` from the bucket holding it at `valid_count` (no-op if the
+  // block is not bucketed, which recovery paths rely on).
+  void GcBucketErase(flash::BlockNum b, uint32_t valid_count);
+  // Drops and re-inserts every sealed block (recovery rebuild).
+  void RebuildGcBuckets();
   // Allocates the next programmable data ppn without triggering GC.
   StatusOr<flash::Ppn> NextDataPpnNoGc();
   Status ProgramDataPageNoGc(Lpn lpn, const uint8_t* data, uint64_t tag,
@@ -278,6 +309,12 @@ class PageFtl : public FtlInterface {
   std::vector<flash::Ppn> l2p_;
   std::vector<BlockInfo> blocks_;
   std::vector<flash::BlockNum> free_blocks_;
+  // Validity buckets over sealed blocks (see GcBucketInsert above) plus a
+  // monotone hint at the lowest possibly-non-empty bucket. The hint only
+  // moves down on insert and sweeps up past drained buckets inside
+  // PickVictim, which is what makes selection O(1) amortized.
+  std::vector<std::set<std::pair<uint64_t, flash::BlockNum>>> gc_buckets_;
+  uint32_t gc_min_bucket_ = 0;
   // One active block per bank, kInvalid when none; round-robin cursor.
   std::vector<flash::BlockNum> active_blocks_;
   std::vector<uint32_t> active_next_page_;

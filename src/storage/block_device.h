@@ -7,6 +7,7 @@
 #ifndef XFTL_STORAGE_BLOCK_DEVICE_H_
 #define XFTL_STORAGE_BLOCK_DEVICE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/status.h"
@@ -25,6 +26,16 @@ class BlockDevice {
 
   virtual Status Read(uint64_t page, uint8_t* data) = 0;
   virtual Status Write(uint64_t page, const uint8_t* data) = 0;
+  // Batched write: n pages handed to the device as one queued command.
+  // Devices that understand queuing overlap the device-side work across
+  // banks; the default just loops. Stops at the first error.
+  virtual Status WriteBatch(const uint64_t* pages,
+                            const uint8_t* const* datas, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      XFTL_RETURN_IF_ERROR(Write(pages[i], datas[i]));
+    }
+    return Status::OK();
+  }
   virtual Status Trim(uint64_t page) = 0;
   // Durability barrier: all previously acknowledged writes (and the device's
   // mapping metadata) are persistent when this returns.
@@ -39,6 +50,14 @@ class TxBlockDevice : public BlockDevice {
 
   virtual Status TxRead(TxId t, uint64_t page, uint8_t* data) = 0;
   virtual Status TxWrite(TxId t, uint64_t page, const uint8_t* data) = 0;
+  // Batched TxWrite under one transaction; same contract as WriteBatch.
+  virtual Status TxWriteBatch(TxId t, const uint64_t* pages,
+                              const uint8_t* const* datas, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      XFTL_RETURN_IF_ERROR(TxWrite(t, pages[i], datas[i]));
+    }
+    return Status::OK();
+  }
   // Commit/abort are carried over the wire as extended trim commands
   // (paper §5.2); semantically they are first-class verbs.
   virtual Status TxCommit(TxId t) = 0;

@@ -1,5 +1,7 @@
 #include "storage/sata_device.h"
 
+#include <algorithm>
+
 namespace xftl::storage {
 
 SataDevice::SataDevice(ftl::FtlInterface* ftl, const SataTimings& timings,
@@ -9,6 +11,7 @@ SataDevice::SataDevice(ftl::FtlInterface* ftl, const SataTimings& timings,
       timings_(timings),
       clock_(clock) {
   CHECK(ftl_ != nullptr);
+  CHECK(timings_.ncq_depth >= 1);
 }
 
 void SataDevice::ChargeCommand(bool with_transfer) {
@@ -18,11 +21,46 @@ void SataDevice::ChargeCommand(bool with_transfer) {
 }
 
 void SataDevice::Note(trace::Op op, SimNanos t0, TxId t, uint64_t page,
-                      StatusCode code) {
+                      StatusCode code, uint64_t occupancy) {
   if (tracer_ != nullptr) {
     tracer_->Record(trace::Layer::kSata, op, t0, static_cast<uint32_t>(t),
-                    page, 0, clock_->Now() - t0, code);
+                    page, occupancy, clock_->Now() - t0, code);
   }
+}
+
+void SataDevice::RetireCompleted() {
+  SimNanos now = clock_->Now();
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    it = (it->second <= now) ? inflight_.erase(it) : std::next(it);
+  }
+}
+
+void SataDevice::WaitForSlot() {
+  RetireCompleted();
+  if (inflight_.size() < timings_.ncq_depth) return;
+  // Queue full: wait for the EARLIEST completion among the queued commands,
+  // whatever its submission order - this is what makes completion
+  // out-of-order.
+  stats_.queue_full_stalls++;
+  SimNanos earliest = inflight_.begin()->second;
+  for (const auto& [tag, done] : inflight_) earliest = std::min(earliest, done);
+  clock_->AdvanceTo(earliest);
+  RetireCompleted();
+}
+
+void SataDevice::EnqueueCompletion() {
+  stats_.queued_commands++;
+  inflight_[next_tag_++] = ftl_->LastCompletionTime();
+}
+
+void SataDevice::DrainQueue() {
+  for (const auto& [tag, done] : inflight_) clock_->AdvanceTo(done);
+  inflight_.clear();
+}
+
+size_t SataDevice::InflightCommands() {
+  RetireCompleted();
+  return inflight_.size();
 }
 
 Status SataDevice::Read(uint64_t page, uint8_t* data) {
@@ -36,10 +74,39 @@ Status SataDevice::Read(uint64_t page, uint8_t* data) {
 
 Status SataDevice::Write(uint64_t page, const uint8_t* data) {
   SimNanos t0 = clock_->Now();
+  WaitForSlot();
   ChargeCommand(true);
   stats_.write_commands++;
   Status s = ftl_->Write(page, data);
-  Note(trace::Op::kWrite, t0, ftl::kNoTx, page, s.code());
+  if (s.ok()) EnqueueCompletion();
+  Note(trace::Op::kWrite, t0, ftl::kNoTx, page, s.code(), inflight_.size());
+  return s;
+}
+
+Status SataDevice::WriteBatch(const uint64_t* pages,
+                              const uint8_t* const* datas, size_t n) {
+  if (n == 0) return Status::OK();
+  SimNanos t0 = clock_->Now();
+  WaitForSlot();
+  // One wire command moves the whole batch: a single command overhead, then
+  // every page's link transfer back to back. The FTL stripes the programs
+  // across banks before the clock moves again, so the batch occupies one
+  // queue slot that drains when the slowest program finishes.
+  clock_->Advance(timings_.command_overhead +
+                  timings_.transfer_per_page * static_cast<SimNanos>(n));
+  // write_commands counts host pages written (one per page even in a
+  // batch); batch_commands counts the wire-level commands that moved them.
+  stats_.write_commands += n;
+  stats_.batch_commands++;
+  stats_.batched_pages += n;
+  Status s = ftl_->WriteBatch(pages, datas, n);
+  if (s.ok()) EnqueueCompletion();
+  // Per-page capture events keep trace replay page-accurate (the replayer
+  // re-drives each page as an individual write command).
+  for (size_t i = 0; i < n; ++i) {
+    Note(trace::Op::kWrite, t0, ftl::kNoTx, pages[i], s.code(),
+         inflight_.size());
+  }
   return s;
 }
 
@@ -54,6 +121,7 @@ Status SataDevice::Trim(uint64_t page) {
 
 Status SataDevice::FlushBarrier() {
   SimNanos t0 = clock_->Now();
+  DrainQueue();
   ChargeCommand(false);
   stats_.barrier_commands++;
   Status s = ftl_->Flush();
@@ -74,18 +142,46 @@ Status SataDevice::TxRead(TxId t, uint64_t page, uint8_t* data) {
 Status SataDevice::TxWrite(TxId t, uint64_t page, const uint8_t* data) {
   if (xftl_ == nullptr) return Write(page, data);
   SimNanos t0 = clock_->Now();
+  WaitForSlot();
   ChargeCommand(true);
   stats_.write_commands++;
   Status s = xftl_->TxWrite(t, page, data);
-  if (s.ok()) open_txns_.insert(t);
-  Note(trace::Op::kTxWrite, t0, t, page, s.code());
+  if (s.ok()) {
+    open_txns_.insert(t);
+    EnqueueCompletion();
+  }
+  Note(trace::Op::kTxWrite, t0, t, page, s.code(), inflight_.size());
+  return s;
+}
+
+Status SataDevice::TxWriteBatch(TxId t, const uint64_t* pages,
+                                const uint8_t* const* datas, size_t n) {
+  if (xftl_ == nullptr) return WriteBatch(pages, datas, n);
+  if (n == 0) return Status::OK();
+  SimNanos t0 = clock_->Now();
+  WaitForSlot();
+  clock_->Advance(timings_.command_overhead +
+                  timings_.transfer_per_page * static_cast<SimNanos>(n));
+  stats_.write_commands += n;
+  stats_.batch_commands++;
+  stats_.batched_pages += n;
+  Status s = xftl_->TxWriteBatch(t, pages, datas, n);
+  if (s.ok()) {
+    open_txns_.insert(t);
+    EnqueueCompletion();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Note(trace::Op::kTxWrite, t0, t, pages[i], s.code(), inflight_.size());
+  }
   return s;
 }
 
 Status SataDevice::TxCommit(TxId t) {
   if (xftl_ == nullptr) return FlushBarrier();
-  // One extended trim command carries the commit verb.
+  // One extended trim command carries the commit verb. The commit's data
+  // barrier must cover every acknowledged write, so the queue drains first.
   SimNanos t0 = clock_->Now();
+  DrainQueue();
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.commit_commands++;

@@ -3,10 +3,21 @@
 // on the FTL. The paper's extended commands (read/write with a transaction
 // id, commit, abort) travel the same wire; commit and abort are encoded in
 // the parameter set of trim commands, exactly as §5.2 describes for SATA.
+//
+// Write commands are queued NCQ-style: a write returns to the host as soon
+// as its data crossed the link and the FTL accepted it; the device-side
+// program drains in the background. The host stalls only when all
+// `ncq_depth` queue slots are occupied (it then waits for the EARLIEST
+// completion, so commands retire out of submission order) or at a barrier,
+// which drains the whole queue. Reads stay synchronous: their latency is
+// data-dependent and the flash layer already serializes them against
+// in-flight programs on the same bank. ncq_depth = 1 reproduces the legacy
+// fully synchronous front-end.
 #ifndef XFTL_STORAGE_SATA_DEVICE_H_
 #define XFTL_STORAGE_SATA_DEVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
 
 #include "common/sim_clock.h"
@@ -22,16 +33,25 @@ struct SataTimings {
   SimNanos command_overhead = Micros(20);
   // Moving one 8 KB page across the link (SATA 2.0, ~300 MB/s).
   SimNanos transfer_per_page = Micros(27);
+  // Native-command-queuing slots for writes (SATA NCQ tops out at 32).
+  uint32_t ncq_depth = 32;
 };
 
 struct SataStats {
   uint64_t read_commands = 0;
+  // Host pages written through the front-end (a batch of n counts n here
+  // and 1 in batch_commands).
   uint64_t write_commands = 0;
   uint64_t trim_commands = 0;
   uint64_t barrier_commands = 0;
   // Extended-parameter trims carrying commit/abort (paper §5.2).
   uint64_t commit_commands = 0;
   uint64_t abort_commands = 0;
+  // --- queued-command accounting -----------------------------------------
+  uint64_t queued_commands = 0;    // writes accepted into an NCQ slot
+  uint64_t queue_full_stalls = 0;  // submits that had to wait for a slot
+  uint64_t batch_commands = 0;     // WriteBatch/TxWriteBatch wire commands
+  uint64_t batched_pages = 0;      // pages moved by those batches
 };
 
 class SataDevice : public TxBlockDevice {
@@ -47,14 +67,28 @@ class SataDevice : public TxBlockDevice {
 
   Status Read(uint64_t page, uint8_t* data) override;
   Status Write(uint64_t page, const uint8_t* data) override;
+  Status WriteBatch(const uint64_t* pages, const uint8_t* const* datas,
+                    size_t n) override;
   Status Trim(uint64_t page) override;
   Status FlushBarrier() override;
 
   bool SupportsTransactions() const override { return xftl_ != nullptr; }
   Status TxRead(TxId t, uint64_t page, uint8_t* data) override;
   Status TxWrite(TxId t, uint64_t page, const uint8_t* data) override;
+  Status TxWriteBatch(TxId t, const uint64_t* pages,
+                      const uint8_t* const* datas, size_t n) override;
   Status TxCommit(TxId t) override;
   Status TxAbort(TxId t) override;
+
+  // --- NCQ observability ---------------------------------------------------
+  // Writes whose device-side program has not yet drained at the current
+  // simulated time (lazy: retires completed slots first).
+  size_t InflightCommands();
+  uint32_t queue_depth() const { return timings_.ncq_depth; }
+  // Waits for every queued command to complete. FlushBarrier/TxCommit do
+  // this implicitly; exposed for tests and workloads that want a quiesce
+  // point without paying a full mapping-table flush.
+  void DrainQueue();
 
   const SataStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SataStats{}; }
@@ -63,10 +97,14 @@ class SataDevice : public TxBlockDevice {
   // Transactions with at least one write issued and no commit/abort yet.
   // This is volatile front-end state: it does not survive a power cycle.
   const std::set<TxId>& open_transactions() const { return open_txns_; }
-  // Drops all volatile front-end state (in-flight transaction ids). Called
-  // by SimSsd::PowerCycle(); the FTL learns the same fact from recovery,
-  // which discards the uncommitted pages those transactions wrote.
-  void ResetVolatile() { open_txns_.clear(); }
+  // Drops all volatile front-end state (in-flight transaction ids and the
+  // command queue). Called by SimSsd::PowerCycle(); the FTL learns the same
+  // fact from recovery, which discards the uncommitted pages those
+  // transactions wrote.
+  void ResetVolatile() {
+    open_txns_.clear();
+    inflight_.clear();
+  }
 
   // Optional command tracing; kSata events are the capture stream a
   // TraceReplayer re-drives. Null disables.
@@ -76,9 +114,18 @@ class SataDevice : public TxBlockDevice {
  private:
   void ChargeCommand(bool with_transfer);
   // Records a host-visible command ending now (issue at `t0`, so the
-  // latency spans link transfer plus FTL execution).
-  void Note(trace::Op op, SimNanos t0, TxId t, uint64_t page,
-            StatusCode code);
+  // latency spans link transfer plus FTL execution). `occupancy` lands in
+  // the event's `b` field; for writes it is the queue depth in use at
+  // completion, 0 for everything else.
+  void Note(trace::Op op, SimNanos t0, TxId t, uint64_t page, StatusCode code,
+            uint64_t occupancy = 0);
+  // Retires every queued command whose completion time has passed.
+  void RetireCompleted();
+  // Blocks (advances the clock) until a queue slot is free, then retires.
+  void WaitForSlot();
+  // Accounts a successful write submit: occupies a slot until the flash
+  // completion time reported by the FTL.
+  void EnqueueCompletion();
 
   ftl::FtlInterface* const ftl_;
   ftl::XFtl* const xftl_;  // non-null when ftl_ is transactional
@@ -87,6 +134,10 @@ class SataDevice : public TxBlockDevice {
   trace::Tracer* tracer_ = nullptr;
   SataStats stats_;
   std::set<TxId> open_txns_;
+  // tag -> device-side completion time of a queued write. Tag order is
+  // submission order; completion order is whatever the times say.
+  std::map<uint64_t, SimNanos> inflight_;
+  uint64_t next_tag_ = 1;
 };
 
 }  // namespace xftl::storage

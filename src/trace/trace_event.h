@@ -58,7 +58,11 @@ const char* OpName(Op op);
 //   a: lpn (sata/ftl/xftl), ppn or block (flash: kErase/kGc), pgno (sql),
 //      inode (fs).
 //   b: secondary address/size — resulting ppn (ftl), valid pages moved (gc),
-//      dirty pages committed (sql/fs), frames checkpointed (sql).
+//      dirty pages committed (sql/fs), frames checkpointed (sql), NCQ queue
+//      occupancy after submit (sata kWrite/kTxWrite).
+//   tid: transaction id; at the flash layer it carries the bank number
+//      instead (flash has no transactions, and per-bank attribution is what
+//      the queued-command pipeline analysis needs).
 struct TraceEvent {
   SimNanos time = 0;        // simulated time at operation start
   Layer layer = Layer::kSql;

@@ -88,15 +88,21 @@ StatusOr<int> XFtl::AllocateSlot() {
   return idx;
 }
 
-void XFtl::FreeSlot(int idx) {
-  Slot& s = slots_[idx];
-  auto [lo, hi] = by_lpn_.equal_range(s.lpn);
+void XFtl::EraseByLpn(Lpn p, int idx) {
+  auto [lo, hi] = by_lpn_.equal_range(p);
   for (auto it = lo; it != hi; ++it) {
     if (it->second == idx) {
       by_lpn_.erase(it);
-      break;
+      return;
     }
   }
+}
+
+void XFtl::FreeSlot(int idx) {
+  Slot& s = slots_[idx];
+  EraseByLpn(s.lpn, idx);  // no-op for committed slots (unindexed at fold)
+  auto pit = by_ppn_.find(s.new_ppn);
+  if (pit != by_ppn_.end() && pit->second == idx) by_ppn_.erase(pit);
   s = Slot{};
   free_slots_.push_back(idx);
 }
@@ -115,7 +121,9 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
     XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn,
                           ProgramDataPage(p, data, kTagTxData));
     InvalidatePpn(slots_[idx].new_ppn);
+    by_ppn_.erase(slots_[idx].new_ppn);
     slots_[idx].new_ppn = ppn;
+    by_ppn_[ppn] = idx;
     stats_.host_page_writes++;
     xstats_.tx_writes++;
     xl2p_dirty_ = true;
@@ -142,11 +150,24 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
   XFTL_ASSIGN_OR_RETURN(flash::Ppn ppn, ProgramDataPage(p, data, kTagTxData));
   slots_[slot] = Slot{t, p, ppn, SlotStatus::kActive};
   by_lpn_.emplace(p, slot);
+  by_ppn_[ppn] = slot;
   by_tid_[t].push_back(slot);
   stats_.host_page_writes++;
   xstats_.tx_writes++;
   xl2p_dirty_ = true;
   TraceX(device(), trace::Op::kTxWrite, t0, t, p, ppn, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status XFtl::TxWriteBatch(TxId t, const Lpn* lpns,
+                          const uint8_t* const* datas, size_t n) {
+  if (t == kNoTx) return WriteBatch(lpns, datas, n);
+  // Each TxWrite's program is submit-only (the host pays the channel
+  // transfer, the cell program overlaps on its bank), so this loop IS the
+  // bank-striped batch; the slot bookkeeping per page is DRAM work.
+  for (size_t i = 0; i < n; ++i) {
+    XFTL_RETURN_IF_ERROR(TxWrite(t, lpns[i], datas[i]));
+  }
   return Status::OK();
 }
 
@@ -189,11 +210,15 @@ Status XFtl::TxCommit(TxId t) {
   // finished programming before the commit record makes them reachable.
   device()->SyncAll();
 
-  // Step 1: mark entries committed (not yet folded into the L2P).
+  // Step 1: mark entries committed (not yet folded into the L2P). The slot
+  // leaves ACTIVE status here, so its by_lpn_ entry is erased eagerly —
+  // retained committed slots must never pile up under a hot lpn (they stay
+  // findable through by_ppn_ for GC relocation).
   for (int idx : entries) {
     DCHECK(slots_[idx].status == SlotStatus::kActive);
     slots_[idx].status = SlotStatus::kCommitted;
     slots_[idx].folded = false;
+    EraseByLpn(slots_[idx].lpn, idx);
   }
 
   // Steps 2-3: persist the X-L2P table copy-on-write; the new snapshot's
@@ -310,14 +335,16 @@ Status XFtl::WriteXl2pSnapshot() {
 }
 
 void XFtl::OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to) {
-  auto [lo, hi] = by_lpn_.equal_range(lpn);
-  for (auto it = lo; it != hi; ++it) {
-    Slot& s = slots_[it->second];
-    if (s.new_ppn == from) {
-      s.new_ppn = to;
-      xl2p_dirty_ = true;
-    }
-  }
+  // O(1): the ppn index covers both active and retained committed slots.
+  auto it = by_ppn_.find(from);
+  if (it == by_ppn_.end()) return;
+  int idx = it->second;
+  Slot& s = slots_[idx];
+  DCHECK_EQ(s.new_ppn, from);
+  by_ppn_.erase(it);
+  s.new_ppn = to;
+  by_ppn_[to] = idx;
+  xl2p_dirty_ = true;
 }
 
 void XFtl::OnMetaPageScanned(const flash::PageOob& oob,
@@ -359,6 +386,7 @@ Status XFtl::FinishRecovery() {
     free_slots_.push_back(i);
   }
   by_lpn_.clear();
+  by_ppn_.clear();
   by_tid_.clear();
   xl2p_dirty_ = false;
 
@@ -432,7 +460,8 @@ Status XFtl::FinishRecovery() {
       int idx = slot_or.value();
       slots_[idx] = Slot{e.tid, e.lpn, e.new_ppn, SlotStatus::kCommitted,
                          /*folded=*/true};
-      by_lpn_.emplace(e.lpn, idx);
+      // Committed slots are indexed by ppn only; by_lpn_ is for ACTIVE.
+      by_ppn_[e.new_ppn] = idx;
       xl2p_dirty_ = true;
     }
   }

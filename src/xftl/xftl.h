@@ -34,6 +34,7 @@
 #ifndef XFTL_XFTL_XFTL_H_
 #define XFTL_XFTL_XFTL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -78,6 +79,13 @@ class XFtl : public PageFtl {
   Status TxCommit(TxId t);
   Status TxAbort(TxId t);
 
+  // Batched TxWrite: all n pages recorded under t. The per-page programs
+  // are submit-only, so the batch stripes across banks and the host pays
+  // only the serialized channel transfers (kNoTx falls through to the base
+  // WriteBatch). Stops at the first error.
+  Status TxWriteBatch(TxId t, const Lpn* lpns, const uint8_t* const* datas,
+                      size_t n);
+
   const XftlStats& xstats() const { return xstats_; }
   void ResetXstats() { xstats_ = XftlStats{}; }
   // Number of table slots in use (active + retained committed).
@@ -114,6 +122,9 @@ class XFtl : public PageFtl {
 
   // Finds the slot holding (t, p) with ACTIVE status, or -1.
   int FindActiveSlot(TxId t, Lpn p) const;
+  // Drops the by_lpn_ entry pointing at `idx` (no-op if absent — committed
+  // slots were already unindexed when they left ACTIVE status).
+  void EraseByLpn(Lpn p, int idx);
   // Allocates a free slot, forcing a checkpoint to reclaim retained
   // committed slots when necessary.
   StatusOr<int> AllocateSlot();
@@ -128,8 +139,15 @@ class XFtl : public PageFtl {
   XftlStats xstats_;
   std::vector<Slot> slots_;
   std::vector<int> free_slots_;
-  // lpn -> slot indexes (several: one active + retained committed copies).
+  // lpn -> slot indexes with ACTIVE status only. Entries are erased eagerly
+  // the moment a slot leaves ACTIVE (commit fold, abort), so hot-page
+  // lookups stay O(live uncommitted versions) no matter how many committed
+  // slots are retained between L2P checkpoints.
   std::unordered_multimap<Lpn, int> by_lpn_;
+  // new_ppn -> slot index for EVERY occupied slot (active + retained
+  // committed); this is what keeps GC relocation (OnPageRelocated) O(1)
+  // after committed slots left by_lpn_.
+  std::unordered_map<flash::Ppn, int> by_ppn_;
   // tid -> slot indexes with ACTIVE status.
   std::unordered_map<TxId, std::vector<int>> by_tid_;
   bool xl2p_dirty_ = false;

@@ -123,10 +123,11 @@ TEST_F(FlashDeviceTest, ProgramsOnDifferentBanksOverlap) {
         dev_.ProgramPage(b * cfg.pages_per_block, data.data(), {}).ok());
   }
   dev_.SyncAll();
-  SimNanos per_program =
-      cfg.timings.bus_per_page + cfg.timings.program_page;
-  // Perfect overlap: total time ~ one program, not four.
-  EXPECT_LT(clock_.Now(), 2 * per_program);
+  // Queued-command pipeline: the shared channel serializes the four page
+  // transfers, then the programs run concurrently on their banks. Total =
+  // N x bus + 1 x program, not N x (bus + program).
+  EXPECT_EQ(clock_.Now(),
+            4 * cfg.timings.bus_per_page + cfg.timings.program_page);
 }
 
 TEST_F(FlashDeviceTest, ProgramsOnSameBankSerialize) {
@@ -136,8 +137,45 @@ TEST_F(FlashDeviceTest, ProgramsOnSameBankSerialize) {
     ASSERT_TRUE(dev_.ProgramPage(p, data.data(), {}).ok());  // block 0, bank 0
   }
   dev_.SyncAll();
-  SimNanos per_program = cfg.timings.bus_per_page + cfg.timings.program_page;
-  EXPECT_GE(clock_.Now(), 4 * per_program);
+  // The channel transfers overlap with earlier programs, but the four
+  // programs chain on the single bank: bus + 4 x program total.
+  EXPECT_EQ(clock_.Now(),
+            cfg.timings.bus_per_page + 4 * cfg.timings.program_page);
+}
+
+TEST_F(FlashDeviceTest, ChannelSerializesAcrossBanksBeforeProgramsOverlap) {
+  // All four banks busy and the channel saturated: 8 pages across 4 banks
+  // finish in 8 transfers plus the last bank's two chained programs.
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x5A);
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      ASSERT_TRUE(
+          dev_.ProgramPage(b * cfg.pages_per_block + p, data.data(), {}).ok());
+    }
+  }
+  dev_.SyncAll();
+  const SimNanos bus = cfg.timings.bus_per_page;
+  const SimNanos prog = cfg.timings.program_page;
+  // Bank 3's first page lands after 4 transfers; its second program chains
+  // after the first (transfers complete long before the program frees up).
+  EXPECT_EQ(clock_.Now(), 4 * bus + 2 * prog);
+}
+
+TEST_F(FlashDeviceTest, ReadWaitsForInflightProgramOnSameBank) {
+  // A read is data-dependent: it must wait for the bank's in-flight program
+  // even though ProgramPage returned at transfer time.
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x5B);
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());
+  EXPECT_EQ(clock_.Now(), cfg.timings.bus_per_page);  // submit-only
+  std::vector<uint8_t> out(cfg.page_size);
+  ASSERT_TRUE(dev_.ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out, data);
+  // bus (program xfer) + program + sense + bus (read xfer).
+  EXPECT_EQ(clock_.Now(), 2 * cfg.timings.bus_per_page +
+                              cfg.timings.program_page +
+                              cfg.timings.read_page);
 }
 
 TEST_F(FlashDeviceTest, WriteBufferBoundsInflightPrograms) {

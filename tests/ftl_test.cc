@@ -565,6 +565,70 @@ TEST(GcPolicyCompareTest, GreedyHasLowestWriteAmplification) {
   EXPECT_LE(greedy, fifo + 0.05);  // greedy never loses under uniform traffic
 }
 
+// Equivalence of the O(1) validity-bucketed victim selection against the
+// legacy full linear scan, checked continuously while an aged device churns.
+class GcVictimEquivalenceTest : public ::testing::TestWithParam<GcPolicy> {};
+
+TEST_P(GcVictimEquivalenceTest, BucketedMatchesLinearScan) {
+  SimClock clock;
+  flash::FlashDevice dev(SmallFlash(), &clock);
+  FtlConfig cfg = SmallFtl();
+  cfg.gc_policy = GetParam();
+  cfg.num_logical_pages = 400;  // high utilization: many sealed blocks
+  PageFtl ftl(&dev, cfg);
+
+  Rng rng(23);
+  std::vector<uint8_t> buf(dev.config().page_size, 1);
+  for (uint64_t i = 0; i < 400; ++i) ASSERT_TRUE(ftl.Write(i, buf.data()).ok());
+  uint64_t compared = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ftl.Write(rng.Uniform(400), buf.data()).ok());
+    if (i % 7 != 0) continue;
+    auto bucketed = ftl.PeekVictim();
+    auto linear = ftl.PeekVictimLinear();
+    ASSERT_EQ(bucketed.ok(), linear.ok());
+    if (bucketed.ok()) {
+      EXPECT_EQ(bucketed.value(), linear.value()) << "at write " << i;
+      compared++;
+    }
+  }
+  EXPECT_GT(compared, 100u);  // the device really was GC-eligible throughout
+  ASSERT_GT(ftl.stats().gc_runs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GcVictimEquivalenceTest,
+                         ::testing::Values(GcPolicy::kGreedy,
+                                           GcPolicy::kCostBenefit,
+                                           GcPolicy::kFifo),
+                         [](const auto& info) {
+                           std::string name = GcPolicyName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '-'),
+                                      name.end());
+                           return name;
+                         });
+
+// Buckets must survive recovery: RebuildBlockState reconstructs them from
+// the scanned validity counts.
+TEST(GcVictimEquivalenceTest, BucketsRebuiltByRecovery) {
+  SimClock clock;
+  flash::FlashDevice dev(SmallFlash(), &clock);
+  FtlConfig cfg = SmallFtl();
+  PageFtl ftl(&dev, cfg);
+  Rng rng(29);
+  std::vector<uint8_t> buf(dev.config().page_size, 2);
+  for (uint64_t i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(ftl.Write(rng.Uniform(200), buf.data()).ok());
+  }
+  ASSERT_TRUE(ftl.Flush().ok());
+  ASSERT_TRUE(ftl.Recover().ok());
+  auto bucketed = ftl.PeekVictim();
+  auto linear = ftl.PeekVictimLinear();
+  ASSERT_EQ(bucketed.ok(), linear.ok());
+  if (bucketed.ok()) {
+    EXPECT_EQ(bucketed.value(), linear.value());
+  }
+}
+
 // --- aging ----------------------------------------------------------------
 
 TEST(AgerTest, UtilizationMonotonicInValidity) {

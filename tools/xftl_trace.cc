@@ -110,6 +110,10 @@ int Summary(const std::string& path) {
   uint64_t flush_count[kNumLayers] = {};
   uint64_t flush_nanos[kNumLayers] = {};
   uint64_t programs_made_durable = 0;  // buffered programs retired by barriers
+  // Queued-command pipeline: flash-layer events carry the bank in `tid`,
+  // SATA write events carry the NCQ occupancy after submit in `b`.
+  std::map<uint32_t, uint64_t> bank_programs;
+  Histogram queue_occupancy;
 
   for (const TraceEvent& e : events) {
     lat[int(e.layer)][int(e.op)].Add(e.latency);
@@ -126,8 +130,14 @@ int Summary(const std::string& path) {
         host_writes++;
         txn_pages[e.tid]++;
       }
+      if (e.op == Op::kWrite || e.op == Op::kTxWrite) {
+        queue_occupancy.Add(e.b);
+      }
     }
-    if (e.layer == Layer::kFlash && e.op == Op::kWrite) flash_programs++;
+    if (e.layer == Layer::kFlash && e.op == Op::kWrite) {
+      flash_programs++;
+      bank_programs[e.tid]++;
+    }
     if (e.layer == Layer::kFlash && e.op == Op::kErase) erases++;
     if (e.layer == Layer::kFtl && e.op == Op::kGc &&
         e.status == StatusCode::kOk) {
@@ -197,6 +207,28 @@ int Summary(const std::string& path) {
                 host_writes == 0
                     ? 0.0
                     : double(flash_programs) / double(host_writes));
+  }
+
+  // Queued-command pipeline: how deep the NCQ ran and how evenly the
+  // programs spread across banks (ideal share = 1/banks).
+  if (queue_occupancy.count() > 0 || !bank_programs.empty()) {
+    std::printf("\nqueued-command pipeline\n");
+    if (queue_occupancy.count() > 0) {
+      std::printf("  ncq occupancy at submit: mean %.1f  p50 %.0f  p95 %.0f  "
+                  "max %.0f (over %llu write commands)\n",
+                  queue_occupancy.Mean(), queue_occupancy.Percentile(50),
+                  queue_occupancy.Percentile(95),
+                  queue_occupancy.Percentile(100),
+                  (unsigned long long)queue_occupancy.count());
+    }
+    if (!bank_programs.empty()) {
+      std::printf("  bank utilization (page programs per bank):\n");
+      for (const auto& [bank, n] : bank_programs) {
+        std::printf("    bank %2u: %10llu (%.1f%%)\n", bank,
+                    (unsigned long long)n,
+                    100.0 * double(n) / double(flash_programs));
+      }
+    }
   }
   return 0;
 }
