@@ -3,6 +3,8 @@
 // ext4 full journaling, and journaling-off over X-FTL.
 //
 // Flags: --writes=N (default 4000) --file_pages=N (default 2048)
+//        --link_fault_rate=F (inject SATA link faults; crc=F, timeout=F/2,
+//        abort=F/5 - the run asserts zero data loss)
 //        --json (JSON Lines, one object per cell, instead of the table)
 #include <cstdio>
 
@@ -17,11 +19,18 @@ using namespace xftl::workload;
 namespace {
 
 double RunOne(fs::JournalMode mode, uint32_t per_fsync, uint32_t threads,
-              uint64_t writes, uint64_t file_pages, bool s830) {
+              uint64_t writes, uint64_t file_pages, bool s830,
+              double link_fault_rate) {
   SimClock clock;
   storage::SsdSpec spec =
       s830 ? storage::S830Spec(256) : storage::OpenSsdSpec(256);
   spec.transactional = mode == fs::JournalMode::kOff;
+  if (link_fault_rate > 0) {
+    spec.link_fault.crc_error_prob = link_fault_rate;
+    spec.link_fault.timeout_prob = link_fault_rate / 2;
+    spec.link_fault.abort_prob = link_fault_rate / 5;
+    spec.link_fault.seed = 0xf16f10;
+  }
   storage::SimSsd ssd(spec, &clock);
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = mode;
@@ -36,6 +45,10 @@ double RunOne(fs::JournalMode mode, uint32_t per_fsync, uint32_t threads,
   cfg.total_writes = writes;
   auto result = RunFio(fs.get(), cfg);
   CHECK(result.ok()) << result.status().ToString();
+  // Under injected link faults the run must still complete losslessly:
+  // recovery absorbed every fault, no acknowledged write was dropped.
+  CHECK(ssd.device()->stats().deferred_errors == 0);
+  CHECK(!ssd.device()->link_failed());
   return result->Iops();
 }
 
@@ -45,6 +58,8 @@ int main(int argc, char** argv) {
   uint64_t writes = uint64_t(bench::FlagInt(argc, argv, "writes", 4000));
   uint64_t file_pages =
       uint64_t(bench::FlagInt(argc, argv, "file_pages", 2048));
+  double link_fault_rate =
+      bench::FlagDouble(argc, argv, "link_fault_rate", 0.0);
   bool json = bench::FlagBool(argc, argv, "json");
 
   if (!json) {
@@ -71,14 +86,15 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     if (!json) std::printf("%-26s", row.name);
     for (int k : {1, 5, 10, 15, 20}) {
-      double iops =
-          RunOne(row.mode, uint32_t(k), 1, writes, file_pages, false);
+      double iops = RunOne(row.mode, uint32_t(k), 1, writes, file_pages,
+                           false, link_fault_rate);
       if (json) {
         bench::JsonObject o;
         o.Add("bench", "fig8_fio")
             .Add("mode", row.name)
             .Add("writes_per_fsync", long(k))
             .Add("writes", writes)
+            .Add("link_fault_rate", link_fault_rate)
             .Add("iops", iops);
         o.Print();
       } else {

@@ -4,6 +4,8 @@
 // throughput is what transfers).
 //
 // Flags: --txns=N (per cell, default 400) --warehouses=N --items=N
+// --link_fault_rate=F (inject SATA link faults; crc=F, timeout=F/2,
+// abort=F/5 - every cell asserts zero data loss)
 // --json (machine-readable JSON Lines instead of the tables)
 // --trace=PREFIX (capture each cell's event stream to
 // PREFIX.<setup>.<mix>.trace for xftl_trace)
@@ -19,6 +21,8 @@ using namespace xftl::workload;
 
 int main(int argc, char** argv) {
   uint64_t txns = uint64_t(bench::FlagInt(argc, argv, "txns", 400));
+  double link_fault_rate =
+      bench::FlagDouble(argc, argv, "link_fault_rate", 0.0);
   bool json = bench::FlagBool(argc, argv, "json");
   std::string trace_prefix = bench::FlagString(argc, argv, "trace", "");
   TpccScale scale;
@@ -75,6 +79,12 @@ int main(int argc, char** argv) {
       cfg.db_cache_pages = uint32_t(bench::FlagInt(argc, argv, "cache", 64));
       cfg.fs_cache_pages =
           uint32_t(bench::FlagInt(argc, argv, "fs_cache", 128));
+      if (link_fault_rate > 0) {
+        cfg.link_fault.crc_error_prob = link_fault_rate;
+        cfg.link_fault.timeout_prob = link_fault_rate / 2;
+        cfg.link_fault.abort_prob = link_fault_rate / 5;
+        cfg.link_fault.seed = 0x79cc ^ (uint64_t(si) << 8) ^ uint64_t(mi);
+      }
       Harness h(cfg);
       CHECK(h.Setup().ok());
       auto* db = h.OpenDatabase("tpcc.db").value();
@@ -91,6 +101,9 @@ int main(int argc, char** argv) {
       auto result = tpcc.Run(mixes[mi].mix, txns);
       CHECK(result.ok()) << result.status().ToString();
       IoSnapshot s = h.Snapshot();
+      // Under injected link faults the cell must still complete losslessly.
+      CHECK(h.ssd()->device()->stats().deferred_errors == 0);
+      CHECK(!h.ssd()->device()->link_failed());
       if (!trace_prefix.empty()) CHECK(h.FinishTracing().ok());
       results[si][mi] = result->tpm();
       if (json) {
@@ -100,6 +113,8 @@ int main(int argc, char** argv) {
             .Add("mix", mixes[mi].slug)
             .Add("txns", txns)
             .Add("tpm", results[si][mi])
+            .Add("link_fault_rate", link_fault_rate)
+            .Add("link_resets", s.link_resets)
             .Add("elapsed_s", NanosToSeconds(s.elapsed))
             .Add("ftl_page_writes", s.ftl_page_writes)
             .Add("ftl_page_reads", s.ftl_page_reads)

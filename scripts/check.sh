@@ -7,11 +7,17 @@
 #   scripts/check.sh plain                # just the plain build
 #   scripts/check.sh asan ubsan           # a subset
 #   scripts/check.sh --sweep-seeds=500    # crash states per sweep config
+#   scripts/check.sh --link-fault-seeds=200  # link-fault sweep seeds
 #
 # --sweep-seeds=N sets XFTL_SWEEP_SEEDS for the randomized crash sweep
 # (tests/crash_sweep_test.cc): N seeded power-cut points per (journal mode x
 # FTL) configuration, each checked for ACID invariants and a clean xftl_fsck
 # after recovery. The test default is 200.
+#
+# --link-fault-seeds=N sets XFTL_LINK_FAULT_SEEDS for the randomized SATA
+# link-fault sweep (tests/link_fault_test.cc): N seeded runs of probabilistic
+# CRC/timeout/abort injection, each verified for zero silent data loss. The
+# test default is 40.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +26,7 @@ CONFIGS=()
 for arg in "$@"; do
   case "${arg}" in
     --sweep-seeds=*) export XFTL_SWEEP_SEEDS="${arg#--sweep-seeds=}" ;;
+    --link-fault-seeds=*) export XFTL_LINK_FAULT_SEEDS="${arg#--link-fault-seeds=}" ;;
     *) CONFIGS+=("${arg}") ;;
   esac
 done

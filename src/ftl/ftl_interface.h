@@ -34,12 +34,20 @@ class FtlInterface {
   // stripe the batch's programs across banks before any data-dependent wait,
   // so a batch of B pages costs ~B channel transfers plus one overlapped
   // program time instead of B serialized commands. The default simply loops
-  // Write(). Stops at the first error (earlier pages stay written).
+  // Write(). Stops at the first error (earlier pages stay written);
+  // `accepted` (optional) reports the count of leading pages that were
+  // durably accepted, so the device layer can expose the torn-batch
+  // boundary instead of silently losing it.
   virtual Status WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
-                            size_t n) {
+                            size_t n, size_t* accepted = nullptr) {
     for (size_t i = 0; i < n; ++i) {
-      XFTL_RETURN_IF_ERROR(Write(lpns[i], datas[i]));
+      Status s = Write(lpns[i], datas[i]);
+      if (!s.ok()) {
+        if (accepted != nullptr) *accepted = i;
+        return s;
+      }
     }
+    if (accepted != nullptr) *accepted = n;
     return Status::OK();
   }
 

@@ -115,13 +115,15 @@ Status PageFtl::Write(Lpn lpn, const uint8_t* data) {
 }
 
 Status PageFtl::WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
-                           size_t n) {
+                           size_t n, size_t* accepted) {
   // The per-page programs are submit-only, so the batch's cell programs
   // stripe across the active blocks' banks and overlap; the host pays one
   // serialized channel transfer per page. One FTL-layer event covers the
   // whole batch (`b` = batch size); the flash layer still records each
-  // program.
+  // program. On failure `accepted` carries the torn-batch boundary: pages
+  // before it are mapped and durable-on-flush, pages after it never ran.
   SimNanos t0 = device_->clock()->Now();
+  if (accepted != nullptr) *accepted = 0;
   for (size_t i = 0; i < n; ++i) {
     Lpn lpn = lpns[i];
     if (lpn >= config_.num_logical_pages) {
@@ -135,6 +137,7 @@ Status PageFtl::WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
     if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpn(l2p_[lpn]);
     SetMapping(lpn, ppn_or.value());
     stats_.host_page_writes++;
+    if (accepted != nullptr) *accepted = i + 1;
   }
   if (n > 0) TraceFtl(trace::Op::kWrite, t0, lpns[0], n, StatusCode::kOk);
   return Status::OK();

@@ -98,8 +98,8 @@ class PageFtl : public FtlInterface {
 
   Status Read(Lpn lpn, uint8_t* data) override;
   Status Write(Lpn lpn, const uint8_t* data) override;
-  Status WriteBatch(const Lpn* lpns, const uint8_t* const* datas,
-                    size_t n) override;
+  Status WriteBatch(const Lpn* lpns, const uint8_t* const* datas, size_t n,
+                    size_t* accepted = nullptr) override;
   Status Trim(Lpn lpn) override;
   Status Flush() override;
   Status Recover() override;

@@ -28,12 +28,20 @@ class BlockDevice {
   virtual Status Write(uint64_t page, const uint8_t* data) = 0;
   // Batched write: n pages handed to the device as one queued command.
   // Devices that understand queuing overlap the device-side work across
-  // banks; the default just loops. Stops at the first error.
-  virtual Status WriteBatch(const uint64_t* pages,
-                            const uint8_t* const* datas, size_t n) {
+  // banks; the default just loops. Stops at the first error; `accepted`
+  // (optional) reports how many leading pages the device durably accepted,
+  // so a caller can tell a clean failure from a torn batch and reissue only
+  // the rejected suffix.
+  virtual Status WriteBatch(const uint64_t* pages, const uint8_t* const* datas,
+                            size_t n, size_t* accepted = nullptr) {
     for (size_t i = 0; i < n; ++i) {
-      XFTL_RETURN_IF_ERROR(Write(pages[i], datas[i]));
+      Status s = Write(pages[i], datas[i]);
+      if (!s.ok()) {
+        if (accepted != nullptr) *accepted = i;
+        return s;
+      }
     }
+    if (accepted != nullptr) *accepted = n;
     return Status::OK();
   }
   virtual Status Trim(uint64_t page) = 0;
@@ -50,12 +58,19 @@ class TxBlockDevice : public BlockDevice {
 
   virtual Status TxRead(TxId t, uint64_t page, uint8_t* data) = 0;
   virtual Status TxWrite(TxId t, uint64_t page, const uint8_t* data) = 0;
-  // Batched TxWrite under one transaction; same contract as WriteBatch.
+  // Batched TxWrite under one transaction; same contract as WriteBatch
+  // (including the `accepted` prefix count on failure).
   virtual Status TxWriteBatch(TxId t, const uint64_t* pages,
-                              const uint8_t* const* datas, size_t n) {
+                              const uint8_t* const* datas, size_t n,
+                              size_t* accepted = nullptr) {
     for (size_t i = 0; i < n; ++i) {
-      XFTL_RETURN_IF_ERROR(TxWrite(t, pages[i], datas[i]));
+      Status s = TxWrite(t, pages[i], datas[i]);
+      if (!s.ok()) {
+        if (accepted != nullptr) *accepted = i;
+        return s;
+      }
     }
+    if (accepted != nullptr) *accepted = n;
     return Status::OK();
   }
   // Commit/abort are carried over the wire as extended trim commands

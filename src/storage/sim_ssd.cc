@@ -72,7 +72,8 @@ SimSsd::SimSsd(const SsdSpec& spec, SimClock* clock)
   } else {
     ftl_ = std::make_unique<ftl::PageFtl>(flash_.get(), spec.ftl);
   }
-  sata_ = std::make_unique<SataDevice>(ftl_.get(), spec.sata, clock);
+  sata_ = std::make_unique<SataDevice>(ftl_.get(), spec.sata, clock,
+                                       spec.link_fault, spec.link_policy);
 }
 
 Status SimSsd::PowerCycle() {

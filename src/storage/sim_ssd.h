@@ -19,6 +19,10 @@ struct SsdSpec {
   ftl::FtlConfig ftl;
   ftl::XftlConfig xftl;
   SataTimings sata;
+  // Transient host<->device link faults and the host recovery policy that
+  // fights them; default is a perfect link. Composes with flash.fault.
+  LinkFaultModel link_fault;
+  LinkRecoveryPolicy link_policy;
   // Build an X-FTL (extended command set) or the original page-mapping FTL.
   bool transactional = true;
   // Run the offline invariant checker (xftl_fsck) against the recovered

@@ -81,6 +81,15 @@ StatusOr<ReplayResult> ReplayTrace(const std::string& path,
         r.aborts++;
         s = dev->TxAbort(e.tid);
         break;
+      case Op::kLinkFault:
+      case Op::kLinkReset:
+      case Op::kDegrade:
+        // Link-fault bookkeeping from the captured run, not host commands.
+        // The replayed device has its own (possibly empty) fault model; what
+        // must match between replays is the command stream above, which
+        // already includes the captured run's REDO reissues as plain writes.
+        r.skipped++;
+        continue;
       default:
         // Not a device command (should not appear at the sata layer).
         r.skipped++;

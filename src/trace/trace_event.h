@@ -50,8 +50,14 @@ enum class Op : uint8_t {
   kGc = 13,         // ftl layer: one collected victim block
   kErase = 14,      // flash layer
   kRecover = 15,    // ftl/sql: post-crash recovery pass
+  kLinkFault = 16,  // sata: one injected link fault (b = kind: 0 crc,
+                    //   1 timeout, 2 abort; latency = backoff paid, if any)
+  kLinkReset = 17,  // sata: NCQ error protocol pass (a = failed tag,
+                    //   b = pages REDO-reissued)
+  kDegrade = 18,    // sata: ladder transition (a = 1 enter qd=1 mode,
+                    //   0 restore full depth, 2 link failed; b = resets)
 };
-inline constexpr int kNumOps = 16;
+inline constexpr int kNumOps = 19;
 const char* OpName(Op op);
 
 // One trace record. Field meaning by layer:

@@ -37,6 +37,9 @@ const char* OpName(Op op) {
     case Op::kGc:         return "gc";
     case Op::kErase:      return "erase";
     case Op::kRecover:    return "recover";
+    case Op::kLinkFault:  return "link-fault";
+    case Op::kLinkReset:  return "link-reset";
+    case Op::kDegrade:    return "degrade";
   }
   return "?";
 }

@@ -42,6 +42,8 @@ Status Harness::Setup() {
   // X-FTL only for the X-FTL setup; the others run the original FTL.
   spec.transactional = config_.setup == Setup::kXftl;
   spec.flash.fault = config_.fault;
+  spec.link_fault = config_.link_fault;
+  spec.link_policy = config_.link_policy;
   if (config_.write_buffer_pages > 0) {
     spec.flash.write_buffer_pages = config_.write_buffer_pages;
   }
@@ -147,6 +149,7 @@ Harness::Baseline Harness::Collect() const {
   b.fs_meta = fstats.TotalMetadataWrites(fs_->journal_stats());
   b.fsyncs = fstats.fsync_calls;
   b.ftl = ssd_->ftl()->stats();
+  b.sata = ssd_->device()->stats();
   const auto& raw = ssd_->flash()->stats();
   b.program_fails = raw.program_fails;
   b.erase_fails = raw.erase_fails;
@@ -179,6 +182,17 @@ IoSnapshot Harness::Snapshot() const {
   s.grown_bad_blocks = d.grown_bad_blocks;
   s.ecc_corrected = now.ecc_corrected - baseline_.ecc_corrected;
   s.ecc_uncorrectable = now.ecc_uncorrectable - baseline_.ecc_uncorrectable;
+  const auto& ls = now.sata;
+  const auto& lb = baseline_.sata;
+  s.link_crc_errors = ls.crc_errors - lb.crc_errors;
+  s.link_timeouts = ls.command_timeouts - lb.command_timeouts;
+  s.link_aborts = ls.device_aborts - lb.device_aborts;
+  s.link_retries = ls.link_retries - lb.link_retries;
+  s.link_resets = ls.link_resets - lb.link_resets;
+  s.link_reissued_pages = ls.reissued_pages - lb.reissued_pages;
+  s.link_backoff_nanos = ls.backoff_nanos - lb.backoff_nanos;
+  s.link_degraded_entries = ls.degraded_entries - lb.degraded_entries;
+  s.link_deferred_errors = ls.deferred_errors - lb.deferred_errors;
   s.elapsed = now.time - baseline_.time;
   return s;
 }

@@ -49,6 +49,10 @@ struct HarnessConfig {
   // NAND failure injection for the measured device (program/erase status
   // failures + wear-driven bit errors); zeroed = perfect media.
   flash::FaultModel fault;
+  // Transient SATA link faults and the host recovery policy that fights
+  // them; zeroed = perfect link. Composes with `fault`.
+  storage::LinkFaultModel link_fault;
+  storage::LinkRecoveryPolicy link_policy;
   // Volatile program-buffer depth; 0 keeps the device profile's default.
   // Depth 1 is effectively write-through (every program drains before the
   // next), isolating what the buffer saves at flush barriers.
@@ -74,6 +78,16 @@ struct IoSnapshot {
   uint64_t grown_bad_blocks = 0;
   uint64_t ecc_corrected = 0;      // raw bits corrected by the ECC engine
   uint64_t ecc_uncorrectable = 0;  // reads the decoder had to give up on
+  // Link-fault recovery (SATA front-end) over the interval.
+  uint64_t link_crc_errors = 0;
+  uint64_t link_timeouts = 0;
+  uint64_t link_aborts = 0;
+  uint64_t link_retries = 0;
+  uint64_t link_resets = 0;
+  uint64_t link_reissued_pages = 0;
+  uint64_t link_backoff_nanos = 0;
+  uint64_t link_degraded_entries = 0;
+  uint64_t link_deferred_errors = 0;
   // Time.
   SimNanos elapsed = 0;
 };
@@ -126,6 +140,7 @@ class Harness {
   struct Baseline {
     uint64_t db_writes = 0, journal_writes = 0, fs_meta = 0, fsyncs = 0;
     ftl::FtlStats ftl;  // snapshot; intervals diff via FtlStats::Delta
+    storage::SataStats sata;  // snapshot; intervals diff field-wise
     uint64_t program_fails = 0, erase_fails = 0;
     uint64_t ecc_corrected = 0, ecc_uncorrectable = 0;
     SimNanos time = 0;

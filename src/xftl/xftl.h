@@ -82,9 +82,10 @@ class XFtl : public PageFtl {
   // Batched TxWrite: all n pages recorded under t. The per-page programs
   // are submit-only, so the batch stripes across banks and the host pays
   // only the serialized channel transfers (kNoTx falls through to the base
-  // WriteBatch). Stops at the first error.
+  // WriteBatch). Stops at the first error; `accepted` (optional) reports
+  // how many leading pages took effect.
   Status TxWriteBatch(TxId t, const Lpn* lpns, const uint8_t* const* datas,
-                      size_t n);
+                      size_t n, size_t* accepted = nullptr);
 
   const XftlStats& xstats() const { return xstats_; }
   void ResetXstats() { xstats_ = XftlStats{}; }

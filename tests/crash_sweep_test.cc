@@ -76,11 +76,25 @@ struct SweepParam {
   // sector-granular tear) instead of the legacy deterministic full tear.
   uint64_t seed = 0;
   double persist_prob = 0.5;
+  // Compose probabilistic SATA link faults (CRC retransfers, NCQ timeouts,
+  // spurious aborts with queue-abort recovery) with the power cut, so the
+  // cut can land with NCQ tags in flight and REDO reissues mid-recovery.
+  bool link_faults = false;
 };
 
 void RunCrashPoint(const SweepParam& param) {
   SimClock clock;
-  storage::SimSsd ssd(SweepSpec(param.transactional), &clock);
+  storage::SsdSpec spec = SweepSpec(param.transactional);
+  if (param.link_faults) {
+    // Low rates: recovery fires regularly across the workload but retries
+    // never exhaust, so the link-level machinery adds interleavings without
+    // adding legitimate data loss.
+    spec.link_fault.crc_error_prob = 0.005;
+    spec.link_fault.timeout_prob = 0.002;
+    spec.link_fault.abort_prob = 0.001;
+    spec.link_fault.seed = param.seed ^ 0x11ec0debull;
+  }
+  storage::SimSsd ssd(spec, &clock);
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = param.mode == SqlJournalMode::kOff
                             ? fs::JournalMode::kOff
@@ -137,8 +151,19 @@ void RunCrashPoint(const SweepParam& param) {
   db->Abandon();
   db.reset();
   fs.reset();
+  const size_t inflight_at_cut = ssd.device()->InflightCommands();
+  const storage::SataStats sata_before = ssd.device()->stats();
   Status cycled = ssd.PowerCycle();
   ASSERT_TRUE(cycled.ok()) << cycled.ToString();
+  // Drop accounting: the cut discards exactly the unacknowledged suffix —
+  // every NCQ tag in flight at power-off, no more, no less.
+  const storage::SataStats& sata_after = ssd.device()->stats();
+  EXPECT_EQ(sata_after.dropped_on_power_cut - sata_before.dropped_on_power_cut,
+            inflight_at_cut);
+  EXPECT_GE(sata_after.dropped_pages_on_power_cut -
+                sata_before.dropped_pages_on_power_cut,
+            inflight_at_cut);
+  EXPECT_EQ(ssd.device()->InflightCommands(), 0u);
   fs = std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
   db = std::move(Database::Open(fs.get(), "sweep.db", db_opt)).value();
 
@@ -223,6 +248,16 @@ std::vector<SweepParam> SweepPoints() {
     points.push_back({mode, 341ull, fs::JournalMode::kFull,
                       /*program_fail_every=*/61, /*erase_fail_every=*/9});
   }
+  // SATA link faults composed with the power cut: the cut lands with queue
+  // recovery, backoff retransfers and REDO reissues interleaved arbitrarily.
+  for (SqlJournalMode mode : {SqlJournalMode::kDelete, SqlJournalMode::kWal,
+                              SqlJournalMode::kOff}) {
+    for (uint64_t k : {57ull, 341ull, 903ull}) {
+      SweepParam p{mode, k};
+      p.link_faults = true;
+      points.push_back(p);
+    }
+  }
   return points;
 }
 
@@ -239,6 +274,7 @@ INSTANTIATE_TEST_SUITE_P(
           info.param.erase_fail_every != 0) {
         name += "_faulty";
       }
+      if (info.param.link_faults) name += "_lf";
       return name;
     });
 
@@ -284,6 +320,9 @@ std::vector<SweepParam> RandomizedPoints() {
       p.seed = seed;
       p.crash_after_programs = 20 + rng.Uniform(900);
       p.persist_prob = kPersistProbs[rng.Uniform(3)];
+      // A third of the seeds also run under probabilistic link faults, so
+      // the randomized checker explores power cuts landing mid-recovery.
+      p.link_faults = (i % 3) == 0;
       points.push_back(p);
     }
   }
@@ -304,6 +343,7 @@ INSTANTIATE_TEST_SUITE_P(
                     static_cast<unsigned long long>(info.param.seed));
       name += "_s";
       name += hex;
+      if (info.param.link_faults) name += "_lf";
       return name;
     });
 

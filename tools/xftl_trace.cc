@@ -114,6 +114,13 @@ int Summary(const std::string& path) {
   // SATA write events carry the NCQ occupancy after submit in `b`.
   std::map<uint32_t, uint64_t> bank_programs;
   Histogram queue_occupancy;
+  // Error recovery: kLinkFault carries the fault kind in `b` and any backoff
+  // paid in `latency`; kLinkReset carries reissued pages in `b`; kDegrade
+  // carries the new ladder mode in `a`.
+  uint64_t crc_faults = 0, timeout_faults = 0, abort_faults = 0;
+  uint64_t link_retries = 0, backoff_nanos = 0;
+  uint64_t link_resets = 0, reissued_pages = 0;
+  uint64_t degrade_enters = 0, degrade_exits = 0, link_deaths = 0;
 
   for (const TraceEvent& e : events) {
     lat[int(e.layer)][int(e.op)].Add(e.latency);
@@ -132,6 +139,24 @@ int Summary(const std::string& path) {
       }
       if (e.op == Op::kWrite || e.op == Op::kTxWrite) {
         queue_occupancy.Add(e.b);
+      }
+      if (e.op == Op::kLinkFault) {
+        if (e.b == 0) crc_faults++;
+        if (e.b == 1) timeout_faults++;
+        if (e.b == 2) abort_faults++;
+        if (e.latency > 0) {
+          link_retries++;
+          backoff_nanos += e.latency;
+        }
+      }
+      if (e.op == Op::kLinkReset) {
+        link_resets++;
+        reissued_pages += e.b;
+      }
+      if (e.op == Op::kDegrade) {
+        if (e.a == 1) degrade_enters++;
+        if (e.a == 0) degrade_exits++;
+        if (e.a == 2) link_deaths++;
       }
     }
     if (e.layer == Layer::kFlash && e.op == Op::kWrite) {
@@ -229,6 +254,28 @@ int Summary(const std::string& path) {
                     100.0 * double(n) / double(flash_programs));
       }
     }
+  }
+
+  // Error recovery: what the link-fault model injected and what the NCQ
+  // error protocol + degradation ladder did about it.
+  uint64_t total_faults = crc_faults + timeout_faults + abort_faults;
+  if (total_faults > 0 || link_resets > 0 || degrade_enters > 0) {
+    std::printf("\nerror recovery\n");
+    std::printf("  link faults: %llu crc, %llu timeout, %llu abort\n",
+                (unsigned long long)crc_faults,
+                (unsigned long long)timeout_faults,
+                (unsigned long long)abort_faults);
+    std::printf("  retries: %llu (total backoff %.1f us)\n",
+                (unsigned long long)link_retries,
+                double(backoff_nanos) / 1e3);
+    std::printf("  queue resets: %llu, aborted tags reissued %llu pages\n",
+                (unsigned long long)link_resets,
+                (unsigned long long)reissued_pages);
+    std::printf("  degraded qd=1 mode: entered %llu, restored %llu"
+                "%s\n",
+                (unsigned long long)degrade_enters,
+                (unsigned long long)degrade_exits,
+                link_deaths > 0 ? "  [LINK FAILED]" : "");
   }
   return 0;
 }
