@@ -6,6 +6,8 @@
 #   scripts/check.sh                      # all three configurations
 #   scripts/check.sh plain                # just the plain build
 #   scripts/check.sh asan ubsan           # a subset
+#   scripts/check.sh host                 # host_test (sessions/volume/
+#                                         # scheduler) alone, under ASan
 #   scripts/check.sh --sweep-seeds=500    # crash states per sweep config
 #   scripts/check.sh --link-fault-seeds=200  # link-fault sweep seeds
 #
@@ -45,12 +47,25 @@ run_config() {
   (cd "${dir}" && ctest -j "${JOBS}" --output-on-failure)
 }
 
+# Targeted gate for the multi-session host layer: builds only host_test in
+# the ASan tree and runs it directly. Much faster than a full `asan` pass
+# when iterating on src/host/.
+run_host() {
+  local dir="build-asan"
+  echo "=== host: configure + build host_test (${dir}, ASan) ==="
+  cmake -B "${dir}" -S . -DXFTL_ASAN=ON -DXFTL_UBSAN=OFF > /dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target host_test > /dev/null
+  echo "=== host: host_test (ASan) ==="
+  "./${dir}/tests/host_test"
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     plain) run_config plain -DXFTL_ASAN=OFF -DXFTL_UBSAN=OFF ;;
     asan)  run_config asan -DXFTL_ASAN=ON -DXFTL_UBSAN=OFF ;;
     ubsan) run_config ubsan -DXFTL_ASAN=OFF -DXFTL_UBSAN=ON ;;
-    *) echo "unknown configuration: ${cfg} (plain|asan|ubsan)" >&2; exit 2 ;;
+    host)  run_host ;;
+    *) echo "unknown configuration: ${cfg} (plain|asan|ubsan|host)" >&2; exit 2 ;;
   esac
 done
 

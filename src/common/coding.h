@@ -60,6 +60,28 @@ inline const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
   return nullptr;
 }
 
+// --- zigzag signed varints --------------------------------------------------
+// Maps small-magnitude signed values to small unsigned varints: 0,-1,1,-2,...
+// -> 0,1,2,3,... Used where a delta can legitimately be negative — e.g. trace
+// timestamps once the host scheduler is allowed to rewind the shared clock.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return int64_t(v >> 1) ^ -int64_t(v & 1);
+}
+
+inline void PutSignedVarint64(std::vector<uint8_t>* dst, int64_t v) {
+  PutVarint64(dst, ZigzagEncode(v));
+}
+inline const uint8_t* GetSignedVarint64(const uint8_t* p, const uint8_t* limit,
+                                        int64_t* v) {
+  uint64_t u = 0;
+  p = GetVarint64(p, limit, &u);
+  if (p != nullptr) *v = ZigzagDecode(u);
+  return p;
+}
+
 }  // namespace xftl
 
 #endif  // XFTL_COMMON_CODING_H_

@@ -2,6 +2,23 @@
 // operations, bus transfers, host syscall overheads) advance this clock;
 // elapsed-time results reported by the benchmarks are differences of
 // SimClock::Now() values.
+//
+// Two kinds of time movement, by convention across the whole stack:
+//   * Advance(ns)  — an occupancy charge: the issuing component (host CPU,
+//     SATA wire, ECC engine) is busy for `ns` and nothing else can use it.
+//   * AdvanceTo(t) — a completion wait: the issuer blocks until a device-side
+//     event (flash program retire, NCQ slot, barrier drain) that has already
+//     been scheduled on some resource's busy-until timeline.
+// The distinction is what makes a concurrent host simulable on one clock:
+// the session scheduler (src/host/scheduler) measures the waited() share of
+// a step and rewinds the clock over it, so waits from different sessions
+// overlap in simulated time while occupancy charges serialize.
+//
+// Ownership: any component sharing the clock may move time forward — that is
+// how the simulation runs — but moving it backward (Rewind) or zeroing it
+// (Reset) is destructive to everyone else's notion of time and is therefore
+// restricted to at most one registered scheduler token. N devices sharing
+// one clock cannot drift apart: there is exactly one now_.
 #ifndef XFTL_COMMON_SIM_CLOCK_H_
 #define XFTL_COMMON_SIM_CLOCK_H_
 
@@ -22,17 +39,60 @@ class SimClock {
 
   SimNanos Now() const { return now_; }
 
-  // Moves time forward by `ns`.
+  // Moves time forward by `ns` (an occupancy charge).
   void Advance(SimNanos ns) { now_ += ns; }
 
   // Moves time forward to `t` if `t` is in the future; never moves backward.
-  void AdvanceTo(SimNanos t) { now_ = std::max(now_, t); }
+  // The skipped span counts as waiting (see waited()).
+  void AdvanceTo(SimNanos t) {
+    if (t > now_) {
+      waited_ += t - now_;
+      now_ = t;
+    }
+  }
 
-  // Resets to zero (tests only).
-  void Reset() { now_ = 0; }
+  // Cumulative nanoseconds skipped by AdvanceTo() — time spent blocked on
+  // device-side completions rather than occupying the host. The session
+  // scheduler diffs this around a dispatch to split busy from waiting.
+  SimNanos waited() const { return waited_; }
+
+  // --- scheduler ownership -------------------------------------------------
+  // At most one scheduler may hold the rewind privilege at a time. `token`
+  // is an opaque identity (the scheduler's `this`); a second AcquireRewind
+  // without a release is a bug — two schedulers interleaving rewinds on one
+  // clock would corrupt each other's timelines.
+  void AcquireRewind(const void* token) {
+    CHECK(rewind_owner_ == nullptr);
+    CHECK(token != nullptr);
+    rewind_owner_ = token;
+  }
+  void ReleaseRewind(const void* token) {
+    CHECK(rewind_owner_ == token);
+    rewind_owner_ = nullptr;
+  }
+
+  // Moves time BACKWARD to `t` (<= now). Only the registered scheduler may
+  // do this: it models releasing the host at the end of a dispatch's
+  // occupancy while the device-side tail of the work keeps cooking on
+  // busy-until timelines that remain in the future.
+  void Rewind(SimNanos t, const void* token) {
+    CHECK(rewind_owner_ != nullptr && rewind_owner_ == token)
+        << "Rewind by a component that does not own the clock";
+    CHECK_LE(t, now_);
+    now_ = t;
+  }
+
+  // Resets to zero (tests only). Illegal while a scheduler holds the clock.
+  void Reset() {
+    CHECK(rewind_owner_ == nullptr) << "Reset under an attached scheduler";
+    now_ = 0;
+    waited_ = 0;
+  }
 
  private:
   SimNanos now_ = 0;
+  SimNanos waited_ = 0;
+  const void* rewind_owner_ = nullptr;
 };
 
 }  // namespace xftl

@@ -42,7 +42,9 @@ StatusOr<BufferCache::Entry*> BufferCache::GetZeroed(uint64_t page) {
 }
 
 void BufferCache::MarkDirty(Entry* e, bool metadata, storage::TxId tid,
-                            uint32_t owner) {
+                            uint32_t owner, bool ts_only) {
+  // The bit survives only while every dirtying touch is timestamp-only.
+  e->ts_only = ts_only && (!e->dirty || e->ts_only);
   e->dirty = true;
   e->metadata = e->metadata || metadata;
   e->tid = tid;

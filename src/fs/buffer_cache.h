@@ -26,6 +26,10 @@ class BufferCache {
     bool dirty = false;
     bool metadata = false;
     bool pinned = false;
+    // Dirty only because an inode timestamp moved: fdatasync may skip the
+    // page (POSIX lets it defer non-essential metadata); any substantive
+    // redirtying clears the bit.
+    bool ts_only = false;
     storage::TxId tid = 0;     // transaction that dirtied the page (off mode)
     uint32_t owner = ~0u;      // inode owning a data page; ~0 for metadata
     uint64_t page = 0;
@@ -49,7 +53,7 @@ class BufferCache {
   StatusOr<Entry*> GetZeroed(uint64_t page);
 
   void MarkDirty(Entry* e, bool metadata, storage::TxId tid,
-                 uint32_t owner = ~0u);
+                 uint32_t owner = ~0u, bool ts_only = false);
   void Unpin(Entry* e) { e->pinned = false; }
 
   // Drops a (clean or dirty) page without writeback; used on abort and

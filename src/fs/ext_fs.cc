@@ -159,8 +159,15 @@ Status ExtFs::StoreInode(Ino ino, const Inode& inode) {
   uint32_t per_page = sb_.page_size / kInodeSize;
   uint64_t page = sb_.inode_start + ino / per_page;
   XFTL_ASSIGN_OR_RETURN(BufferCache::Entry * e, cache_->Get(page));
-  inode.EncodeTo(e->data.data() + size_t(ino % per_page) * kInodeSize);
-  cache_->MarkDirty(e, /*metadata=*/true, TidFor(ino));
+  uint8_t* slot = e->data.data() + size_t(ino % per_page) * kInodeSize;
+  // An update that moves nothing but mtime (bytes 72..79) is the fdatasync
+  // carve-out: the page gets dirty, but a datasync may defer it.
+  uint8_t fresh[kInodeSize];
+  inode.EncodeTo(fresh);
+  bool ts_only = std::memcmp(fresh, slot, 72) == 0 &&
+                 std::memcmp(fresh + 80, slot + 80, kInodeSize - 80) == 0;
+  std::memcpy(slot, fresh, kInodeSize);
+  cache_->MarkDirty(e, /*metadata=*/true, TidFor(ino), ~0u, ts_only);
   return Status::OK();
 }
 
@@ -692,7 +699,7 @@ Status ExtFs::Fsync(Fd fd) {
   }
   stats_.fsync_calls++;
   Ino ino = open_files_[fd].ino;
-  Status s = CommitDirty(ino);
+  Status s = CommitDirty(ino, /*datasync=*/false);
   if (tracer_ != nullptr) {
     tracer_->Record(trace::Layer::kFs, trace::Op::kFsync, t0,
                     static_cast<uint32_t>(ino), 0, 0, clock_->Now() - t0,
@@ -701,7 +708,24 @@ Status ExtFs::Fsync(Fd fd) {
   return s;
 }
 
-Status ExtFs::CommitDirty(Ino ino) {
+Status ExtFs::Fdatasync(Fd fd) {
+  SimNanos t0 = clock_->Now();
+  ChargeSyscall();
+  if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
+    return Status::InvalidArgument("bad fd");
+  }
+  stats_.fsync_calls++;
+  Ino ino = open_files_[fd].ino;
+  Status s = CommitDirty(ino, /*datasync=*/true);
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFs, trace::Op::kFsync, t0,
+                    static_cast<uint32_t>(ino), 1, 0, clock_->Now() - t0,
+                    s.code());
+  }
+  return s;
+}
+
+Status ExtFs::CommitDirty(Ino ino, bool datasync) {
   // Collect the dirty set. Ordered/full journaling flushes all dirty data
   // (JBD's shared running transaction); off mode commits this file's data -
   // plus every linked file's - and all dirty metadata, under the shared
@@ -714,7 +738,9 @@ Status ExtFs::CommitDirty(Ino ino) {
   std::vector<BufferCache::Entry*> meta_entries;
   cache_->ForEachDirty([&](BufferCache::Entry* e) {
     if (e->metadata) {
-      meta_entries.push_back(e);
+      // fdatasync defers pages whose only change is an inode timestamp;
+      // they stay dirty for the next full fsync or substantive commit.
+      if (!(datasync && e->ts_only)) meta_entries.push_back(e);
     } else if (options_.journal_mode != JournalMode::kOff ||
                members.count(e->owner) != 0) {
       data_entries.push_back(e);
@@ -1050,13 +1076,13 @@ Status ExtFs::SyncAll() {
     // metadata under a fresh transaction.
     std::vector<Ino> inos;
     for (const auto& [ino, tid] : active_tid_) inos.push_back(ino);
-    for (Ino ino : inos) XFTL_RETURN_IF_ERROR(CommitDirty(ino));
+    for (Ino ino : inos) XFTL_RETURN_IF_ERROR(CommitDirty(ino, false));
     bool any_dirty = false;
     cache_->ForEachDirty([&](BufferCache::Entry*) { any_dirty = true; });
-    if (any_dirty) XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno));
+    if (any_dirty) XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false));
     return Status::OK();
   }
-  XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno));
+  XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false));
   return dev_->FlushBarrier();
 }
 

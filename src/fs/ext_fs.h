@@ -113,6 +113,13 @@ class ExtFs {
   // is the commit point of the file's open transaction (paper §5.2).
   Status Fsync(Fd fd);
 
+  // fdatasync(2): like fsync, but metadata pages whose only change is an
+  // inode timestamp may be deferred (they stay dirty for a later full
+  // commit). SQLite issues fdatasync on Linux, and for a database file in
+  // steady state — page rewrites, no growth — this keeps each commit's
+  // write set on the pages the transaction actually touched.
+  Status Fdatasync(Fd fd);
+
   // The paper's new ioctl request: aborts the file's open transaction,
   // dropping cached dirty pages and rolling back stolen ones in the device.
   Status IoctlAbort(Fd fd);
@@ -187,7 +194,8 @@ class ExtFs {
 
   // --- transactions / durability ------------------------------------------
   storage::TxId TidFor(Ino ino);
-  Status CommitDirty(Ino ino);  // the fsync work for one file
+  // The fsync work for one file; datasync defers timestamp-only metadata.
+  Status CommitDirty(Ino ino, bool datasync);
   Status RunPendingTrims();
   Status WritebackForEviction(uint64_t page, const uint8_t* data,
                               storage::TxId tid);

@@ -55,6 +55,29 @@ struct FtlStats {
   // Field-wise equality (replay-determinism checks compare snapshots).
   bool operator==(const FtlStats&) const = default;
 
+  // Field-wise sum: aggregates per-device counters into an array-wide view
+  // (the workload harness over a host::StripedVolume sums its members).
+  void Add(const FtlStats& o) {
+    host_page_writes += o.host_page_writes;
+    host_page_reads += o.host_page_reads;
+    gc_runs += o.gc_runs;
+    gc_copyback_reads += o.gc_copyback_reads;
+    gc_copyback_writes += o.gc_copyback_writes;
+    gc_valid_pages_seen += o.gc_valid_pages_seen;
+    meta_page_writes += o.meta_page_writes;
+    block_erases += o.block_erases;
+    flush_barriers += o.flush_barriers;
+    grown_bad_blocks += o.grown_bad_blocks;
+    program_fail_reissues += o.program_fail_reissues;
+    retire_relocations += o.retire_relocations;
+    ecc_read_retries += o.ecc_read_retries;
+    pages_lost += o.pages_lost;
+    recovery_torn_meta_pages += o.recovery_torn_meta_pages;
+    recovery_root_fallbacks += o.recovery_root_fallbacks;
+    recovery_stale_mappings += o.recovery_stale_mappings;
+    recovery_discarded_txn_pages += o.recovery_discarded_txn_pages;
+  }
+
   // Counter deltas since `base` (a snapshot taken earlier from the same
   // FTL): the traffic attributable to the interval between the two reads.
   FtlStats Delta(const FtlStats& base) const {

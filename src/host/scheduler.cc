@@ -1,0 +1,136 @@
+#include "host/scheduler.h"
+
+#include <algorithm>
+
+namespace xftl::host {
+
+SessionScheduler::SessionScheduler(SimClock* clock,
+                                   std::vector<Session*> sessions,
+                                   trace::Tracer* tracer)
+    : clock_(clock), tracer_(tracer) {
+  CHECK(clock != nullptr);
+  CHECK(!sessions.empty());
+  clock_->AcquireRewind(this);
+  const SimNanos start = clock_->Now();
+  makespan_ = start;
+  progress_.reserve(sessions.size());
+  for (Session* s : sessions) {
+    CHECK(s != nullptr);
+    SessionProgress p;
+    p.session = s;
+    // First arrival: sampled from the arrival process for open-loop
+    // sessions (a Poisson process has no event AT its origin), immediate
+    // for closed-loop ones.
+    p.next_arrival =
+        start + (s->config().open_loop ? s->NextInterarrival() : 0);
+    p.prev_done = start;
+    progress_.push_back(p);
+  }
+}
+
+SessionScheduler::~SessionScheduler() { clock_->ReleaseRewind(this); }
+
+int SessionScheduler::PickNext() const {
+  int best = -1;
+  SimNanos best_ready = 0;
+  for (size_t i = 0; i < progress_.size(); ++i) {
+    const SessionProgress& p = progress_[i];
+    if (p.session->Done()) continue;
+    SimNanos ready = std::max(p.next_arrival, p.prev_done);
+    if (best < 0 || ready < best_ready) {
+      best = int(i);
+      best_ready = ready;
+    }
+    // Equal ready times fall through: the first (lowest-id) session wins.
+  }
+  return best;
+}
+
+Status SessionScheduler::DispatchOne(SessionProgress* p) {
+  Session* s = p->session;
+  const SimNanos arrival = p->next_arrival;
+  const SimNanos t0 = std::max(arrival, p->prev_done);
+
+  // Position the clock at the dispatch start. Earlier than now: a previous
+  // dispatch of another session left the clock at its completion; this
+  // transaction starts in that dispatch's past, which is the whole point —
+  // device timelines are in the future and keep serializing same-device
+  // work. Later than now: the array was idle; skip ahead (and exclude the
+  // idle skip from this dispatch's waited share by snapshotting after).
+  if (t0 <= clock_->Now()) {
+    clock_->Rewind(t0, this);
+  } else {
+    clock_->AdvanceTo(t0);
+  }
+
+  if (tracer_ != nullptr) tracer_->set_session(s->id());
+  const SimNanos waited_before = clock_->waited();
+  Status status = s->RunTxn();
+  const SimNanos t1 = clock_->Now();
+  const SimNanos waited = clock_->waited() - waited_before;
+  if (tracer_ != nullptr) tracer_->set_session(0);
+
+  dispatched_++;
+  if (!status.ok()) {
+    // Crash/fault mid-dispatch: leave the clock at the failure instant; the
+    // caller owns what happens next (usually an array power cycle).
+    p->prev_done = t1;
+    makespan_ = std::max(makespan_, t1);
+    return status;
+  }
+
+  CHECK_GE(t1, t0);
+  CHECK_GE(t1 - t0, waited);
+  const SimNanos busy = (t1 - t0) - waited;
+  p->busy += busy;
+  p->waited += waited;
+  p->prev_done = t1;
+  makespan_ = std::max(makespan_, t1);
+
+  const SimNanos latency = t1 - arrival;
+  s->NoteLatency(latency);
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::TraceEvent{t0, trace::Layer::kHost,
+                                      trace::Op::kTxn,
+                                      uint32_t(s->dispatched()), s->id(),
+                                      s->committed(), busy, latency,
+                                      StatusCode::kOk});
+  }
+
+  // Release the host: this session occupied it for `busy`; the waited tail
+  // belongs to device timelines that stay in the future.
+  clock_->Rewind(t0 + busy, this);
+
+  // Schedule the next arrival.
+  if (s->config().open_loop) {
+    p->next_arrival = arrival + s->NextInterarrival();
+  } else {
+    p->next_arrival = t1 + s->NextInterarrival();
+  }
+  return Status::OK();
+}
+
+Status SessionScheduler::Run() {
+  while (true) {
+    int i = PickNext();
+    if (i < 0) break;
+    XFTL_RETURN_IF_ERROR(DispatchOne(&progress_[i]));
+  }
+  // Land the clock on the makespan: benchmarks read elapsed time off the
+  // clock, and the array is busy until its last completion.
+  clock_->AdvanceTo(makespan_);
+  return Status::OK();
+}
+
+StatusOr<uint64_t> SessionScheduler::RunSteps(uint64_t n) {
+  uint64_t steps = 0;
+  while (n == 0 || steps < n) {
+    int i = PickNext();
+    if (i < 0) break;
+    XFTL_RETURN_IF_ERROR(DispatchOne(&progress_[i]));
+    steps++;
+  }
+  return steps;
+}
+
+}  // namespace xftl::host

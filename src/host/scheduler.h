@@ -1,0 +1,98 @@
+// SessionScheduler: a discrete-event loop that interleaves N sessions on the
+// ONE shared SimClock the whole stack advances.
+//
+// The problem: the stack below is written synchronously — a dispatched
+// transaction runs top to bottom, advancing the clock through host CPU,
+// wire transfers AND device-side waits. Naively running sessions back to
+// back would serialize everything, including the flash program time that a
+// real array overlaps across independent devices and banks.
+//
+// The model: SimClock distinguishes occupancy charges (Advance: host CPU,
+// syscalls, wire, ECC, backoff) from completion waits (AdvanceTo: flash
+// retire, NCQ slots, barrier drains), accumulating the latter in waited().
+// For each dispatch the scheduler
+//   1. sets the clock to the transaction's start time t0 (rewinding if a
+//      previous dispatch left the clock later — the rewind privilege is
+//      acquired from the clock, which enforces a single owner),
+//   2. runs the whole transaction synchronously, observing completion time
+//      t1 and the waited share w of the span,
+//   3. records the transaction's latency as t1 - arrival, then rewinds the
+//      clock to t0 + (t1 - t0 - w): the host is free again after its busy
+//      share; the device-side tail keeps cooking on the members' busy-until
+//      timelines, which live in the future and are never rewound.
+// Work bound for the same device therefore still serializes (its bank and
+// queue timelines only move forward), while sessions' waits on DIFFERENT
+// devices — or different banks — overlap in simulated time. Host CPU and
+// link lanes are effectively per-session (a many-core host with one lane
+// per connection); only device-side resources are contended. DESIGN.md §9
+// discusses the fidelity of this approximation.
+//
+// Dispatch order: next-event by ready time, ready = max(next arrival,
+// previous completion) per session, ties broken by session id — fully
+// deterministic under fixed seeds, which the determinism test pins by
+// comparing per-device FtlStats across two identical runs.
+#ifndef XFTL_HOST_SCHEDULER_H_
+#define XFTL_HOST_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "host/session.h"
+#include "trace/tracer.h"
+
+namespace xftl::host {
+
+// Per-session accounting the scheduler maintains while running.
+struct SessionProgress {
+  Session* session = nullptr;
+  SimNanos next_arrival = 0;  // when the next transaction wants to start
+  SimNanos prev_done = 0;     // completion time of the previous dispatch
+  SimNanos busy = 0;          // cumulative host-busy nanoseconds
+  SimNanos waited = 0;        // cumulative device-wait nanoseconds
+};
+
+class SessionScheduler {
+ public:
+  // Acquires the clock's rewind privilege for its lifetime; constructing a
+  // second scheduler on the same clock CHECK-fails until the first dies.
+  // Sessions are not owned and must outlive the scheduler.
+  SessionScheduler(SimClock* clock, std::vector<Session*> sessions,
+                   trace::Tracer* tracer = nullptr);
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  // Runs until every session dispatched its configured transaction count,
+  // or the first dispatch fails (armed power cut, dead media, ...): the
+  // error is returned with all completed accounting intact, and the clock
+  // is left wherever the failing dispatch stopped — the crash instant.
+  Status Run();
+
+  // Dispatches at most `n` transactions (0 = unlimited); same error
+  // semantics as Run(). Returns the number actually dispatched.
+  StatusOr<uint64_t> RunSteps(uint64_t n);
+
+  // Completion time of the latest finished dispatch — the array-wide
+  // makespan once Run() returned OK. Run() leaves the clock here.
+  SimNanos makespan() const { return makespan_; }
+  uint64_t dispatched() const { return dispatched_; }
+  const std::vector<SessionProgress>& progress() const { return progress_; }
+
+ private:
+  // Index of the runnable session with the earliest ready time (ties:
+  // lowest session id), or -1 when everyone is done.
+  int PickNext() const;
+  Status DispatchOne(SessionProgress* p);
+
+  SimClock* const clock_;
+  trace::Tracer* const tracer_;
+  std::vector<SessionProgress> progress_;
+  SimNanos makespan_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace xftl::host
+
+#endif  // XFTL_HOST_SCHEDULER_H_

@@ -1,0 +1,87 @@
+#include "host/session.h"
+
+#include <cmath>
+#include <set>
+
+namespace xftl::host {
+
+Session::Session(const SessionConfig& config, sql::Database* db)
+    : config_(config), db_(db), rng_(config.seed ^ (uint64_t(config.id) << 32)) {
+  CHECK_GE(config.id, 1u);
+  CHECK_GE(config.rows_per_txn, 1u);
+}
+
+Status Session::Init() {
+  if (db_ == nullptr) return Status::FailedPrecondition("session has no db");
+  return db_->Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)")
+      .status();
+}
+
+Status Session::RunTxn() {
+  if (db_ == nullptr) return Status::FailedPrecondition("session has no db");
+  const uint64_t txn = dispatched_ + 1;
+  const uint64_t rows = config_.rows_per_txn;
+  std::string sql;
+  if (config_.explicit_txn) sql = "BEGIN;";
+  for (uint64_t id = rows * (txn - 1) + 1; id <= rows * txn; ++id) {
+    sql += " INSERT INTO t VALUES (" + std::to_string(id) + ", " +
+           std::to_string(id * 7) + ", 'v" + std::to_string(id) + "');";
+  }
+  if (config_.explicit_txn) sql += " COMMIT;";
+  dispatched_++;
+  Status s = db_->Exec(sql).status();
+  if (s.ok()) committed_++;
+  return s;
+}
+
+SimNanos Session::NextInterarrival() {
+  if (!config_.open_loop) return config_.think_time;
+  CHECK_GT(config_.rate_per_sec, 0.0);
+  // Exponential inter-arrival; 1 - U keeps log() away from zero.
+  double u = rng_.NextDouble();
+  double gap_sec = -std::log(1.0 - u) / config_.rate_per_sec;
+  return SimNanos(gap_sec * 1e9);
+}
+
+StatusOr<uint64_t> Session::VerifyRecovered(sql::Database* db,
+                                            uint32_t rows_per_txn,
+                                            uint64_t acked) {
+  auto rows = db->Exec("SELECT id, a, b FROM t ORDER BY id");
+  XFTL_RETURN_IF_ERROR(rows.status());
+  std::set<int64_t> ids;
+  for (const sql::Row& row : rows->rows) {
+    int64_t id = row[0].AsInt();
+    if (row[1].AsInt() != id * 7 ||
+        row[2].AsText() != "v" + std::to_string(id)) {
+      return Status::Corruption("integrity violated for id " +
+                                std::to_string(id));
+    }
+    ids.insert(id);
+  }
+  if (ids.size() % rows_per_txn != 0) {
+    return Status::Corruption("a transaction was torn (" +
+                              std::to_string(ids.size()) + " rows, " +
+                              std::to_string(rows_per_txn) + " per txn)");
+  }
+  const uint64_t survived = ids.size() / rows_per_txn;
+  for (uint64_t txn = 1; txn <= survived; ++txn) {
+    for (uint64_t id = uint64_t(rows_per_txn) * (txn - 1) + 1;
+         id <= uint64_t(rows_per_txn) * txn; ++id) {
+      if (ids.count(int64_t(id)) == 0) {
+        return Status::Corruption("non-prefix survival at txn " +
+                                  std::to_string(txn));
+      }
+    }
+  }
+  if (survived < acked) {
+    return Status::Corruption("acknowledged transactions lost (acked " +
+                              std::to_string(acked) + ", survived " +
+                              std::to_string(survived) + ")");
+  }
+  if (survived > acked + 1) {
+    return Status::Corruption("unacknowledged transactions surfaced");
+  }
+  return survived;
+}
+
+}  // namespace xftl::host

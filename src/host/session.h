@@ -1,0 +1,109 @@
+// Session: one host connection — its own database, its own open-transaction
+// context, its own arrival process and latency accounting. Sessions are
+// passive: they know how to run ONE application transaction and how to
+// sample the inter-arrival gap to the next one; the SessionScheduler
+// (scheduler.h) decides when each runs and how their device time overlaps.
+//
+// The transaction shape mirrors tests/crash_sweep_test.cc so the same ACID
+// verification applies after an array power cut: transaction t inserts
+// `rows_per_txn` related rows with ids rows_per_txn*(t-1)+1 .. rows_per_txn*t,
+// a = id * 7, b = "v<id>". Each session writes its OWN database file, so
+// sessions are isolated by construction at the SQL layer and interleave only
+// on the shared device array below.
+#ifndef XFTL_HOST_SESSION_H_
+#define XFTL_HOST_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sql/database.h"
+
+namespace xftl::host {
+
+struct SessionConfig {
+  // Session id, >= 1 (0 means "untagged" throughout the trace subsystem).
+  uint32_t id = 1;
+  // Transactions this session will dispatch in total.
+  uint64_t txns = 100;
+  // Rows inserted per transaction (3 = the crash-sweep shape).
+  uint32_t rows_per_txn = 3;
+  // Wrap the inserts in BEGIN/COMMIT (3 statements of parse/plan CPU) or
+  // run a bare auto-committing statement stream (throughput benches).
+  bool explicit_txn = true;
+  // Arrival model. Open loop: a Poisson process at `rate_per_sec`,
+  // independent of completions — queueing delay shows up in latency.
+  // Closed loop: the next transaction arrives `think_time` after the
+  // previous one completed.
+  bool open_loop = true;
+  double rate_per_sec = 100.0;
+  SimNanos think_time = 0;
+  // Seed for this session's arrival sampling (combine with id for fleets).
+  uint64_t seed = 1;
+};
+
+class Session {
+ public:
+  // `db` is not owned; the caller (harness / test / bench) keeps it alive
+  // and handles crash-abandon + reopen.
+  Session(const SessionConfig& config, sql::Database* db);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Creates the session's table. Call once after the database is opened
+  // (idempotence is not needed: each session owns its file).
+  Status Init();
+
+  // Runs the next application transaction to completion (the scheduler's
+  // dispatch unit). Advances the shared clock through the whole stack.
+  // On success the transaction was acknowledged committed.
+  Status RunTxn();
+
+  // Samples the gap from this arrival to the next (exponential under open
+  // loop, think_time under closed loop). Deterministic per seed.
+  SimNanos NextInterarrival();
+
+  // Called by the scheduler with the arrival->completion span.
+  void NoteLatency(SimNanos latency) { latency_.Add(latency); }
+
+  const SessionConfig& config() const { return config_; }
+  uint32_t id() const { return config_.id; }
+  bool Done() const { return dispatched_ >= config_.txns; }
+  uint64_t dispatched() const { return dispatched_; }
+  // Transactions acknowledged committed (<= dispatched; the difference is a
+  // dispatch that died mid-flight, e.g. at a power cut).
+  uint64_t committed() const { return committed_; }
+  const Histogram& latency() const { return latency_; }
+
+  sql::Database* db() { return db_; }
+  // Crash handling: forget the connection (the database object is being
+  // abandoned by its owner); the committed/dispatched counts survive for
+  // post-recovery verification.
+  void DetachDb() { db_ = nullptr; }
+  void AttachDb(sql::Database* db) { db_ = db; }
+
+  // Post-recovery ACID check, crash-sweep style, against a REOPENED
+  // database: integrity (a = id*7, b = "v<id>"), atomicity (whole
+  // transactions only), prefix ordering, and durability (>= `acked`
+  // transactions survive; pass the session's committed() from before the
+  // cut). Returns the number of surviving transactions.
+  static StatusOr<uint64_t> VerifyRecovered(sql::Database* db,
+                                            uint32_t rows_per_txn,
+                                            uint64_t acked);
+
+ private:
+  const SessionConfig config_;
+  sql::Database* db_;
+  Rng rng_;
+  uint64_t dispatched_ = 0;
+  uint64_t committed_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace xftl::host
+
+#endif  // XFTL_HOST_SESSION_H_

@@ -1,0 +1,222 @@
+#include "host/volume.h"
+
+namespace xftl::host {
+
+StripedVolume::StripedVolume(const VolumeConfig& config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  CHECK(clock != nullptr);
+  CHECK_GE(config.num_devices, 1u);
+  CHECK_GE(config.stripe_pages, 1u);
+  members_.reserve(config.num_devices);
+  for (uint32_t i = 0; i < config.num_devices; ++i) {
+    members_.push_back(std::make_unique<storage::SimSsd>(config.spec, clock));
+  }
+  // Round each member down to whole stripe units so the map is a bijection
+  // onto [0, num_pages): a partial tail unit would alias across members.
+  uint64_t member_pages = members_[0]->device()->num_pages();
+  per_device_pages_ =
+      (member_pages / config.stripe_pages) * uint64_t(config.stripe_pages);
+  CHECK_GT(per_device_pages_, 0u)
+      << "stripe_pages larger than a member's logical space";
+  num_pages_ = per_device_pages_ * members_.size();
+}
+
+StripedVolume::~StripedVolume() = default;
+
+StripedVolume::Location StripedVolume::Map(uint64_t lpn) const {
+  DCHECK_LT(lpn, num_pages_);
+  const uint64_t unit = lpn / config_.stripe_pages;
+  const uint64_t n = members_.size();
+  Location loc;
+  loc.device = uint32_t(unit % n);
+  loc.lpn = (unit / n) * config_.stripe_pages + lpn % config_.stripe_pages;
+  return loc;
+}
+
+uint64_t StripedVolume::Unmap(uint32_t device, uint64_t dev_lpn) const {
+  DCHECK_LT(device, members_.size());
+  DCHECK_LT(dev_lpn, per_device_pages_);
+  const uint64_t unit =
+      (dev_lpn / config_.stripe_pages) * members_.size() + device;
+  return unit * config_.stripe_pages + dev_lpn % config_.stripe_pages;
+}
+
+uint32_t StripedVolume::page_size() const {
+  return members_[0]->device()->page_size();
+}
+
+Status StripedVolume::Read(uint64_t page, uint8_t* data) {
+  Location loc = Map(page);
+  return members_[loc.device]->device()->Read(loc.lpn, data);
+}
+
+Status StripedVolume::Write(uint64_t page, const uint8_t* data) {
+  Location loc = Map(page);
+  return members_[loc.device]->device()->Write(loc.lpn, data);
+}
+
+Status StripedVolume::Trim(uint64_t page) {
+  Location loc = Map(page);
+  return members_[loc.device]->device()->Trim(loc.lpn);
+}
+
+Status StripedVolume::FlushBarrier() {
+  // Every member must drain: a barrier is an array-wide durability point.
+  // All members are visited even after a failure so the survivors still
+  // reach their barrier (and surface their own deferred errors).
+  Status first;
+  for (auto& m : members_) {
+    Status s = m->device()->FlushBarrier();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+bool StripedVolume::SupportsTransactions() const {
+  return members_[0]->device()->SupportsTransactions();
+}
+
+Status StripedVolume::TxRead(storage::TxId t, uint64_t page, uint8_t* data) {
+  Location loc = Map(page);
+  return members_[loc.device]->device()->TxRead(t, loc.lpn, data);
+}
+
+Status StripedVolume::TxWrite(storage::TxId t, uint64_t page,
+                              const uint8_t* data) {
+  Location loc = Map(page);
+  Status s = members_[loc.device]->device()->TxWrite(t, loc.lpn, data);
+  if (s.ok()) participants_[t].insert(loc.device);
+  return s;
+}
+
+Status StripedVolume::WriteBatch(const uint64_t* pages,
+                                 const uint8_t* const* datas, size_t n,
+                                 size_t* accepted) {
+  return FanOutBatch(ftl::kNoTx, pages, datas, n, accepted);
+}
+
+Status StripedVolume::TxWriteBatch(storage::TxId t, const uint64_t* pages,
+                                   const uint8_t* const* datas, size_t n,
+                                   size_t* accepted) {
+  return FanOutBatch(t, pages, datas, n, accepted);
+}
+
+Status StripedVolume::FanOutBatch(storage::TxId t, const uint64_t* pages,
+                                  const uint8_t* const* datas, size_t n,
+                                  size_t* accepted) {
+  if (members_.size() == 1 && t == ftl::kNoTx) {
+    // Single member, untagged: pages still need remapping but the batch
+    // passes through whole.
+    std::vector<uint64_t> local(n);
+    for (size_t i = 0; i < n; ++i) local[i] = Map(pages[i]).lpn;
+    return members_[0]->device()->WriteBatch(local.data(), datas, n, accepted);
+  }
+
+  // Group into per-member sub-batches, keeping input order inside each.
+  struct SubBatch {
+    std::vector<uint64_t> local_pages;
+    std::vector<const uint8_t*> data;
+    std::vector<size_t> input_index;
+  };
+  std::vector<SubBatch> subs(members_.size());
+  for (size_t i = 0; i < n; ++i) {
+    Location loc = Map(pages[i]);
+    SubBatch& sb = subs[loc.device];
+    sb.local_pages.push_back(loc.lpn);
+    sb.data.push_back(datas[i]);
+    sb.input_index.push_back(i);
+  }
+
+  // Issue in ascending device order. A member failing mid-batch accepts a
+  // prefix of ITS pages; pages already accepted by other members are not a
+  // prefix of the caller's input, so the reported `accepted` is the longest
+  // input prefix that is fully durable — the reissued suffix may repeat
+  // pages a member already holds, which is idempotent through the FTL's
+  // copy-on-write path (and invisible pre-commit under a TxId).
+  std::vector<bool> page_ok(n, false);
+  Status first;
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    SubBatch& sb = subs[dev];
+    if (sb.local_pages.empty()) continue;
+    size_t dev_accepted = 0;
+    Status s;
+    if (t == ftl::kNoTx) {
+      s = members_[dev]->device()->WriteBatch(sb.local_pages.data(),
+                                              sb.data.data(),
+                                              sb.local_pages.size(),
+                                              &dev_accepted);
+    } else {
+      s = members_[dev]->device()->TxWriteBatch(t, sb.local_pages.data(),
+                                                sb.data.data(),
+                                                sb.local_pages.size(),
+                                                &dev_accepted);
+      if (dev_accepted > 0) participants_[t].insert(dev);
+    }
+    for (size_t k = 0; k < dev_accepted; ++k) page_ok[sb.input_index[k]] = true;
+    if (!s.ok() && first.ok()) first = s;
+  }
+
+  if (accepted != nullptr) {
+    size_t prefix = 0;
+    while (prefix < n && page_ok[prefix]) ++prefix;
+    *accepted = prefix;
+  }
+  return first;
+}
+
+Status StripedVolume::TxCommit(storage::TxId t) {
+  auto it = participants_.find(t);
+  if (it == participants_.end()) {
+    // Read-only or empty transaction: nothing reached any member; the
+    // single-device front-end treats this as an error only on abort, and a
+    // commit of nothing is trivially durable.
+    return Status::OK();
+  }
+  // No cross-device atomic commit: members commit one after another (the
+  // known-deviation window documented in the header / DESIGN.md §9).
+  Status first;
+  for (uint32_t dev : it->second) {
+    Status s = members_[dev]->device()->TxCommit(t);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  participants_.erase(it);
+  return first;
+}
+
+Status StripedVolume::TxAbort(storage::TxId t) {
+  auto it = participants_.find(t);
+  if (it == participants_.end()) return Status::OK();
+  Status first;
+  for (uint32_t dev : it->second) {
+    Status s = members_[dev]->device()->TxAbort(t);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  participants_.erase(it);
+  return first;
+}
+
+std::set<uint32_t> StripedVolume::Participants(storage::TxId t) const {
+  auto it = participants_.find(t);
+  if (it == participants_.end()) return {};
+  return it->second;
+}
+
+Status StripedVolume::PowerCycle() {
+  // One rail: every member loses power at the same instant. CutPower does
+  // not advance the clock; Reboot (recovery) does, so the cuts must all
+  // happen before the first reboot starts.
+  for (auto& m : members_) m->CutPower();
+  participants_.clear();
+  Status first;
+  for (auto& m : members_) {
+    Status s = m->Reboot();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+void StripedVolume::SetTracer(trace::Tracer* tracer) {
+  for (auto& m : members_) m->SetTracer(tracer);
+}
+
+}  // namespace xftl::host

@@ -1,0 +1,127 @@
+// StripedVolume: an array controller that presents N SimSsd members as one
+// TxBlockDevice, striping the logical page space RAID-0 style.
+//
+// Geometry: the logical space is divided into stripe units of `stripe_pages`
+// consecutive pages; unit k lives on device k % N at per-device unit k / N.
+// With N = 1 this degenerates to an offset-free identity (modulo rounding
+// the member's capacity down to whole stripe units), and the mapping is a
+// bijection at every stripe size — tests/host_test.cc round-trips it.
+//
+// Transactions: a TxId's writes may touch several members. The volume tracks
+// the participant set per open transaction and fans TxCommit/TxAbort out to
+// exactly those members, in ascending device order. There is no cross-device
+// two-phase commit — a power cut landing inside the fan-out can leave the
+// transaction committed on a prefix of its participants. This window is a
+// documented deviation (DESIGN.md §9); the paper's device is single-volume,
+// and each session in this host writes its own database, whose pages a
+// fixed stripe map keeps on deterministic members.
+//
+// Power: PowerCycle() cuts power on EVERY member first and only then reboots
+// them, so the cut hits the whole array at the same simulated instant — one
+// power rail, not N staggered failures (member recovery advances the shared
+// clock, so a per-member PowerCycle loop would cut member k+1 after member k
+// already finished rebooting).
+#ifndef XFTL_HOST_VOLUME_H_
+#define XFTL_HOST_VOLUME_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "storage/block_device.h"
+#include "storage/sim_ssd.h"
+#include "trace/tracer.h"
+
+namespace xftl::host {
+
+struct VolumeConfig {
+  uint32_t num_devices = 1;
+  // Pages per stripe unit. Small units spread one database across members
+  // (bank-style parallelism); large units approximate per-file placement.
+  uint32_t stripe_pages = 64;
+  // Per-member device profile; every member is built from the same spec.
+  storage::SsdSpec spec;
+};
+
+class StripedVolume : public storage::TxBlockDevice {
+ public:
+  // All members share `clock`; there is exactly one timeline, so members
+  // cannot drift (see SimClock's ownership notes).
+  StripedVolume(const VolumeConfig& config, SimClock* clock);
+  ~StripedVolume() override;
+
+  StripedVolume(const StripedVolume&) = delete;
+  StripedVolume& operator=(const StripedVolume&) = delete;
+
+  // --- geometry ------------------------------------------------------------
+  struct Location {
+    uint32_t device = 0;
+    uint64_t lpn = 0;  // member-local logical page
+  };
+  Location Map(uint64_t lpn) const;
+  // Inverse of Map (bijection round-trip; tests exercise it).
+  uint64_t Unmap(uint32_t device, uint64_t dev_lpn) const;
+
+  uint32_t num_devices() const { return uint32_t(members_.size()); }
+  uint32_t stripe_pages() const { return config_.stripe_pages; }
+  uint64_t pages_per_device() const { return per_device_pages_; }
+  storage::SimSsd* member(uint32_t i) { return members_[i].get(); }
+  const storage::SimSsd* member(uint32_t i) const { return members_[i].get(); }
+  SimClock* clock() { return clock_; }
+
+  // --- BlockDevice ---------------------------------------------------------
+  uint32_t page_size() const override;
+  uint64_t num_pages() const override { return num_pages_; }
+  Status Read(uint64_t page, uint8_t* data) override;
+  Status Write(uint64_t page, const uint8_t* data) override;
+  Status WriteBatch(const uint64_t* pages, const uint8_t* const* datas,
+                    size_t n, size_t* accepted = nullptr) override;
+  Status Trim(uint64_t page) override;
+  // Durability barrier across the whole array: fanned to every member.
+  Status FlushBarrier() override;
+
+  // --- TxBlockDevice -------------------------------------------------------
+  bool SupportsTransactions() const override;
+  Status TxRead(storage::TxId t, uint64_t page, uint8_t* data) override;
+  Status TxWrite(storage::TxId t, uint64_t page, const uint8_t* data) override;
+  Status TxWriteBatch(storage::TxId t, const uint64_t* pages,
+                      const uint8_t* const* datas, size_t n,
+                      size_t* accepted = nullptr) override;
+  Status TxCommit(storage::TxId t) override;
+  Status TxAbort(storage::TxId t) override;
+
+  // Members a transaction has written (and not yet committed/aborted) on.
+  // Empty set = unknown/idle transaction.
+  std::set<uint32_t> Participants(storage::TxId t) const;
+
+  // Same-instant array power cycle: cut everything, then reboot everything.
+  // Open-transaction participant tracking is volatile and resets with the
+  // members' front-ends.
+  Status PowerCycle();
+
+  // Fans the tracer into every member's in-drive layers.
+  void SetTracer(trace::Tracer* tracer);
+
+ private:
+  // Distributes `n` (page, data) pairs into per-member batches, preserving
+  // input order within each member, issues them in ascending device order,
+  // and reports `accepted` as the longest *prefix* of the input whose pages
+  // were all durably accepted (the contract callers reissue against).
+  Status FanOutBatch(storage::TxId t, const uint64_t* pages,
+                     const uint8_t* const* datas, size_t n, size_t* accepted);
+
+  const VolumeConfig config_;
+  SimClock* const clock_;
+  std::vector<std::unique_ptr<storage::SimSsd>> members_;
+  uint64_t per_device_pages_ = 0;  // whole stripe units only
+  uint64_t num_pages_ = 0;
+  // TxId -> members with uncommitted writes; std::map for deterministic
+  // fan-out order independent of allocation behavior.
+  std::map<storage::TxId, std::set<uint32_t>> participants_;
+};
+
+}  // namespace xftl::host
+
+#endif  // XFTL_HOST_VOLUME_H_

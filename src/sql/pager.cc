@@ -448,13 +448,14 @@ Status Pager::Commit() {
     case SqlJournalMode::kOff: {
       if (dirty.empty() && !db_dirtied_in_txn_) break;
       // Force policy: write every page the transaction updated straight to
-      // the database file; fsync is the commit point (TxWrite* + TxCommit
-      // underneath).
+      // the database file; fdatasync is the commit point (TxWrite* +
+      // TxCommit underneath) — as on Linux SQLite, timestamp-only inode
+      // churn stays out of the device transaction.
       for (Pgno pgno : dirty) {
         CacheEntry& e = cache_.at(pgno);
         XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, e.data.data()));
       }
-      XFTL_RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+      XFTL_RETURN_IF_ERROR(fs_->Fdatasync(db_fd_));
       for (Pgno pgno : dirty) cache_.at(pgno).dirty = false;
       break;
     }

@@ -583,9 +583,16 @@ Status SataDevice::TxCommit(TxId t) {
   if (xftl_ == nullptr) return FlushBarrier();
   // One extended trim command carries the commit verb. The commit's data
   // barrier must cover every acknowledged write, so the queue drains first;
-  // a deferred background loss fails the commit without executing it.
+  // a deferred background loss fails the commit without executing it. PLP
+  // firmware skips the drain: every acknowledged queued write already sits
+  // in the capacitor-backed buffer, so the commit is ordered behind them
+  // inside the controller without waiting for the cells.
   SimNanos t0 = clock_->Now();
-  DrainQueue();
+  if (xftl_->plp_commit()) {
+    PollQueue();
+  } else {
+    DrainQueue();
+  }
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.commit_commands++;

@@ -134,6 +134,37 @@ struct SataStats {
   // In-flight NCQ state dropped by a power cut (ResetVolatile).
   uint64_t dropped_on_power_cut = 0;        // tags
   uint64_t dropped_pages_on_power_cut = 0;  // pages those tags carried
+
+  // Field-wise sum: aggregates per-device front-end counters into an
+  // array-wide view (the workload harness over a host::StripedVolume).
+  void Add(const SataStats& o) {
+    read_commands += o.read_commands;
+    write_commands += o.write_commands;
+    trim_commands += o.trim_commands;
+    barrier_commands += o.barrier_commands;
+    commit_commands += o.commit_commands;
+    abort_commands += o.abort_commands;
+    queued_commands += o.queued_commands;
+    queue_full_stalls += o.queue_full_stalls;
+    batch_commands += o.batch_commands;
+    batched_pages += o.batched_pages;
+    crc_errors += o.crc_errors;
+    command_timeouts += o.command_timeouts;
+    device_aborts += o.device_aborts;
+    link_retries += o.link_retries;
+    link_resets += o.link_resets;
+    aborted_tags += o.aborted_tags;
+    reissued_commands += o.reissued_commands;
+    reissued_pages += o.reissued_pages;
+    backoff_nanos += o.backoff_nanos;
+    degraded_entries += o.degraded_entries;
+    degraded_exits += o.degraded_exits;
+    link_failures += o.link_failures;
+    deferred_errors += o.deferred_errors;
+    deferred_errors_reported += o.deferred_errors_reported;
+    dropped_on_power_cut += o.dropped_on_power_cut;
+    dropped_pages_on_power_cut += o.dropped_pages_on_power_cut;
+  }
 };
 
 class SataDevice : public TxBlockDevice {

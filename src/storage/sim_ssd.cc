@@ -57,6 +57,7 @@ SsdSpec S830Spec(uint32_t num_blocks, double utilization) {
   spec.flash.timings.bus_per_page = Micros(25);
   spec.ftl.num_logical_pages = LogicalPagesFor(spec.flash, spec.ftl, utilization);
   spec.ftl.fast_barrier = true;
+  spec.xftl.plp_commit = true;
   spec.sata.command_overhead = Micros(8);
   spec.sata.transfer_per_page = Micros(14);  // 8 KB at ~600 MB/s
   return spec;
@@ -77,12 +78,28 @@ SimSsd::SimSsd(const SsdSpec& spec, SimClock* clock)
 }
 
 Status SimSsd::PowerCycle() {
+  CutPower();
+  return Reboot();
+}
+
+void SimSsd::CutPower() {
+  // PLP firmware spends its capacitor on an emergency checkpoint: drain the
+  // program buffer into the cells and persist the mapping plus the X-L2P
+  // snapshot, making every acknowledged commit durable. Best effort — a
+  // flash array already failing when power drops cannot take the
+  // checkpoint, and recovery then falls back to the last ordinary one.
+  if (xftl_ != nullptr && spec_.xftl.plp_commit) {
+    (void)xftl_->Checkpoint();
+  }
   // Pulling the plug drops whatever the volatile program buffer still held
   // and forgets in-flight host transactions; only then does the firmware
   // boot and rebuild from what actually reached the cells. (Recover() also
   // clears the device's failed latch via ClearFailure.)
   flash_->PowerCut();
   sata_->ResetVolatile();
+}
+
+Status SimSsd::Reboot() {
   XFTL_RETURN_IF_ERROR(ftl_->Recover());
   if (spec_.fsck_on_power_cycle) {
     auto* pftl = dynamic_cast<ftl::PageFtl*>(ftl_.get());

@@ -61,6 +61,15 @@ class SimSsd {
   // recovered state is cross-checked by the offline invariant checker.
   Status PowerCycle();
 
+  // The two halves of PowerCycle, exposed separately so an array controller
+  // (host::StripedVolume) can pull the plug on every member at the same
+  // simulated instant BEFORE any member starts its (clock-advancing)
+  // recovery — a per-device PowerCycle loop would cut device k+1 strictly
+  // after device k finished rebooting, which is not what one power rail
+  // failing looks like.
+  void CutPower();
+  Status Reboot();
+
   // Wires `tracer` into every in-drive layer (SATA front-end and raw
   // flash; the FTL/X-FTL layers reach it through the flash device).
   void SetTracer(trace::Tracer* tracer) {

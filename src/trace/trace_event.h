@@ -27,8 +27,9 @@ enum class Layer : uint8_t {
   kXftl = 3,   // xftl/xftl: extended transactional commands
   kFtl = 4,    // ftl/page_ftl: logical page ops, GC, mapping persistence
   kFlash = 5,  // flash/flash_device: raw page reads/programs, block erases
+  kHost = 6,   // host/session: whole transactions as a session saw them
 };
-inline constexpr int kNumLayers = 6;
+inline constexpr int kNumLayers = 7;
 const char* LayerName(Layer layer);
 
 // Operation verb. One shared namespace across layers; each layer uses the
@@ -56,8 +57,11 @@ enum class Op : uint8_t {
                     //   b = pages REDO-reissued)
   kDegrade = 18,    // sata: ladder transition (a = 1 enter qd=1 mode,
                     //   0 restore full depth, 2 link failed; b = resets)
+  kTxn = 19,        // host: one whole application transaction as a session
+                    //   saw it (a = txns completed by that session so far,
+                    //   b = host-busy share of the latency)
 };
-inline constexpr int kNumOps = 19;
+inline constexpr int kNumOps = 20;
 const char* OpName(Op op);
 
 // One trace record. Field meaning by layer:
@@ -74,6 +78,7 @@ struct TraceEvent {
   Layer layer = Layer::kSql;
   Op op = Op::kRead;
   uint32_t tid = 0;         // transaction id; 0 = untagged
+  uint32_t sid = 0;         // host session id; 0 = single-session / untagged
   uint64_t a = 0;
   uint64_t b = 0;
   SimNanos latency = 0;     // simulated nanoseconds the operation took

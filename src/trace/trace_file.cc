@@ -15,6 +15,7 @@ const char* LayerName(Layer layer) {
     case Layer::kXftl:  return "xftl";
     case Layer::kFtl:   return "ftl";
     case Layer::kFlash: return "flash";
+    case Layer::kHost:  return "host";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ const char* OpName(Op op) {
     case Op::kLinkFault:  return "link-fault";
     case Op::kLinkReset:  return "link-reset";
     case Op::kDegrade:    return "degrade";
+    case Op::kTxn:        return "txn";
   }
   return "?";
 }
@@ -84,15 +86,16 @@ Status TraceWriter::SealFrame() {
   SimNanos prev_time = 0;
   bool first = true;
   for (const TraceEvent& e : pending_) {
-    // First event of the frame carries an absolute timestamp; the clock
-    // never goes backward, so later deltas are non-negative.
-    uint64_t dt = first ? e.time : e.time - prev_time;
+    // First event of the frame carries an absolute timestamp. Deltas are
+    // zigzag-signed: scheduler clock rewinds make timestamps non-monotonic.
+    int64_t dt = first ? int64_t(e.time) : int64_t(e.time) - int64_t(prev_time);
     first = false;
     prev_time = e.time;
-    PutVarint64(&payload, dt);
+    PutSignedVarint64(&payload, dt);
     payload.push_back(uint8_t(e.layer));
     payload.push_back(uint8_t(e.op));
     PutVarint64(&payload, e.tid);
+    PutVarint64(&payload, e.sid);
     PutVarint64(&payload, e.a);
     PutVarint64(&payload, e.b);
     PutVarint64(&payload, e.latency);
@@ -134,7 +137,8 @@ Status TraceWriter::Close() {
 
 // --- TraceReader ------------------------------------------------------------
 
-TraceReader::TraceReader(std::FILE* file) : file_(file) {}
+TraceReader::TraceReader(std::FILE* file, int version)
+    : file_(file), version_(version) {}
 
 TraceReader::~TraceReader() {
   if (file_ != nullptr) std::fclose(file_);
@@ -145,12 +149,20 @@ StatusOr<std::unique_ptr<TraceReader>> TraceReader::Open(
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open trace file " + path);
   char magic[sizeof(kTraceMagic)];
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) {
     std::fclose(f);
     return Status::Corruption(path + " is not a trace file (bad magic)");
   }
-  return std::unique_ptr<TraceReader>(new TraceReader(f));
+  int version;
+  if (std::memcmp(magic, kTraceMagic, sizeof(magic)) == 0) {
+    version = 2;
+  } else if (std::memcmp(magic, kTraceMagicV1, sizeof(magic)) == 0) {
+    version = 1;
+  } else {
+    std::fclose(f);
+    return Status::Corruption(path + " is not a trace file (bad magic)");
+  }
+  return std::unique_ptr<TraceReader>(new TraceReader(f, version));
 }
 
 bool TraceReader::LoadFrame() {
@@ -201,13 +213,25 @@ bool TraceReader::LoadFrame() {
   bool first = true;
   while (p < limit) {
     TraceEvent e;
-    uint64_t dt = 0, tid = 0;
-    p = GetVarint64(p, limit, &dt);
+    int64_t dt = 0;
+    uint64_t tid = 0, sid = 0;
+    if (version_ >= 2) {
+      p = GetSignedVarint64(p, limit, &dt);
+    } else {
+      // v1: unsigned delta (pre-scheduler traces are monotonic).
+      uint64_t udt = 0;
+      p = GetVarint64(p, limit, &udt);
+      dt = int64_t(udt);
+    }
     if (p == nullptr || limit - p < 2) { truncated_ = true; return false; }
     e.layer = Layer(*p++);
     e.op = Op(*p++);
     p = GetVarint64(p, limit, &tid);
     if (p == nullptr) { truncated_ = true; return false; }
+    if (version_ >= 2) {
+      p = GetVarint64(p, limit, &sid);
+      if (p == nullptr) { truncated_ = true; return false; }
+    }
     p = GetVarint64(p, limit, &e.a);
     if (p == nullptr) { truncated_ = true; return false; }
     p = GetVarint64(p, limit, &e.b);
@@ -217,8 +241,9 @@ bool TraceReader::LoadFrame() {
     if (p == nullptr || p >= limit) { truncated_ = true; return false; }
     e.status = StatusCode(*p++);
     e.tid = uint32_t(tid);
+    e.sid = uint32_t(sid);
     e.latency = SimNanos(latency);
-    e.time = first ? SimNanos(dt) : prev_time + SimNanos(dt);
+    e.time = first ? SimNanos(dt) : SimNanos(int64_t(prev_time) + dt);
     first = false;
     prev_time = e.time;
     frame_events_.push_back(e);

@@ -1,17 +1,23 @@
 // On-disk trace format: a fixed 8-byte magic header followed by CRC-framed
 // batches of varint-encoded events.
 //
-//   file  := "XFTLTRC1" frame*
+//   file  := "XFTLTRC2" frame*
 //   frame := 0xF7 | varint(payload_len) | fixed32(crc32c(payload)) | payload
-//   event := varint(dt) u8(layer) u8(op) varint(tid) varint(a) varint(b)
-//            varint(latency) u8(status)
+//   event := zigzag(dt) u8(layer) u8(op) varint(tid) varint(sid) varint(a)
+//            varint(b) varint(latency) u8(status)
 //
 // Timestamps are delta-encoded within a frame (the first event of each frame
-// carries an absolute time), so a steady stream of events costs ~10 bytes
+// carries an absolute time). The delta is zigzag-signed: under the host
+// session scheduler the shared clock is rewound at dispatch boundaries so
+// device-side waits from different sessions can overlap, which makes event
+// timestamps non-monotonic. A steady stream of events still costs ~10 bytes
 // each. A torn final frame — short write at process death or power loss —
 // fails its CRC or length check and is skipped by the reader, which reports
 // it via truncated() instead of failing: everything up to the last complete
 // frame is always readable.
+//
+// The reader also accepts v1 files ("XFTLTRC1": unsigned dt, no sid field);
+// v1 events decode with sid = 0.
 #ifndef XFTL_TRACE_TRACE_FILE_H_
 #define XFTL_TRACE_TRACE_FILE_H_
 
@@ -26,7 +32,9 @@
 namespace xftl::trace {
 
 inline constexpr char kTraceMagic[8] = {'X', 'F', 'T', 'L',
-                                        'T', 'R', 'C', '1'};
+                                        'T', 'R', 'C', '2'};
+inline constexpr char kTraceMagicV1[8] = {'X', 'F', 'T', 'L',
+                                          'T', 'R', 'C', '1'};
 inline constexpr uint8_t kFrameMagic = 0xF7;
 
 // Streams events to a file on the host file system (trace files are
@@ -83,11 +91,12 @@ class TraceReader {
                                                    bool* truncated = nullptr);
 
  private:
-  explicit TraceReader(std::FILE* file);
+  TraceReader(std::FILE* file, int version);
   // Loads and verifies the next frame into frame_ / decodes into events_.
   bool LoadFrame();
 
   std::FILE* file_;
+  const int version_;
   std::vector<TraceEvent> frame_events_;
   size_t next_in_frame_ = 0;
   bool truncated_ = false;

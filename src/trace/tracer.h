@@ -32,14 +32,28 @@ class Tracer {
   void Record(const TraceEvent& event) {
     latency_[int(event.layer)][int(event.op)].Add(event.latency);
     event_count_++;
-    if (sink_ != nullptr) sink_->Append(event);
+    if (sink_ == nullptr) return;
+    if (event.sid == 0 && session_ != 0) {
+      TraceEvent stamped = event;
+      stamped.sid = session_;
+      sink_->Append(stamped);
+    } else {
+      sink_->Append(event);
+    }
   }
 
   // Convenience overload used by the instrumentation points.
   void Record(Layer layer, Op op, SimNanos time, uint32_t tid, uint64_t a,
               uint64_t b, SimNanos latency, StatusCode status) {
-    Record(TraceEvent{time, layer, op, tid, a, b, latency, status});
+    Record(TraceEvent{time, layer, op, tid, session_, a, b, latency, status});
   }
+
+  // Session attribution: the host scheduler sets this before dispatching a
+  // session's step, so events recorded by the layers below (which know
+  // nothing about sessions) carry the session they were working for.
+  // 0 = untagged (single-session runs never set it).
+  void set_session(uint32_t sid) { session_ = sid; }
+  uint32_t session() const { return session_; }
 
   const Histogram& latency(Layer layer, Op op) const {
     return latency_[int(layer)][int(op)];
@@ -58,6 +72,7 @@ class Tracer {
   std::array<std::array<Histogram, kNumOps>, kNumLayers> latency_;
   MetricsRegistry metrics_;
   uint64_t event_count_ = 0;
+  uint32_t session_ = 0;
 };
 
 }  // namespace xftl::trace

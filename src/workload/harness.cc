@@ -1,6 +1,8 @@
 #include "workload/harness.h"
 
 #include "ftl/ager.h"
+#include "host/scheduler.h"
+#include "host/session.h"
 
 namespace xftl::workload {
 
@@ -47,11 +49,28 @@ Status Harness::Setup() {
   if (config_.write_buffer_pages > 0) {
     spec.flash.write_buffer_pages = config_.write_buffer_pages;
   }
-  ssd_ = std::make_unique<storage::SimSsd>(spec, &clock_);
-
-  if (config_.gc_valid_target > 0) {
-    XFTL_ASSIGN_OR_RETURN(aged_validity_,
-                          ftl::Ager::Age(ssd_->ftl(), config_.seed));
+  if (config_.num_devices > 1) {
+    host::VolumeConfig vc;
+    vc.num_devices = config_.num_devices;
+    vc.stripe_pages = config_.stripe_pages;
+    vc.spec = spec;
+    volume_ = std::make_unique<host::StripedVolume>(vc, &clock_);
+    if (config_.gc_valid_target > 0) {
+      double sum = 0;
+      for (uint32_t i = 0; i < config_.num_devices; ++i) {
+        XFTL_ASSIGN_OR_RETURN(
+            double v,
+            ftl::Ager::Age(volume_->member(i)->ftl(), config_.seed + i));
+        sum += v;
+      }
+      aged_validity_ = sum / config_.num_devices;
+    }
+  } else {
+    ssd_ = std::make_unique<storage::SimSsd>(spec, &clock_);
+    if (config_.gc_valid_target > 0) {
+      XFTL_ASSIGN_OR_RETURN(aged_validity_,
+                            ftl::Ager::Age(ssd_->ftl(), config_.seed));
+    }
   }
 
   fs::FsOptions fs_opt;
@@ -59,9 +78,20 @@ Status Harness::Setup() {
                             ? fs::JournalMode::kOff
                             : fs::JournalMode::kOrdered;
   fs_opt.cache_pages = config_.fs_cache_pages;
-  XFTL_RETURN_IF_ERROR(fs::ExtFs::Mkfs(ssd_->device(), fs_opt));
-  XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(ssd_->device(), fs_opt, &clock_));
+  XFTL_RETURN_IF_ERROR(fs::ExtFs::Mkfs(device(), fs_opt));
+  XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(device(), fs_opt, &clock_));
   return Status::OK();
+}
+
+storage::SimSsd* Harness::ssd(uint32_t i) {
+  if (volume_ != nullptr) return volume_->member(i);
+  CHECK_EQ(i, 0u);
+  return ssd_.get();
+}
+
+storage::TxBlockDevice* Harness::device() {
+  if (volume_ != nullptr) return volume_.get();
+  return ssd_ == nullptr ? nullptr : ssd_->device();
 }
 
 StatusOr<sql::Database*> Harness::OpenDatabase(const std::string& name) {
@@ -72,6 +102,9 @@ StatusOr<sql::Database*> Harness::OpenDatabase(const std::string& name) {
   opt.journal_mode = sql_mode();
   opt.cache_pages = config_.db_cache_pages;
   opt.wal_autocheckpoint = config_.wal_autocheckpoint;
+  if (config_.cpu_per_statement > 0) {
+    opt.cpu_per_statement = config_.cpu_per_statement;
+  }
   XFTL_ASSIGN_OR_RETURN(auto db, sql::Database::Open(fs_.get(), name, opt));
   if (tracer_ != nullptr) db->pager()->set_tracer(tracer_.get());
   dbs_.emplace_back(name, std::move(db));
@@ -97,19 +130,25 @@ Status Harness::CrashAndRecover() {
   }
   dbs_.clear();
   fs_.reset();
-  XFTL_RETURN_IF_ERROR(ssd_->PowerCycle());
+  // One rail: the striped volume cuts every member at the same simulated
+  // instant before any member starts recovering.
+  if (volume_ != nullptr) {
+    XFTL_RETURN_IF_ERROR(volume_->PowerCycle());
+  } else {
+    XFTL_RETURN_IF_ERROR(ssd_->PowerCycle());
+  }
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = config_.setup == Setup::kXftl
                             ? fs::JournalMode::kOff
                             : fs::JournalMode::kOrdered;
   fs_opt.cache_pages = config_.fs_cache_pages;
-  XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(ssd_->device(), fs_opt, &clock_));
+  XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(device(), fs_opt, &clock_));
   WireTracer();
   return Status::OK();
 }
 
 Status Harness::EnableTracing(const std::string& path) {
-  if (ssd_ == nullptr) {
+  if (ssd_ == nullptr && volume_ == nullptr) {
     return Status::FailedPrecondition("EnableTracing before Setup");
   }
   if (!path.empty()) {
@@ -130,7 +169,11 @@ Status Harness::FinishTracing() {
 
 void Harness::WireTracer() {
   if (tracer_ == nullptr) return;
-  ssd_->SetTracer(tracer_.get());
+  if (volume_ != nullptr) {
+    volume_->SetTracer(tracer_.get());
+  } else {
+    ssd_->SetTracer(tracer_.get());
+  }
   if (fs_ != nullptr) fs_->set_tracer(tracer_.get());
   for (auto& [name, db] : dbs_) {
     if (db != nullptr) db->pager()->set_tracer(tracer_.get());
@@ -148,15 +191,86 @@ Harness::Baseline Harness::Collect() const {
   const auto& fstats = fs_->stats();
   b.fs_meta = fstats.TotalMetadataWrites(fs_->journal_stats());
   b.fsyncs = fstats.fsync_calls;
-  b.ftl = ssd_->ftl()->stats();
-  b.sata = ssd_->device()->stats();
-  const auto& raw = ssd_->flash()->stats();
-  b.program_fails = raw.program_fails;
-  b.erase_fails = raw.erase_fails;
-  b.ecc_corrected = raw.ecc_corrected;
-  b.ecc_uncorrectable = raw.ecc_uncorrectable;
+  // Array-wide view: counters summed over every member.
+  if (volume_ != nullptr) {
+    for (uint32_t i = 0; i < volume_->num_devices(); ++i) {
+      storage::SimSsd* m = volume_->member(i);
+      b.ftl.Add(m->ftl()->stats());
+      b.sata.Add(m->device()->stats());
+      const auto& raw = m->flash()->stats();
+      b.program_fails += raw.program_fails;
+      b.erase_fails += raw.erase_fails;
+      b.ecc_corrected += raw.ecc_corrected;
+      b.ecc_uncorrectable += raw.ecc_uncorrectable;
+    }
+  } else {
+    b.ftl = ssd_->ftl()->stats();
+    b.sata = ssd_->device()->stats();
+    const auto& raw = ssd_->flash()->stats();
+    b.program_fails = raw.program_fails;
+    b.erase_fails = raw.erase_fails;
+    b.ecc_corrected = raw.ecc_corrected;
+    b.ecc_uncorrectable = raw.ecc_uncorrectable;
+  }
   b.time = clock_.Now();
   return b;
+}
+
+StatusOr<MultiSessionResult> Harness::RunMultiSession(
+    const MultiSessionConfig& mc) {
+  if (fs_ == nullptr) {
+    return Status::FailedPrecondition("RunMultiSession before Setup");
+  }
+  if (mc.sessions == 0) {
+    return Status::InvalidArgument("need at least one session");
+  }
+
+  std::vector<std::unique_ptr<host::Session>> sessions;
+  std::vector<host::Session*> raw;
+  sessions.reserve(mc.sessions);
+  for (uint32_t k = 1; k <= mc.sessions; ++k) {
+    XFTL_ASSIGN_OR_RETURN(sql::Database * db,
+                          OpenDatabase("s" + std::to_string(k) + ".db"));
+    host::SessionConfig sc;
+    sc.id = k;
+    sc.txns = mc.txns_per_session;
+    sc.rows_per_txn = mc.rows_per_txn;
+    sc.explicit_txn = mc.explicit_txn;
+    sc.open_loop = mc.open_loop;
+    sc.rate_per_sec = mc.rate_per_sec;
+    sc.think_time = mc.think_time;
+    sc.seed = config_.seed;
+    auto s = std::make_unique<host::Session>(sc, db);
+    XFTL_RETURN_IF_ERROR(s->Init());
+    raw.push_back(s.get());
+    sessions.push_back(std::move(s));
+  }
+
+  const SimNanos start = clock_.Now();
+  MultiSessionResult result;
+  {
+    host::SessionScheduler sched(&clock_, raw, tracer_.get());
+    result.run_status = sched.Run();
+    result.makespan = sched.makespan() - start;
+    result.dispatched = sched.dispatched();
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const host::SessionProgress& p = sched.progress()[i];
+      SessionReport r;
+      r.id = raw[i]->id();
+      r.dispatched = raw[i]->dispatched();
+      r.committed = raw[i]->committed();
+      r.busy = p.busy;
+      r.waited = p.waited;
+      r.latency = raw[i]->latency();
+      result.committed += r.committed;
+      result.sessions.push_back(r);
+    }
+  }
+  if (result.makespan > 0) {
+    result.txns_per_sec =
+        double(result.committed) / NanosToSeconds(result.makespan);
+  }
+  return result;
 }
 
 void Harness::StartMeasurement() { baseline_ = Collect(); }
@@ -175,8 +289,10 @@ IoSnapshot Harness::Snapshot() const {
   s.ftl_page_reads = d.host_page_reads;
   s.gc_count = d.gc_runs;
   s.erase_count = d.block_erases;
-  s.gc_valid_ratio =
-      d.MeanGcValidRatio(ssd_->flash()->config().pages_per_block);
+  const auto& flash_cfg = volume_ != nullptr
+                              ? volume_->member(0)->flash()->config()
+                              : ssd_->flash()->config();
+  s.gc_valid_ratio = d.MeanGcValidRatio(flash_cfg.pages_per_block);
   s.program_fails = now.program_fails - baseline_.program_fails;
   s.erase_fails = now.erase_fails - baseline_.erase_fails;
   s.grown_bad_blocks = d.grown_bad_blocks;

@@ -15,11 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/flash_config.h"
 #include "fs/ext_fs.h"
 #include "ftl/ftl_stats.h"
+#include "host/volume.h"
 #include "sql/database.h"
 #include "storage/sim_ssd.h"
 #include "trace/trace_file.h"
@@ -57,6 +59,17 @@ struct HarnessConfig {
   // Depth 1 is effectively write-through (every program drains before the
   // next), isolating what the buffer saves at flush barriers.
   uint32_t write_buffer_pages = 0;
+  // Device array: >1 builds a host::StripedVolume of identical members
+  // instead of a single drive. 1 keeps the exact legacy single-device path
+  // (no stripe rounding of the logical space, so seeded single-device
+  // results are bit-identical to before the volume layer existed).
+  uint32_t num_devices = 1;
+  uint32_t stripe_pages = 64;
+  // Host CPU-time model override for the databases this harness opens;
+  // 0 keeps the library default (sql::DbOptions). Multi-session throughput
+  // benches lower it: the default is calibrated to the paper's 2009-era
+  // single-core host.
+  SimNanos cpu_per_statement = 0;
 };
 
 // Everything Table 1 reports, for one measured interval.
@@ -92,6 +105,42 @@ struct IoSnapshot {
   SimNanos elapsed = 0;
 };
 
+// Multi-session mode: N concurrent connections, each on its own database
+// file, interleaved by a host::SessionScheduler over the (possibly striped)
+// device array.
+struct MultiSessionConfig {
+  uint32_t sessions = 4;
+  uint64_t txns_per_session = 100;
+  // Arrival model shared by all sessions (per-session rate).
+  bool open_loop = true;
+  double rate_per_sec = 500.0;
+  SimNanos think_time = 0;
+  // Transaction shape (see host::SessionConfig).
+  uint32_t rows_per_txn = 1;
+  bool explicit_txn = false;
+};
+
+struct SessionReport {
+  uint32_t id = 0;
+  uint64_t dispatched = 0;
+  uint64_t committed = 0;
+  SimNanos busy = 0;    // host-busy share of this session's dispatches
+  SimNanos waited = 0;  // device-wait share
+  Histogram latency;    // arrival -> completion, per transaction
+};
+
+struct MultiSessionResult {
+  // OK for a complete run; the first dispatch error otherwise (armed power
+  // cut, dead media, ...) with per-session progress up to that instant
+  // intact — crash tests read committed() per session from here.
+  Status run_status;
+  SimNanos makespan = 0;  // array-wide completion time of the run
+  uint64_t dispatched = 0;
+  uint64_t committed = 0;
+  double txns_per_sec = 0.0;  // committed / makespan
+  std::vector<SessionReport> sessions;
+};
+
 class Harness {
  public:
   explicit Harness(const HarnessConfig& config);
@@ -100,7 +149,7 @@ class Harness {
   Harness(const Harness&) = delete;
   Harness& operator=(const Harness&) = delete;
 
-  // Builds the stack: device (+aging), mkfs, mount. Call once.
+  // Builds the stack: device array (+aging), mkfs, mount. Call once.
   Status Setup();
 
   // Opens (or reopens) a database file on the mounted file system with the
@@ -113,12 +162,28 @@ class Harness {
   // be reopened (their open runs host-side recovery).
   Status CrashAndRecover();
 
+  // Runs `config.sessions` concurrent connections to completion on fresh
+  // per-session databases ("s<k>.db"), scheduled by a
+  // host::SessionScheduler. Requires Setup(); composes with EnableTracing()
+  // (per-session kHost/kTxn events land in the trace). The returned Status
+  // covers stack assembly only; a mid-run dispatch failure lands in
+  // MultiSessionResult::run_status with progress intact.
+  StatusOr<MultiSessionResult> RunMultiSession(const MultiSessionConfig& mc);
+
   // Measured GC validity achieved by aging (0 when aging was disabled).
   double aged_validity() const { return aged_validity_; }
 
   SimClock* clock() { return &clock_; }
   fs::ExtFs* fs() { return fs_.get(); }
-  storage::SimSsd* ssd() { return ssd_.get(); }
+  // The i-th array member (i < num_devices). With num_devices == 1 the
+  // single legacy drive is member 0.
+  storage::SimSsd* ssd(uint32_t i = 0);
+  uint32_t num_devices() const { return config_.num_devices; }
+  // Null unless num_devices > 1.
+  host::StripedVolume* volume() { return volume_.get(); }
+  // The device the file system is mounted on: the single drive's SATA
+  // front-end or the striped volume.
+  storage::TxBlockDevice* device();
   sql::SqlJournalMode sql_mode() const;
 
   // Marks the start of a measured interval / produces its Table-1 row.
@@ -150,7 +215,8 @@ class Harness {
 
   const HarnessConfig config_;
   SimClock clock_;
-  std::unique_ptr<storage::SimSsd> ssd_;
+  std::unique_ptr<storage::SimSsd> ssd_;          // num_devices == 1
+  std::unique_ptr<host::StripedVolume> volume_;   // num_devices > 1
   std::unique_ptr<fs::ExtFs> fs_;
   std::vector<std::pair<std::string, std::unique_ptr<sql::Database>>> dbs_;
   double aged_validity_ = 0.0;

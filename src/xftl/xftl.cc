@@ -76,7 +76,7 @@ StatusOr<int> XFtl::AllocateSlot() {
       return Status::ResourceExhausted(
           "X-L2P table full of active transactions");
     }
-    XFTL_RETURN_IF_ERROR(Flush());  // PersistMapping + FlushSubclassMeta
+    XFTL_RETURN_IF_ERROR(Checkpoint());
     xstats_.forced_checkpoints++;
     if (free_slots_.empty()) {
       return Status::ResourceExhausted(
@@ -212,7 +212,9 @@ Status XFtl::TxCommit(TxId t) {
 
   // Step 0 (implicit in the paper): all data pages written by t must have
   // finished programming before the commit record makes them reachable.
-  device()->SyncAll();
+  // Under PLP the capacitor covers the program buffer, so the commit does
+  // not wait for the cells.
+  if (!xconfig_.plp_commit) device()->SyncAll();
 
   // Step 1: mark entries committed (not yet folded into the L2P). The slot
   // leaves ACTIVE status here, so its by_lpn_ entry is erased eagerly —
@@ -229,9 +231,15 @@ Status XFtl::TxCommit(TxId t) {
   // sequence number is the atomic "location update" in the meta root sense.
   // (This write can trigger meta-region compaction, which checkpoints the
   // L2P and releases folded committed slots - the entries committed here
-  // are protected by their folded=false flag.)
-  XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
-  device()->SyncAll();
+  // are protected by their folded=false flag.) PLP firmware keeps the
+  // commit in the protected DRAM table instead and snapshots lazily — at
+  // forced reclaim, meta compaction, or the power-loss checkpoint.
+  if (!xconfig_.plp_commit) {
+    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
+    device()->SyncAll();
+  } else {
+    xl2p_dirty_ = true;
+  }
 
   // Step 4: fold the new physical addresses into the L2P (idempotent; the
   // base FTL checkpoints the L2P lazily).
@@ -267,6 +275,18 @@ Status XFtl::TxAbort(TxId t) {
   // crash, recovery discards ACTIVE entries anyway.
   xstats_.aborts++;
   TraceX(device(), trace::Op::kTxAbort, t0, t, dropped, 0, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status XFtl::Checkpoint() {
+  // Not Flush(): with fast_barrier firmware a flush only drains the write
+  // buffer, but slot reclamation needs the folded mappings durable in the
+  // L2P checkpoint before their committed entries may be dropped from the
+  // snapshot.
+  device()->SyncAll();
+  XFTL_RETURN_IF_ERROR(PersistMapping());
+  XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
+  device()->SyncAll();
   return Status::OK();
 }
 

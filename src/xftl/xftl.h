@@ -52,6 +52,16 @@ inline constexpr TxId kNoTx = 0;
 struct XftlConfig {
   // Paper: 500 entries (8 KB) or 1000 entries (16 KB), 16 bytes each.
   uint32_t xl2p_capacity = 500;
+  // Power-loss-protected commit: the drive's capacitor-backed cache covers
+  // the X-L2P table and the program buffer, so TxCommit neither drains the
+  // device nor programs a snapshot page synchronously — durability comes
+  // from the emergency checkpoint the firmware runs on power loss (see
+  // SimSsd::CutPower). Research firmware (OpenSSD) has no such cache and
+  // keeps the strict snapshot-per-commit path. Note the limitation shared
+  // with real PLP drives: if the flash array itself is failing when power
+  // drops, the emergency checkpoint cannot land and commits since the last
+  // ordinary checkpoint are lost.
+  bool plp_commit = false;
 };
 
 struct XftlStats {
@@ -87,7 +97,14 @@ class XFtl : public PageFtl {
   Status TxWriteBatch(TxId t, const Lpn* lpns, const uint8_t* const* datas,
                       size_t n, size_t* accepted = nullptr);
 
+  // Durable L2P + X-L2P checkpoint: drains the device, persists the dirty
+  // mapping segments and the table snapshot, and releases folded committed
+  // slots. Unlike Flush(), this persists even under fast_barrier firmware;
+  // it is the forced-reclaim path and the PLP emergency checkpoint.
+  Status Checkpoint();
+
   const XftlStats& xstats() const { return xstats_; }
+  bool plp_commit() const { return xconfig_.plp_commit; }
   void ResetXstats() { xstats_ = XftlStats{}; }
   // Number of table slots in use (active + retained committed).
   size_t Xl2pOccupancy() const;

@@ -124,7 +124,9 @@ void RunCrashPoint(const SweepParam& param) {
     ssd.flash()->ArmPowerFailure(param.crash_after_programs);
   }
   int64_t acked = 0;
-  const int64_t kMaxTxns = 200;
+  // Long enough that every armed point fires even in the leanest mode
+  // (kOff + fdatasync writes the fewest pages per transaction).
+  const int64_t kMaxTxns = 400;
   bool crashed = false;
   for (int64_t txn = 1; txn <= kMaxTxns && !crashed; ++txn) {
     // Three related rows per transaction: ids 3t-2..3t, a = id * 7,

@@ -51,7 +51,8 @@ int Usage() {
       "commands:\n"
       "  dump     print events as text (--limit=N caps the output)\n"
       "  summary  per-layer/op latency percentiles, per-transaction page\n"
-      "           counts, write-amplification breakdown\n"
+      "           counts, per-session transaction latency (multi-session\n"
+      "           host traces), write-amplification breakdown\n"
       "  replay   re-drive the SATA command stream on a fresh device and\n"
       "           check replay determinism\n"
       "           --profile=openssd|s830   device profile (default openssd)\n"
@@ -68,15 +69,16 @@ int Dump(const std::string& path, long limit) {
     return 1;
   }
   auto reader = std::move(reader_or).value();
-  std::printf("%14s %-6s %-10s %6s %10s %10s %12s %s\n", "time(ns)", "layer",
-              "op", "tid", "a", "b", "latency(ns)", "status");
+  std::printf("%14s %-6s %-10s %6s %5s %10s %10s %12s %s\n", "time(ns)",
+              "layer", "op", "tid", "sid", "a", "b", "latency(ns)", "status");
   TraceEvent e;
   long printed = 0;
   while ((limit <= 0 || printed < limit) && reader->Next(&e)) {
-    std::printf("%14llu %-6s %-10s %6u %10llu %10llu %12llu %s\n",
+    std::printf("%14llu %-6s %-10s %6u %5u %10llu %10llu %12llu %s\n",
                 (unsigned long long)e.time, LayerName(e.layer), OpName(e.op),
-                e.tid, (unsigned long long)e.a, (unsigned long long)e.b,
-                (unsigned long long)e.latency, StatusCodeToString(e.status));
+                e.tid, e.sid, (unsigned long long)e.a,
+                (unsigned long long)e.b, (unsigned long long)e.latency,
+                StatusCodeToString(e.status));
     printed++;
   }
   if (reader->truncated()) {
@@ -121,6 +123,13 @@ int Summary(const std::string& path) {
   uint64_t link_retries = 0, backoff_nanos = 0;
   uint64_t link_resets = 0, reissued_pages = 0;
   uint64_t degrade_enters = 0, degrade_exits = 0, link_deaths = 0;
+  // Host sessions: kHost/kTxn events are whole application transactions,
+  // one per dispatch, tagged with the session id and carrying the
+  // host-busy share in `b`.
+  std::map<uint32_t, Histogram> session_lat;
+  std::map<uint32_t, uint64_t> session_busy;
+  uint64_t host_txns = 0;
+  SimNanos host_first = ~0ull, host_last = 0;
 
   for (const TraceEvent& e : events) {
     lat[int(e.layer)][int(e.op)].Add(e.latency);
@@ -163,6 +172,13 @@ int Summary(const std::string& path) {
       flash_programs++;
       bank_programs[e.tid]++;
     }
+    if (e.layer == Layer::kHost && e.op == Op::kTxn) {
+      session_lat[e.sid].Add(e.latency);
+      session_busy[e.sid] += e.b;
+      host_txns++;
+      host_first = std::min(host_first, e.time);
+      host_last = std::max(host_last, e.time + e.latency);
+    }
     if (e.layer == Layer::kFlash && e.op == Op::kErase) erases++;
     if (e.layer == Layer::kFtl && e.op == Op::kGc &&
         e.status == StatusCode::kOk) {
@@ -185,6 +201,27 @@ int Summary(const std::string& path) {
                   (unsigned long long)h.count(), h.Mean(), h.Percentile(50),
                   h.Percentile(95), h.Percentile(99));
     }
+  }
+
+  if (host_txns > 0) {
+    std::printf("\nper-session transactions (host layer)\n");
+    std::printf("%5s %10s %12s %12s %12s %12s\n", "sid", "txns", "mean-us",
+                "p50-us", "p99-us", "busy-ms");
+    for (const auto& [sid, h] : session_lat) {
+      std::printf("%5u %10llu %12.1f %12.1f %12.1f %12.2f\n", sid,
+                  (unsigned long long)h.count(), h.Mean() / 1e3,
+                  h.Percentile(50) / 1e3, h.Percentile(99) / 1e3,
+                  double(session_busy[sid]) / 1e6);
+    }
+    const double span_sec =
+        host_last > host_first ? double(host_last - host_first) / 1e9 : 0.0;
+    std::printf("  array: %llu txns across %llu sessions over %.3f s",
+                (unsigned long long)host_txns,
+                (unsigned long long)session_lat.size(), span_sec);
+    if (span_sec > 0) {
+      std::printf("  ->  %.0f txn/s", double(host_txns) / span_sec);
+    }
+    std::printf("\n");
   }
 
   if (!txn_pages.empty()) {
