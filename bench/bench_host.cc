@@ -27,6 +27,10 @@
 //                            paper's 2009-era single-core host)
 //   --trace=PATH    capture a trace (xftl_trace summary shows per-session
 //                   p99 from the kHost events)
+//   --kill-member=N cut power on member N mid-run and keep scheduling
+//                   degraded (failed dispatches are counted, sessions roll
+//                   back and continue); requires a pinned multi-device cell
+//   --kill-after=N  dispatches before the cut fires (default 50)
 //   --json          emit one JSON line per cell
 #include <cstdio>
 #include <string>
@@ -55,6 +59,8 @@ int Run(int argc, char** argv) {
   const std::string setup = FlagString(argc, argv, "setup", "xftl");
   const long cpu_us = FlagInt(argc, argv, "cpu-statement-us", 10);
   const std::string trace = FlagString(argc, argv, "trace", "");
+  const long kill_member = FlagInt(argc, argv, "kill-member", -1);
+  const long kill_after = FlagInt(argc, argv, "kill-after", 50);
   const bool json = FlagBool(argc, argv, "json");
 
   std::vector<Cell> cells;
@@ -120,17 +126,52 @@ int Run(int argc, char** argv) {
     mc.think_time = 0;
     mc.rows_per_txn = 1;
     mc.explicit_txn = false;
+    if (kill_member >= 0) {
+      if (cells.size() > 1 || cell.devices < 2 ||
+          cell.devices <= uint32_t(kill_member)) {
+        std::fprintf(stderr,
+                     "--kill-member needs a pinned striped cell (>= 2 "
+                     "devices) with more devices than the victim index\n");
+        return 1;
+      }
+      mc.kill_member = int32_t(kill_member);
+      mc.kill_after_txns = uint64_t(kill_after);
+      mc.continue_on_error = true;
+    }
     auto r = h.RunMultiSession(mc);
     if (!r.ok()) {
       std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
       return 1;
     }
     if (!r->run_status.ok()) {
+      // A degraded run must still COMPLETE: continue-on-error absorbs the
+      // per-dispatch failures, so any surviving error is a real defect.
       std::fprintf(stderr, "run died mid-flight: %s\n",
                    r->run_status.ToString().c_str());
       return 1;
     }
     if (!trace.empty()) (void)h.FinishTracing();
+
+    if (kill_member >= 0) {
+      // Probe the surviving stripes: the degraded array must keep serving
+      // reads that do not touch the dead member.
+      host::StripedVolume* vol = h.volume();
+      uint64_t probed = 0, probe_errors = 0;
+      std::vector<uint8_t> back(vol->page_size());
+      for (uint64_t lpn = 0; lpn < vol->num_pages() && probed < 256; ++lpn) {
+        if (vol->Map(lpn).device == uint32_t(kill_member)) continue;
+        ++probed;
+        if (!vol->Read(lpn, back.data()).ok()) ++probe_errors;
+      }
+      if (probe_errors != 0) {
+        std::fprintf(stderr,
+                     "degraded read probe: %llu/%llu surviving-stripe reads "
+                     "failed\n",
+                     (unsigned long long)probe_errors,
+                     (unsigned long long)probed);
+        return 1;
+      }
+    }
 
     // Merge per-session latency for the cell-level view; busy fraction is
     // host occupancy relative to total session activity.
@@ -155,6 +196,7 @@ int Run(int argc, char** argv) {
           .Add("txns_per_session", uint64_t(txns))
           .Add("open_loop", !closed)
           .Add("committed", r->committed)
+          .Add("failed", r->failed)
           .Add("txns_per_sec", r->txns_per_sec)
           .Add("p50_us", all.Percentile(50) / 1e3)
           .Add("p99_us", all.Percentile(99) / 1e3)

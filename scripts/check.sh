@@ -10,6 +10,7 @@
 #                                         # scheduler) alone, under ASan
 #   scripts/check.sh --sweep-seeds=500    # crash states per sweep config
 #   scripts/check.sh --link-fault-seeds=200  # link-fault sweep seeds
+#   scripts/check.sh --array-sweep-seeds=100 # per-member cut points/victim
 #
 # --sweep-seeds=N sets XFTL_SWEEP_SEEDS for the randomized crash sweep
 # (tests/crash_sweep_test.cc): N seeded power-cut points per (journal mode x
@@ -20,6 +21,11 @@
 # link-fault sweep (tests/link_fault_test.cc): N seeded runs of probabilistic
 # CRC/timeout/abort injection, each verified for zero silent data loss. The
 # test default is 40.
+#
+# --array-sweep-seeds=N sets XFTL_ARRAY_SWEEP_SEEDS for the per-member crash
+# sweep (tests/array_sweep_test.cc): N seeded cut points per victim member of
+# a 3-device striped volume (3N total), each recovered via the commit-record
+# protocol and checked for cross-device atomicity. The test default is 8.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,7 @@ for arg in "$@"; do
   case "${arg}" in
     --sweep-seeds=*) export XFTL_SWEEP_SEEDS="${arg#--sweep-seeds=}" ;;
     --link-fault-seeds=*) export XFTL_LINK_FAULT_SEEDS="${arg#--link-fault-seeds=}" ;;
+    --array-sweep-seeds=*) export XFTL_ARRAY_SWEEP_SEEDS="${arg#--array-sweep-seeds=}" ;;
     *) CONFIGS+=("${arg}") ;;
   esac
 done

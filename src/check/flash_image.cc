@@ -7,7 +7,9 @@ namespace xftl::check {
 namespace {
 
 constexpr uint32_t kImageMagic = 0x4d494658;  // "XFIM"
-constexpr uint32_t kImageVersion = 1;
+// v2 appends the array-placement fields (num_devices, device_index,
+// stripe_pages) to the header; v1 images load with the standalone defaults.
+constexpr uint32_t kImageVersion = 2;
 
 // Little-endian fixed-width scalar I/O; field-by-field, so the format is
 // independent of struct layout and padding.
@@ -68,6 +70,9 @@ Status SaveImage(const flash::FlashDevice& dev, const ImageParams& params,
   w.U32(params.meta_blocks);
   w.U32(params.transactional ? 1 : 0);
   w.U64(params.num_logical_pages);
+  w.U32(params.num_devices);
+  w.U32(params.device_index);
+  w.U32(params.stripe_pages);
 
   for (flash::BlockNum b = 0; b < fc.num_blocks; ++b) {
     w.U64(dev.EraseCount(b));
@@ -111,7 +116,8 @@ StatusOr<LoadedImage> LoadImage(const std::string& path, SimClock* clock) {
     std::fclose(f);
     return Status::Corruption(path + ": not a flash image");
   }
-  if (r.U32() != kImageVersion) {
+  uint32_t version = r.U32();
+  if (version != 1 && version != kImageVersion) {
     std::fclose(f);
     return Status::Corruption(path + ": unsupported image version");
   }
@@ -125,6 +131,11 @@ StatusOr<LoadedImage> LoadImage(const std::string& path, SimClock* clock) {
   img.params.meta_blocks = r.U32();
   img.params.transactional = r.U32() != 0;
   img.params.num_logical_pages = r.U64();
+  if (version >= 2) {
+    img.params.num_devices = r.U32();
+    img.params.device_index = r.U32();
+    img.params.stripe_pages = r.U32();
+  }
   if (!r.ok || img.config.page_size == 0 || img.config.pages_per_block == 0 ||
       img.config.num_blocks == 0 || img.config.num_banks == 0) {
     std::fclose(f);

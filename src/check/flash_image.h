@@ -22,6 +22,12 @@ struct ImageParams {
   uint32_t meta_blocks = 0;
   uint64_t num_logical_pages = 0;
   bool transactional = false;
+  // Array placement (format v2): which member of a striped array this image
+  // is, and the volume's stripe geometry. A standalone device is the
+  // degenerate 1-member array. CheckArray() cross-checks a full member set.
+  uint32_t num_devices = 1;
+  uint32_t device_index = 0;
+  uint32_t stripe_pages = 0;  // 0 = not striped / unknown
 };
 
 // Writes `dev`'s current contents to `path` (overwrites).

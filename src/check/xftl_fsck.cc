@@ -25,6 +25,8 @@ constexpr size_t kEntrySize = 16;
 
 constexpr uint8_t kSlotActive = 1;
 constexpr uint8_t kSlotCommitted = 2;
+constexpr uint8_t kSlotPrepared = 3;      // array 2PC: durably in-doubt
+constexpr uint8_t kSlotCommitRecord = 4;  // coordinator commit record
 
 constexpr size_t kMaxErrors = 64;
 
@@ -41,6 +43,14 @@ struct Derived {
   uint64_t root_seq = 0;
   std::vector<flash::BlockNum> bad_list;
   std::vector<XEntry> xentries;  // winning snapshot, in page order
+  // PREPARED pages recovery retains as in-doubt (valid but unmapped) —
+  // mirrored for invariant 3's per-block validity accounting.
+  std::vector<flash::Ppn> retained_in_doubt;
+  // Per-transaction durable outcomes visible in this image, for the
+  // array-level atomicity cross-check.
+  std::set<uint32_t> committed_tids;  // COMMITTED entry, or fold durable
+  std::set<uint32_t> in_doubt_tids;   // PREPARED entry retained
+  std::set<uint32_t> record_tids;     // commit records held
 };
 
 void AddError(FsckReport* rep, std::string msg) {
@@ -280,6 +290,53 @@ void ApplyAndCheckXl2p(const FlashDevice& dev, const FsckOptions& opt,
       active.push_back(e);
       continue;
     }
+    if (e.status == kSlotCommitRecord) {
+      rep->counters.commit_records++;
+      if (e.ppn != flash::kInvalidPpn) {
+        AddError(rep, "commit record for tid " + std::to_string(e.tid) +
+                          " claims a page (ppn " + std::to_string(e.ppn) +
+                          "); records own no pages");
+      }
+      d->record_tids.insert(e.tid);
+      continue;
+    }
+    if (e.status == kSlotPrepared) {
+      // Mirror of recovery's in-doubt handling: retain the entry (page kept
+      // valid, NOT applied to the l2p — both versions survive) unless the
+      // durable state already shows the outcome.
+      rep->counters.in_doubt_entries++;
+      if (e.lpn >= d->l2p.size()) {
+        AddError(rep, "PREPARED X-L2P entry lpn " + std::to_string(e.lpn) +
+                          " beyond the logical space");
+        continue;
+      }
+      bool target_sound =
+          e.ppn < fc.TotalPages() &&
+          fc.BlockOf(e.ppn) >= opt.ftl.meta_blocks &&
+          dev.PageStateOf(e.ppn) == PageState::kProgrammed;
+      std::optional<flash::PageOob> oob;
+      if (target_sound) {
+        oob = dev.PeekOob(e.ppn);
+        target_sound = oob.has_value() && oob->lpn == e.lpn &&
+                       oob->tag == ftl::kTagTxData;
+      }
+      if (!target_sound) continue;  // aborted or GC'd long ago: discarded
+      flash::Ppn cur = d->l2p[e.lpn];
+      if (cur == e.ppn) {
+        // The fold is already durable: this member committed the transaction.
+        d->committed_tids.insert(e.tid);
+        continue;
+      }
+      if (cur != flash::kInvalidPpn) {
+        auto cur_oob = dev.PeekOob(cur);
+        if (cur_oob.has_value() && cur_oob->seq > oob->seq) {
+          continue;  // superseded by a newer durable write: resolved long ago
+        }
+      }
+      d->retained_in_doubt.push_back(e.ppn);
+      d->in_doubt_tids.insert(e.tid);
+      continue;
+    }
     if (e.status != kSlotCommitted) {
       AddError(rep, "X-L2P entry (tid " + std::to_string(e.tid) + ", lpn " +
                         std::to_string(e.lpn) + ") has invalid status " +
@@ -287,6 +344,7 @@ void ApplyAndCheckXl2p(const FlashDevice& dev, const FsckOptions& opt,
       continue;
     }
     rep->counters.committed_entries++;
+    d->committed_tids.insert(e.tid);
     if (e.lpn >= d->l2p.size()) {
       AddError(rep, "COMMITTED X-L2P entry lpn " + std::to_string(e.lpn) +
                         " beyond the logical space");
@@ -402,7 +460,9 @@ std::string FsckReport::Summary() const {
      << " mapped lpns, " << counters.roots_found << " roots ("
      << counters.root_fallbacks << " fallbacks), "
      << counters.committed_entries << " committed / "
-     << counters.active_entries << " active X-L2P entries ("
+     << counters.active_entries << " active / "
+     << counters.in_doubt_entries << " in-doubt X-L2P entries, "
+     << counters.commit_records << " commit records ("
      << counters.snapshots_skipped << " torn epochs), "
      << counters.torn_meta_pages << " torn meta pages, "
      << counters.persisted_bad_blocks << " persisted bad blocks";
@@ -442,6 +502,11 @@ FsckReport CheckRecovered(const flash::FlashDevice& dev,
       valid_per_block[fc.BlockOf(derived)]++;
     }
   }
+  // In-doubt pages recovery keeps valid without mapping them: both versions
+  // of a PREPARED transaction stay alive until the array resolves it.
+  for (flash::Ppn ppn : d.retained_in_doubt) {
+    if (ppn < fc.TotalPages()) valid_per_block[fc.BlockOf(ppn)]++;
+  }
   // Invariant 3: GC validity accounting agrees with the union of the
   // mapping tables.
   for (flash::BlockNum b = opt.ftl.meta_blocks; b < fc.num_blocks; ++b) {
@@ -467,6 +532,125 @@ FsckReport CheckRecovered(const flash::FlashDevice& dev,
     if (b >= fc.num_blocks || !dev.IsBadBlock(b)) {
       AddError(&rep, "FTL bad block " + std::to_string(b) +
                          " is not reported bad by the device");
+    }
+  }
+  return rep;
+}
+
+FsckReport CheckArray(const std::vector<LoadedImage>& members) {
+  FsckReport rep;
+  if (members.empty()) {
+    AddError(&rep, "array check needs at least one image");
+    return rep;
+  }
+
+  // --- stripe bijection: the member set must cover {0..N-1} exactly, with
+  // identical geometry, or the stripe map is not a bijection.
+  const ImageParams& ref = members[0].params;
+  const flash::FlashConfig& refc = members[0].config;
+  std::vector<const LoadedImage*> by_index(ref.num_devices, nullptr);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const LoadedImage& m = members[i];
+    std::string who = "image " + std::to_string(i);
+    if (m.params.num_devices != ref.num_devices) {
+      AddError(&rep, who + ": claims " + std::to_string(m.params.num_devices) +
+                         " devices, image 0 claims " +
+                         std::to_string(ref.num_devices));
+      continue;
+    }
+    if (m.params.stripe_pages != ref.stripe_pages ||
+        m.params.num_logical_pages != ref.num_logical_pages ||
+        m.params.meta_blocks != ref.meta_blocks ||
+        m.params.transactional != ref.transactional ||
+        m.config.page_size != refc.page_size ||
+        m.config.pages_per_block != refc.pages_per_block ||
+        m.config.num_blocks != refc.num_blocks) {
+      AddError(&rep, who + ": geometry differs from image 0");
+      continue;
+    }
+    if (m.params.device_index >= ref.num_devices) {
+      AddError(&rep, who + ": device index " +
+                         std::to_string(m.params.device_index) +
+                         " out of range for " +
+                         std::to_string(ref.num_devices) + " devices");
+      continue;
+    }
+    if (by_index[m.params.device_index] != nullptr) {
+      AddError(&rep, who + ": duplicate device index " +
+                         std::to_string(m.params.device_index));
+      continue;
+    }
+    by_index[m.params.device_index] = &m;
+  }
+  for (uint32_t i = 0; i < ref.num_devices; ++i) {
+    if (by_index[i] == nullptr) {
+      AddError(&rep, "member " + std::to_string(i) + " missing from the set");
+    }
+  }
+  if (members.size() != ref.num_devices) {
+    AddError(&rep, "got " + std::to_string(members.size()) +
+                       " images for a " + std::to_string(ref.num_devices) +
+                       "-device array");
+  }
+  if (!rep.ok()) return rep;  // per-member derivation needs a sane set
+
+  // --- per-member epoch consistency: every member must individually pass
+  // the single-image checks; their counters aggregate into the report.
+  std::vector<Derived> derived;
+  derived.reserve(ref.num_devices);
+  for (uint32_t i = 0; i < ref.num_devices; ++i) {
+    const LoadedImage& m = *by_index[i];
+    FsckOptions opt;
+    opt.ftl.meta_blocks = m.params.meta_blocks;
+    opt.ftl.num_logical_pages = m.params.num_logical_pages;
+    opt.transactional = m.params.transactional;
+    FsckReport mrep;
+    Derived d = Derive(*m.dev, opt, &mrep);
+    ApplyAndCheckXl2p(*m.dev, opt, &d, &mrep);
+    CheckMappings(*m.dev, d, &mrep);
+    CheckBadBlocks(*m.dev, d, &mrep);
+    for (const std::string& e : mrep.errors) {
+      AddError(&rep, "member " + std::to_string(i) + ": " + e);
+    }
+    rep.counters.roots_found += mrep.counters.roots_found;
+    rep.counters.root_fallbacks += mrep.counters.root_fallbacks;
+    rep.counters.torn_meta_pages += mrep.counters.torn_meta_pages;
+    rep.counters.snapshots_skipped += mrep.counters.snapshots_skipped;
+    rep.counters.mapped_lpns += mrep.counters.mapped_lpns;
+    rep.counters.committed_entries += mrep.counters.committed_entries;
+    rep.counters.active_entries += mrep.counters.active_entries;
+    rep.counters.in_doubt_entries += mrep.counters.in_doubt_entries;
+    rep.counters.commit_records += mrep.counters.commit_records;
+    rep.counters.persisted_bad_blocks += mrep.counters.persisted_bad_blocks;
+    derived.push_back(std::move(d));
+  }
+
+  // --- cross-device atomicity. Commit records live only on the
+  // coordinator (member 0). A transaction in doubt on one member while
+  // durably committed on another needs the record: recovery resolves
+  // in-doubt members by its presence, and without it the abort would tear a
+  // transaction half the array already made visible.
+  for (uint32_t i = 1; i < ref.num_devices; ++i) {
+    for (uint32_t tid : derived[i].record_tids) {
+      AddError(&rep, "member " + std::to_string(i) +
+                         " holds a commit record for tid " +
+                         std::to_string(tid) +
+                         "; records belong on the coordinator (member 0)");
+    }
+  }
+  const std::set<uint32_t>& records = derived[0].record_tids;
+  for (uint32_t i = 0; i < ref.num_devices; ++i) {
+    for (uint32_t tid : derived[i].in_doubt_tids) {
+      if (records.count(tid) != 0) continue;  // will resolve forward
+      for (uint32_t j = 0; j < ref.num_devices; ++j) {
+        if (j == i) continue;
+        if (derived[j].committed_tids.count(tid) != 0) {
+          AddError(&rep, "tid " + std::to_string(tid) + " is in doubt on " +
+                             "member " + std::to_string(i) +
+                             " but committed on member " + std::to_string(j) +
+                             " with no commit record: recovery would tear it");
+        }
+      }
     }
   }
   return rep;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "check/flash_image.h"
 #include "flash/flash_device.h"
 #include "ftl/page_ftl.h"
 
@@ -47,6 +48,8 @@ struct FsckCounters {
   uint64_t mapped_lpns = 0;        // lpns mapped after derivation
   uint64_t committed_entries = 0;  // in the winning X-L2P snapshot
   uint64_t active_entries = 0;     // discarded by derivation
+  uint64_t in_doubt_entries = 0;   // PREPARED entries (array 2PC in-doubt)
+  uint64_t commit_records = 0;     // coordinator commit records retained
   uint64_t persisted_bad_blocks = 0;
 };
 
@@ -69,6 +72,17 @@ FsckReport CheckImage(const flash::FlashDevice& dev, const FsckOptions& opt);
 // directions. Runs after every PowerCycle()/CrashAndRecover() in tests.
 FsckReport CheckRecovered(const flash::FlashDevice& dev,
                           const FsckOptions& opt, const ftl::PageFtl& ftl);
+
+// Array-level cross-check over the per-member images of one striped volume
+// (host::StripedVolume): the member set forms a bijection onto the stripe
+// map (device_index exactly {0..N-1}, all geometry consistent), each member
+// is individually consistent (CheckImage, errors prefixed "member k:"), and
+// the two-phase-commit atomicity invariant holds — a transaction id that is
+// durably in-doubt (PREPARED) on one member while durably COMMITTED on
+// another must have a commit record on the coordinator (member 0), and
+// commit records live only there. Without the record, recovery would abort
+// the in-doubt member and tear the transaction.
+FsckReport CheckArray(const std::vector<LoadedImage>& members);
 
 }  // namespace xftl::check
 

@@ -17,7 +17,14 @@ StatusOr<BufferCache::Entry*> BufferCache::Get(uint64_t page,
   Entry& e = entries_[page];
   e.page = page;
   e.data.resize(dev_->page_size());
-  XFTL_RETURN_IF_ERROR(dev_->TxRead(tid, page, e.data.data()));
+  Status read = dev_->TxRead(tid, page, e.data.data());
+  if (!read.ok()) {
+    // The entry was never linked into the LRU; leaving it cached would hand
+    // a later hit a singular lru_it. Failed reads (a degraded array, a dead
+    // link) must be retryable, so drop it and re-read next time.
+    entries_.erase(page);
+    return read;
+  }
   lru_.push_front(page);
   e.lru_it = lru_.begin();
   return &e;

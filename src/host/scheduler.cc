@@ -73,9 +73,15 @@ Status SessionScheduler::DispatchOne(SessionProgress* p) {
   dispatched_++;
   if (!status.ok()) {
     // Crash/fault mid-dispatch: leave the clock at the failure instant; the
-    // caller owns what happens next (usually an array power cycle).
+    // caller owns what happens next (usually an array power cycle). In
+    // continue-on-error mode the session still gets its next arrival — a
+    // degraded-array run keeps going, with this failure counted.
     p->prev_done = t1;
     makespan_ = std::max(makespan_, t1);
+    if (continue_on_error_) {
+      p->next_arrival = s->config().open_loop ? arrival + s->NextInterarrival()
+                                              : t1 + s->NextInterarrival();
+    }
     return status;
   }
 
@@ -114,7 +120,11 @@ Status SessionScheduler::Run() {
   while (true) {
     int i = PickNext();
     if (i < 0) break;
-    XFTL_RETURN_IF_ERROR(DispatchOne(&progress_[i]));
+    Status s = DispatchOne(&progress_[i]);
+    if (!s.ok()) {
+      if (!continue_on_error_) return s;
+      failed_++;
+    }
   }
   // Land the clock on the makespan: benchmarks read elapsed time off the
   // clock, and the array is busy until its last completion.
@@ -127,7 +137,11 @@ StatusOr<uint64_t> SessionScheduler::RunSteps(uint64_t n) {
   while (n == 0 || steps < n) {
     int i = PickNext();
     if (i < 0) break;
-    XFTL_RETURN_IF_ERROR(DispatchOne(&progress_[i]));
+    Status s = DispatchOne(&progress_[i]);
+    if (!s.ok()) {
+      if (!continue_on_error_) return s;
+      failed_++;
+    }
     steps++;
   }
   return steps;

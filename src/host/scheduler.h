@@ -74,6 +74,13 @@ class SessionScheduler {
   // semantics as Run(). Returns the number actually dispatched.
   StatusOr<uint64_t> RunSteps(uint64_t n);
 
+  // Keep scheduling past dispatch failures (degraded-array runs: sessions
+  // striped over a dead member keep failing while survivors commit). Each
+  // failure counts once in failed() and the session's next arrival is still
+  // scheduled; without this a failed session would re-dispatch forever.
+  void set_continue_on_error(bool v) { continue_on_error_ = v; }
+  uint64_t failed() const { return failed_; }
+
   // Completion time of the latest finished dispatch — the array-wide
   // makespan once Run() returned OK. Run() leaves the clock here.
   SimNanos makespan() const { return makespan_; }
@@ -91,6 +98,8 @@ class SessionScheduler {
   std::vector<SessionProgress> progress_;
   SimNanos makespan_ = 0;
   uint64_t dispatched_ = 0;
+  uint64_t failed_ = 0;
+  bool continue_on_error_ = false;
 };
 
 }  // namespace xftl::host

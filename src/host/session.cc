@@ -30,7 +30,13 @@ Status Session::RunTxn() {
   if (config_.explicit_txn) sql += " COMMIT;";
   dispatched_++;
   Status s = db_->Exec(sql).status();
-  if (s.ok()) committed_++;
+  if (s.ok()) {
+    committed_++;
+  } else if (config_.rollback_on_error && db_->in_transaction()) {
+    // Failure left the connection mid-transaction; clear it so the next
+    // dispatch is not poisoned by a stale BEGIN.
+    (void)db_->Rollback();
+  }
   return s;
 }
 

@@ -43,6 +43,10 @@ struct SessionConfig {
   SimNanos think_time = 0;
   // Seed for this session's arrival sampling (combine with id for fleets).
   uint64_t seed = 1;
+  // After a failed transaction, roll the connection back (best effort) so
+  // the next dispatch starts clean — degraded-array runs where failures are
+  // expected and the session keeps going (scheduler continue-on-error).
+  bool rollback_on_error = false;
 };
 
 class Session {

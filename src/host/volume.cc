@@ -1,5 +1,7 @@
 #include "host/volume.h"
 
+#include "check/flash_image.h"
+
 namespace xftl::host {
 
 StripedVolume::StripedVolume(const VolumeConfig& config, SimClock* clock)
@@ -7,10 +9,17 @@ StripedVolume::StripedVolume(const VolumeConfig& config, SimClock* clock)
   CHECK(clock != nullptr);
   CHECK_GE(config.num_devices, 1u);
   CHECK_GE(config.stripe_pages, 1u);
+  if (!config.member_specs.empty()) {
+    CHECK_EQ(config.member_specs.size(), size_t(config.num_devices))
+        << "member_specs must cover every member";
+  }
   members_.reserve(config.num_devices);
   for (uint32_t i = 0; i < config.num_devices; ++i) {
-    members_.push_back(std::make_unique<storage::SimSsd>(config.spec, clock));
+    const storage::SsdSpec& spec =
+        config.member_specs.empty() ? config.spec : config.member_specs[i];
+    members_.push_back(std::make_unique<storage::SimSsd>(spec, clock));
   }
+  powered_.assign(config.num_devices, true);
   // Round each member down to whole stripe units so the map is a bijection
   // onto [0, num_pages): a partial tail unit would alias across members.
   uint64_t member_pages = members_[0]->device()->num_pages();
@@ -45,28 +54,72 @@ uint32_t StripedVolume::page_size() const {
   return members_[0]->device()->page_size();
 }
 
+Status StripedVolume::CheckMember(uint32_t dev) const {
+  if (!powered_[dev]) {
+    return Status::IoError("member " + std::to_string(dev) +
+                           " is powered off");
+  }
+  return Status::OK();
+}
+
+void StripedVolume::DeferError(const Status& s) {
+  DCHECK(!s.ok());
+  // errseq semantics, one level up from the per-device SATA latch: first
+  // loss wins, the next barrier/commit reports it once.
+  if (deferred_error_.ok()) deferred_error_ = s;
+}
+
+Status StripedVolume::TakeDeferredError() {
+  Status s = deferred_error_;
+  deferred_error_ = Status::OK();
+  return s;
+}
+
+void StripedVolume::NoteMemberFault(uint32_t member, bool offline) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kHost, trace::Op::kMemberFault,
+                    clock_->Now(), 0, member, offline ? 1 : 0, 0,
+                    StatusCode::kOk);
+  }
+}
+
 Status StripedVolume::Read(uint64_t page, uint8_t* data) {
   Location loc = Map(page);
+  // Degraded array: surviving stripes keep serving; a dead stripe fails
+  // fast instead of touching the powered-off member.
+  XFTL_RETURN_IF_ERROR(CheckMember(loc.device));
   return members_[loc.device]->device()->Read(loc.lpn, data);
 }
 
 Status StripedVolume::Write(uint64_t page, const uint8_t* data) {
   Location loc = Map(page);
+  Status s = CheckMember(loc.device);
+  if (!s.ok()) {
+    DeferError(s);
+    return s;
+  }
   return members_[loc.device]->device()->Write(loc.lpn, data);
 }
 
 Status StripedVolume::Trim(uint64_t page) {
   Location loc = Map(page);
+  Status s = CheckMember(loc.device);
+  if (!s.ok()) {
+    DeferError(s);
+    return s;
+  }
   return members_[loc.device]->device()->Trim(loc.lpn);
 }
 
 Status StripedVolume::FlushBarrier() {
-  // Every member must drain: a barrier is an array-wide durability point.
-  // All members are visited even after a failure so the survivors still
-  // reach their barrier (and surface their own deferred errors).
-  Status first;
-  for (auto& m : members_) {
-    Status s = m->device()->FlushBarrier();
+  // Every online member must drain: a barrier is an array-wide durability
+  // point. All are visited even after a failure so the survivors still
+  // reach their barrier (and surface their own deferred errors). A write
+  // lost against an offline member surfaces here via the volume latch.
+  Status first = TakeDeferredError();
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    if (!powered_[dev]) continue;
+    Status s = members_[dev]->device()->FlushBarrier();
     if (!s.ok() && first.ok()) first = s;
   }
   return first;
@@ -78,13 +131,19 @@ bool StripedVolume::SupportsTransactions() const {
 
 Status StripedVolume::TxRead(storage::TxId t, uint64_t page, uint8_t* data) {
   Location loc = Map(page);
+  XFTL_RETURN_IF_ERROR(CheckMember(loc.device));
   return members_[loc.device]->device()->TxRead(t, loc.lpn, data);
 }
 
 Status StripedVolume::TxWrite(storage::TxId t, uint64_t page,
                               const uint8_t* data) {
   Location loc = Map(page);
-  Status s = members_[loc.device]->device()->TxWrite(t, loc.lpn, data);
+  Status s = CheckMember(loc.device);
+  if (!s.ok()) {
+    DeferError(s);
+    return s;
+  }
+  s = members_[loc.device]->device()->TxWrite(t, loc.lpn, data);
   if (s.ok()) participants_[t].insert(loc.device);
   return s;
 }
@@ -104,7 +163,7 @@ Status StripedVolume::TxWriteBatch(storage::TxId t, const uint64_t* pages,
 Status StripedVolume::FanOutBatch(storage::TxId t, const uint64_t* pages,
                                   const uint8_t* const* datas, size_t n,
                                   size_t* accepted) {
-  if (members_.size() == 1 && t == ftl::kNoTx) {
+  if (members_.size() == 1 && t == ftl::kNoTx && powered_[0]) {
     // Single member, untagged: pages still need remapping but the batch
     // passes through whole.
     std::vector<uint64_t> local(n);
@@ -138,8 +197,15 @@ Status StripedVolume::FanOutBatch(storage::TxId t, const uint64_t* pages,
   for (uint32_t dev = 0; dev < members_.size(); ++dev) {
     SubBatch& sb = subs[dev];
     if (sb.local_pages.empty()) continue;
+    Status s = CheckMember(dev);
+    if (!s.ok()) {
+      // Offline member: its pages fail fast and latch the volume errseq;
+      // other members' sub-batches still land (surviving stripes work).
+      DeferError(s);
+      if (first.ok()) first = s;
+      continue;
+    }
     size_t dev_accepted = 0;
-    Status s;
     if (t == ftl::kNoTx) {
       s = members_[dev]->device()->WriteBatch(sb.local_pages.data(),
                                               sb.data.data(),
@@ -151,6 +217,13 @@ Status StripedVolume::FanOutBatch(storage::TxId t, const uint64_t* pages,
                                                 sb.local_pages.size(),
                                                 &dev_accepted);
       if (dev_accepted > 0) participants_[t].insert(dev);
+    }
+    if (s.ok() && dev_accepted < sb.local_pages.size()) {
+      // A member must not report success for a partially-accepted batch:
+      // silently counting it fully accepted would let the caller skip the
+      // reissue and lose the rejected suffix.
+      s = Status::IoError("member " + std::to_string(dev) +
+                          " accepted a partial batch without an error");
     }
     for (size_t k = 0; k < dev_accepted; ++k) page_ok[sb.input_index[k]] = true;
     if (!s.ok() && first.ok()) first = s;
@@ -164,7 +237,18 @@ Status StripedVolume::FanOutBatch(storage::TxId t, const uint64_t* pages,
   return first;
 }
 
+void StripedVolume::AbortOn(const std::set<uint32_t>& parts,
+                            storage::TxId t) {
+  for (uint32_t dev : parts) {
+    if (!powered_[dev]) continue;  // resolved at that member's reboot
+    (void)members_[dev]->device()->TxAbort(t);
+  }
+}
+
 Status StripedVolume::TxCommit(storage::TxId t) {
+  // errseq: an acknowledged write lost against an offline member fails the
+  // commit before any member executes it (mirrors SataDevice::TxCommit).
+  XFTL_RETURN_IF_ERROR(TakeDeferredError());
   auto it = participants_.find(t);
   if (it == participants_.end()) {
     // Read-only or empty transaction: nothing reached any member; the
@@ -172,14 +256,79 @@ Status StripedVolume::TxCommit(storage::TxId t) {
     // commit of nothing is trivially durable.
     return Status::OK();
   }
-  // No cross-device atomic commit: members commit one after another (the
-  // known-deviation window documented in the header / DESIGN.md §9).
-  Status first;
-  for (uint32_t dev : it->second) {
-    Status s = members_[dev]->device()->TxCommit(t);
-    if (!s.ok() && first.ok()) first = s;
+  const std::set<uint32_t> parts = it->second;
+
+  if (!config_.two_phase_commit || parts.size() == 1) {
+    // A single participant commits atomically inside its own X-FTL — no
+    // cross-device window exists, so the protocol overhead is skipped.
+    // With two_phase_commit off this is the unsafe serial fan-out: a power
+    // cut mid-loop leaves the transaction committed on a prefix of its
+    // participants (the baseline bench/ablation_array_faults measures).
+    Status first;
+    for (uint32_t dev : parts) {
+      Status s = CheckMember(dev);
+      if (s.ok()) s = members_[dev]->device()->TxCommit(t);
+      if (!s.ok() && first.ok()) first = s;
+    }
+    participants_.erase(t);
+    return first;
   }
-  participants_.erase(it);
+
+  // --- phase 1: PREPARE every participant, ascending. Any failure aborts
+  // the whole transaction — nothing is visible yet on any member.
+  for (uint32_t dev : parts) {
+    Status s = CheckMember(dev);
+    if (s.ok()) s = members_[dev]->device()->TxPrepare(t);
+    if (!s.ok()) {
+      AbortOn(parts, t);
+      participants_.erase(t);
+      return s;
+    }
+  }
+
+  // Crash-scripting hooks: the window between PREPARE and the commit
+  // record is where the protocol earns its keep.
+  if (cut_after_prepare_ >= 0) {
+    uint32_t victim = uint32_t(cut_after_prepare_);
+    cut_after_prepare_ = -1;
+    CutPowerMember(victim);
+  }
+  if (tear_commit_record_) {
+    tear_commit_record_ = false;
+    // The next program on the coordinator — the first page of the commit
+    // record's X-L2P snapshot — tears mid-write.
+    members_[0]->flash()->ArmPowerFailure(1);
+  }
+
+  // --- commit point: the record on the coordinator. Not durable → the
+  // transaction never happened; recovery aborts every prepared member.
+  Status rs = CheckMember(0);
+  if (rs.ok()) rs = members_[0]->device()->WriteCommitRecord(t);
+  if (!rs.ok()) {
+    AbortOn(parts, t);
+    participants_.erase(t);
+    return rs;
+  }
+
+  // --- phase 2: COMMIT fan-out, continuing past per-member errors — a
+  // member that misses phase 2 is exactly what the retained record is for
+  // (its reboot resolves the transaction forward).
+  Status first;
+  bool all_acked = true;
+  for (uint32_t dev : parts) {
+    Status s = CheckMember(dev);
+    if (s.ok()) s = members_[dev]->device()->TxCommit(t);
+    if (!s.ok()) {
+      all_acked = false;
+      if (first.ok()) first = s;
+    }
+  }
+  if (all_acked) {
+    // Every participant's commit is durable (or PLP-protected), so the
+    // record has no one left to redirect; release is lazy and idempotent.
+    (void)members_[0]->device()->ReleaseCommitRecord(t);
+  }
+  participants_.erase(t);
   return first;
 }
 
@@ -188,6 +337,7 @@ Status StripedVolume::TxAbort(storage::TxId t) {
   if (it == participants_.end()) return Status::OK();
   Status first;
   for (uint32_t dev : it->second) {
+    if (!powered_[dev]) continue;  // nothing to abort: resolved at reboot
     Status s = members_[dev]->device()->TxAbort(t);
     if (!s.ok() && first.ok()) first = s;
   }
@@ -201,21 +351,131 @@ std::set<uint32_t> StripedVolume::Participants(storage::TxId t) const {
   return it->second;
 }
 
+bool StripedVolume::Degraded() const {
+  for (bool p : powered_) {
+    if (!p) return true;
+  }
+  return false;
+}
+
+void StripedVolume::CutPowerMember(uint32_t i) {
+  CHECK_LT(i, members_.size());
+  if (!powered_[i]) return;
+  // CutPower never advances the shared clock, so this cut lands at the
+  // same simulated instant no matter how many members a caller loops over
+  // — only Reboot (recovery) moves time.
+  members_[i]->CutPower();
+  powered_[i] = false;
+  NoteMemberFault(i, true);
+}
+
+Status StripedVolume::RebootMember(uint32_t i) {
+  CHECK_LT(i, members_.size());
+  if (powered_[i]) return Status::OK();
+  Status s = members_[i]->Reboot();
+  powered_[i] = true;
+  NoteMemberFault(i, false);
+  XFTL_RETURN_IF_ERROR(s);
+  // Transactions the dead member participated in are doomed: their writes
+  // there were discarded by recovery. Abort the survivors' halves so stale
+  // ACTIVE X-L2P slots from abandoned transactions cannot pin conflicts.
+  for (auto it = participants_.begin(); it != participants_.end();) {
+    if (it->second.count(i) != 0) {
+      AbortOn(it->second, it->first);
+      it = participants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ResolveInDoubtArray();
+}
+
+Status StripedVolume::PowerCycleMember(uint32_t i) {
+  CutPowerMember(i);
+  return RebootMember(i);
+}
+
+Status StripedVolume::ResolveInDoubtArray() {
+  // In-doubt state can only be resolved against the coordinator's records;
+  // while member 0 is offline every prepared transaction stays in doubt
+  // (both versions retained) until it returns.
+  if (!powered_[0]) return Status::OK();
+  storage::SataDevice* coord = members_[0]->device();
+  Status first;
+  std::vector<bool> rolled_forward(members_.size(), false);
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    if (!powered_[dev]) continue;
+    for (storage::TxId t : members_[dev]->device()->InDoubtTransactions()) {
+      bool commit = coord->HasCommitRecord(t);
+      Status s = members_[dev]->device()->ResolveInDoubt(t, commit);
+      if (!s.ok() && first.ok()) first = s;
+      if (s.ok() && commit) rolled_forward[dev] = true;
+    }
+  }
+  // A record may only be released once no member still needs it for REDO —
+  // and the roll-forwards must be durable first, or a later crash would
+  // resurface the prepared entries with the record already gone and abort
+  // a transaction other members committed.
+  bool all_online = !Degraded();
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    if (rolled_forward[dev]) {
+      Status s = members_[dev]->device()->FlushBarrier();
+      if (!s.ok() && first.ok()) first = s;
+    }
+  }
+  if (all_online && first.ok()) {
+    for (storage::TxId t : coord->CommitRecords()) {
+      bool settled = true;
+      for (uint32_t dev = 0; dev < members_.size() && settled; ++dev) {
+        for (storage::TxId d : members_[dev]->device()->InDoubtTransactions()) {
+          if (d == t) settled = false;
+        }
+      }
+      if (settled) {
+        Status s = coord->ReleaseCommitRecord(t);
+        if (!s.ok() && first.ok()) first = s;
+      }
+    }
+  }
+  return first;
+}
+
 Status StripedVolume::PowerCycle() {
   // One rail: every member loses power at the same instant. CutPower does
-  // not advance the clock; Reboot (recovery) does, so the cuts must all
-  // happen before the first reboot starts.
-  for (auto& m : members_) m->CutPower();
+  // not advance the clock; Reboot (recovery) does, so all cuts land before
+  // the first reboot starts — the per-member loop is safe precisely
+  // because cutting is instantaneous on the shared timeline.
+  for (uint32_t i = 0; i < members_.size(); ++i) CutPowerMember(i);
   participants_.clear();
   Status first;
-  for (auto& m : members_) {
-    Status s = m->Reboot();
+  for (uint32_t i = 0; i < members_.size(); ++i) {
+    // Ascending order brings the coordinator back first, but resolution
+    // waits for the full set: RebootMember's array scan is idempotent.
+    Status s = RebootMember(i);
     if (!s.ok() && first.ok()) first = s;
   }
   return first;
 }
 
+Status StripedVolume::SaveMemberImages(const std::string& prefix) {
+  for (uint32_t i = 0; i < members_.size(); ++i) {
+    const storage::SsdSpec& spec =
+        config_.member_specs.empty() ? config_.spec : config_.member_specs[i];
+    check::ImageParams p;
+    p.meta_blocks = spec.ftl.meta_blocks;
+    p.num_logical_pages = spec.ftl.num_logical_pages;
+    p.transactional = spec.transactional;
+    p.num_devices = uint32_t(members_.size());
+    p.device_index = i;
+    p.stripe_pages = config_.stripe_pages;
+    XFTL_RETURN_IF_ERROR(check::SaveImage(
+        *members_[i]->flash(), p, prefix + "." + std::to_string(i) + ".img"));
+  }
+  return Status::OK();
+}
+
 void StripedVolume::SetTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
   for (auto& m : members_) m->SetTracer(tracer);
 }
 

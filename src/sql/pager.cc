@@ -215,7 +215,14 @@ StatusOr<Pager::CacheEntry*> Pager::FetchPage(Pgno pgno) {
   XFTL_RETURN_IF_ERROR(EvictIfNeeded());
   CacheEntry& e = cache_[pgno];
   e.data.resize(page_size_);
-  XFTL_RETURN_IF_ERROR(ReadPageFromFiles(pgno, e.data.data()));
+  Status read = ReadPageFromFiles(pgno, e.data.data());
+  if (!read.ok()) {
+    // The entry was never linked into the LRU; leaving it cached would hand
+    // a later hit a singular lru_it. Failed reads (a degraded array, a dead
+    // link) must be retryable, so drop it and re-read next time.
+    cache_.erase(pgno);
+    return read;
+  }
   stats_.page_reads++;
   lru_.push_front(pgno);
   e.lru_it = lru_.begin();

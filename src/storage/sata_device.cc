@@ -605,6 +605,81 @@ Status SataDevice::TxCommit(TxId t) {
   return s;
 }
 
+Status SataDevice::TxPrepare(TxId t) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("prepare on a non-transactional device");
+  }
+  // Same barrier discipline as TxCommit: PREPARE promises both versions are
+  // durable, so every acknowledged queued write must be ordered before it.
+  SimNanos t0 = clock_->Now();
+  if (xftl_->plp_commit()) {
+    PollQueue();
+  } else {
+    DrainQueue();
+  }
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.prepare_commands++;
+  Status s = TakeDeferredError();
+  if (s.ok()) s = xftl_->TxPrepare(t);
+  Note(trace::Op::kTxPrepare, t0, t, 0, s.code());
+  return s;
+}
+
+Status SataDevice::WriteCommitRecord(TxId t) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("commit record on a non-transactional device");
+  }
+  SimNanos t0 = clock_->Now();
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.commit_record_commands++;
+  Status s = xftl_->WriteCommitRecord(t);
+  // `a` mirrors the XFtl-layer convention: 1 = record write, 0 = release.
+  Note(trace::Op::kCommitRecord, t0, t, 1, s.code());
+  return s;
+}
+
+Status SataDevice::ReleaseCommitRecord(TxId t) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("commit record on a non-transactional device");
+  }
+  SimNanos t0 = clock_->Now();
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.commit_record_commands++;
+  Status s = xftl_->ReleaseCommitRecord(t);
+  Note(trace::Op::kCommitRecord, t0, t, 0, s.code());
+  return s;
+}
+
+bool SataDevice::HasCommitRecord(TxId t) const {
+  return xftl_ != nullptr && xftl_->HasCommitRecord(t);
+}
+
+std::vector<TxId> SataDevice::CommitRecords() const {
+  if (xftl_ == nullptr) return {};
+  return xftl_->CommitRecords();
+}
+
+std::vector<TxId> SataDevice::InDoubtTransactions() const {
+  if (xftl_ == nullptr) return {};
+  return xftl_->InDoubtTransactions();
+}
+
+Status SataDevice::ResolveInDoubt(TxId t, bool commit) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("resolve on a non-transactional device");
+  }
+  SimNanos t0 = clock_->Now();
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.resolve_commands++;
+  Status s = xftl_->ResolveInDoubt(t, commit);
+  Note(trace::Op::kResolve, t0, t, commit ? 1 : 0, s.code());
+  return s;
+}
+
 Status SataDevice::TxAbort(TxId t) {
   if (xftl_ == nullptr) {
     return Status::NotSupported("abort on a non-transactional device");

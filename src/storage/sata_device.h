@@ -110,6 +110,10 @@ struct SataStats {
   // Extended-parameter trims carrying commit/abort (paper §5.2).
   uint64_t commit_commands = 0;
   uint64_t abort_commands = 0;
+  // --- array two-phase commit (extended trims, like commit/abort) ----------
+  uint64_t prepare_commands = 0;        // durable PREPARE markings
+  uint64_t commit_record_commands = 0;  // coordinator record writes+releases
+  uint64_t resolve_commands = 0;        // in-doubt resolutions after reboot
   // --- queued-command accounting -----------------------------------------
   uint64_t queued_commands = 0;    // writes accepted into an NCQ slot
   uint64_t queue_full_stalls = 0;  // submits that had to wait for a slot
@@ -144,6 +148,9 @@ struct SataStats {
     barrier_commands += o.barrier_commands;
     commit_commands += o.commit_commands;
     abort_commands += o.abort_commands;
+    prepare_commands += o.prepare_commands;
+    commit_record_commands += o.commit_record_commands;
+    resolve_commands += o.resolve_commands;
     queued_commands += o.queued_commands;
     queue_full_stalls += o.queue_full_stalls;
     batch_commands += o.batch_commands;
@@ -194,6 +201,24 @@ class SataDevice : public TxBlockDevice {
                       size_t* accepted = nullptr) override;
   Status TxCommit(TxId t) override;
   Status TxAbort(TxId t) override;
+
+  // --- array two-phase commit ----------------------------------------------
+  // The cross-device commands host::StripedVolume uses to commit one
+  // transaction atomically across members. They travel the wire as extended
+  // trims, exactly like commit/abort. All require a transactional FTL.
+  // Phase 1: durably retain both versions of `t`'s pages (XFtl::TxPrepare).
+  // Pays the same barrier discipline as TxCommit (drain, or PLP poll).
+  Status TxPrepare(TxId t);
+  // Coordinator-only commit record (write / release). Queries are free: they
+  // read controller DRAM, no wire command.
+  Status WriteCommitRecord(TxId t);
+  Status ReleaseCommitRecord(TxId t);
+  bool HasCommitRecord(TxId t) const;
+  std::vector<TxId> CommitRecords() const;
+  std::vector<TxId> InDoubtTransactions() const;
+  // Post-reboot resolution of an in-doubt transaction (REDO forward when
+  // `commit`, abort to the pre-image otherwise). Idempotent per member.
+  Status ResolveInDoubt(TxId t, bool commit);
 
   // --- NCQ observability ---------------------------------------------------
   // Writes whose device-side program has not yet drained at the current

@@ -61,12 +61,11 @@ class SimSsd {
   // recovered state is cross-checked by the offline invariant checker.
   Status PowerCycle();
 
-  // The two halves of PowerCycle, exposed separately so an array controller
-  // (host::StripedVolume) can pull the plug on every member at the same
-  // simulated instant BEFORE any member starts its (clock-advancing)
-  // recovery — a per-device PowerCycle loop would cut device k+1 strictly
-  // after device k finished rebooting, which is not what one power rail
-  // failing looks like.
+  // The two halves of PowerCycle, exposed separately for array controllers
+  // (host::StripedVolume): CutPower never advances the shared clock, so a
+  // controller can fail any subset of members — one fault domain or the
+  // whole rail — at a single simulated instant, and only then run the
+  // (clock-advancing) recoveries.
   void CutPower();
   Status Reboot();
 

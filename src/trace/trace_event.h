@@ -60,8 +60,15 @@ enum class Op : uint8_t {
   kTxn = 19,        // host: one whole application transaction as a session
                     //   saw it (a = txns completed by that session so far,
                     //   b = host-busy share of the latency)
+  kTxPrepare = 20,  // sata/xftl: array two-phase commit prepare (a = entries)
+  kCommitRecord = 21,  // xftl: coordinator commit record (a = 1 write,
+                       //   0 release)
+  kResolve = 22,    // sata/xftl: in-doubt resolution (a = 1 forward REDO,
+                    //   0 abort; b = entries resolved)
+  kMemberFault = 23,   // host: array member state change (a = member index,
+                       //   b = 1 offline, 0 back online)
 };
-inline constexpr int kNumOps = 20;
+inline constexpr int kNumOps = 24;
 const char* OpName(Op op);
 
 // One trace record. Field meaning by layer:

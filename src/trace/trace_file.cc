@@ -42,6 +42,10 @@ const char* OpName(Op op) {
     case Op::kLinkReset:  return "link-reset";
     case Op::kDegrade:    return "degrade";
     case Op::kTxn:        return "txn";
+    case Op::kTxPrepare:  return "tx-prepare";
+    case Op::kCommitRecord: return "commit-record";
+    case Op::kResolve:    return "resolve";
+    case Op::kMemberFault: return "member-fault";
   }
   return "?";
 }

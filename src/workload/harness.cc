@@ -53,6 +53,7 @@ Status Harness::Setup() {
     host::VolumeConfig vc;
     vc.num_devices = config_.num_devices;
     vc.stripe_pages = config_.stripe_pages;
+    vc.two_phase_commit = config_.two_phase_commit;
     vc.spec = spec;
     volume_ = std::make_unique<host::StripedVolume>(vc, &clock_);
     if (config_.gc_valid_target > 0) {
@@ -137,6 +138,29 @@ Status Harness::CrashAndRecover() {
   } else {
     XFTL_RETURN_IF_ERROR(ssd_->PowerCycle());
   }
+  fs::FsOptions fs_opt;
+  fs_opt.journal_mode = config_.setup == Setup::kXftl
+                            ? fs::JournalMode::kOff
+                            : fs::JournalMode::kOrdered;
+  fs_opt.cache_pages = config_.fs_cache_pages;
+  XFTL_ASSIGN_OR_RETURN(fs_, fs::ExtFs::Mount(device(), fs_opt, &clock_));
+  WireTracer();
+  return Status::OK();
+}
+
+Status Harness::CrashMemberAndRecover(uint32_t m) {
+  if (volume_ == nullptr) {
+    return Status::FailedPrecondition("member crash needs a striped volume");
+  }
+  // Host state is torn down exactly like a whole-array crash — the dead
+  // member took shared file-system stripes with it, so every connection's
+  // view is suspect until the remount re-reads from the recovered array.
+  for (auto& [name, db] : dbs_) {
+    if (db != nullptr) db->Abandon();
+  }
+  dbs_.clear();
+  fs_.reset();
+  XFTL_RETURN_IF_ERROR(volume_->PowerCycleMember(m));
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = config_.setup == Setup::kXftl
                             ? fs::JournalMode::kOff
@@ -240,6 +264,7 @@ StatusOr<MultiSessionResult> Harness::RunMultiSession(
     sc.rate_per_sec = mc.rate_per_sec;
     sc.think_time = mc.think_time;
     sc.seed = config_.seed;
+    sc.rollback_on_error = mc.continue_on_error;
     auto s = std::make_unique<host::Session>(sc, db);
     XFTL_RETURN_IF_ERROR(s->Init());
     raw.push_back(s.get());
@@ -250,9 +275,24 @@ StatusOr<MultiSessionResult> Harness::RunMultiSession(
   MultiSessionResult result;
   {
     host::SessionScheduler sched(&clock_, raw, tracer_.get());
-    result.run_status = sched.Run();
+    sched.set_continue_on_error(mc.continue_on_error);
+    if (mc.kill_member >= 0 && volume_ != nullptr) {
+      // Run up to the kill point, then pull one member's plug and keep
+      // scheduling degraded: survivors' stripes stay live, dispatches that
+      // touch the dead member fail and are counted.
+      auto steps = sched.RunSteps(mc.kill_after_txns);
+      if (!steps.ok()) {
+        result.run_status = steps.status();
+      } else {
+        volume_->CutPowerMember(uint32_t(mc.kill_member));
+        result.run_status = sched.Run();
+      }
+    } else {
+      result.run_status = sched.Run();
+    }
     result.makespan = sched.makespan() - start;
     result.dispatched = sched.dispatched();
+    result.failed = sched.failed();
     for (size_t i = 0; i < raw.size(); ++i) {
       const host::SessionProgress& p = sched.progress()[i];
       SessionReport r;

@@ -65,6 +65,9 @@ struct HarnessConfig {
   // results are bit-identical to before the volume layer existed).
   uint32_t num_devices = 1;
   uint32_t stripe_pages = 64;
+  // Cross-device two-phase commit on the striped volume; false restores the
+  // unsafe serial fan-out (the bench/ablation_array_faults baseline).
+  bool two_phase_commit = true;
   // Host CPU-time model override for the databases this harness opens;
   // 0 keeps the library default (sql::DbOptions). Multi-session throughput
   // benches lower it: the default is calibrated to the paper's 2009-era
@@ -118,6 +121,15 @@ struct MultiSessionConfig {
   // Transaction shape (see host::SessionConfig).
   uint32_t rows_per_txn = 1;
   bool explicit_txn = false;
+  // Degraded-array mode: keep scheduling past dispatch failures (each one
+  // counted in MultiSessionResult::failed, sessions rolled back and kept
+  // going) instead of aborting the run on the first error.
+  bool continue_on_error = false;
+  // Mid-run member kill: after `kill_after_txns` dispatches, cut power on
+  // member `kill_member` and keep running degraded (requires a striped
+  // volume and usually continue_on_error). -1 = never.
+  int32_t kill_member = -1;
+  uint64_t kill_after_txns = 0;
 };
 
 struct SessionReport {
@@ -137,6 +149,7 @@ struct MultiSessionResult {
   SimNanos makespan = 0;  // array-wide completion time of the run
   uint64_t dispatched = 0;
   uint64_t committed = 0;
+  uint64_t failed = 0;  // dispatches that errored (continue_on_error runs)
   double txns_per_sec = 0.0;  // committed / makespan
   std::vector<SessionReport> sessions;
 };
@@ -161,6 +174,13 @@ class Harness {
   // power-cycles and recovers, and the file system remounts. Databases must
   // be reopened (their open runs host-side recovery).
   Status CrashAndRecover();
+
+  // Per-member crash: only member `m` of the striped volume power-cycles
+  // (the other fault domains stay up and keep their state); host state is
+  // torn down and remounted like CrashAndRecover, and the volume resolves
+  // the member's in-doubt transactions against the coordinator's commit
+  // records during its reboot. Requires num_devices > 1.
+  Status CrashMemberAndRecover(uint32_t m);
 
   // Runs `config.sessions` concurrent connections to completion on fresh
   // per-session databases ("s<k>.db"), scheduled by a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -137,7 +138,9 @@ Status XFtl::TxWrite(TxId t, Lpn p, const uint8_t* data) {
   auto [lo, hi] = by_lpn_.equal_range(p);
   for (auto it = lo; it != hi; ++it) {
     const Slot& s = slots_[it->second];
-    if (s.status == SlotStatus::kActive && s.tid != t) {
+    if ((s.status == SlotStatus::kActive ||
+         s.status == SlotStatus::kPrepared) &&
+        s.tid != t) {
       xstats_.write_conflicts++;
       TraceX(device(), trace::Op::kTxWrite, t0, t, p, 0, StatusCode::kBusy);
       return Status::Busy("page " + std::to_string(p) +
@@ -219,9 +222,11 @@ Status XFtl::TxCommit(TxId t) {
   // Step 1: mark entries committed (not yet folded into the L2P). The slot
   // leaves ACTIVE status here, so its by_lpn_ entry is erased eagerly —
   // retained committed slots must never pile up under a hot lpn (they stay
-  // findable through by_ppn_ for GC relocation).
+  // findable through by_ppn_ for GC relocation). PREPARED entries (array
+  // two-phase commit) take the same path: the second phase upgrades them.
   for (int idx : entries) {
-    DCHECK(slots_[idx].status == SlotStatus::kActive);
+    DCHECK(slots_[idx].status == SlotStatus::kActive ||
+           slots_[idx].status == SlotStatus::kPrepared);
     slots_[idx].status = SlotStatus::kCommitted;
     slots_[idx].folded = false;
     EraseByLpn(slots_[idx].lpn, idx);
@@ -275,6 +280,136 @@ Status XFtl::TxAbort(TxId t) {
   // crash, recovery discards ACTIVE entries anyway.
   xstats_.aborts++;
   TraceX(device(), trace::Op::kTxAbort, t0, t, dropped, 0, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status XFtl::TxPrepare(TxId t) {
+  SimNanos t0 = device()->clock()->Now();
+  auto it = by_tid_.find(t);
+  if (it == by_tid_.end()) {
+    // Read-only participant: nothing to retain, commit is trivially durable.
+    TraceX(device(), trace::Op::kTxPrepare, t0, t, 0, 0, StatusCode::kOk);
+    return Status::OK();
+  }
+  XFTL_RETURN_IF_ERROR(CheckWritable());
+  // The data pages must be durable before the PREPARED marker may promise
+  // the coordinator a REDO; under PLP the capacitor covers them.
+  if (!xconfig_.plp_commit) device()->SyncAll();
+  size_t n = it->second.size();
+  for (int idx : it->second) {
+    DCHECK(slots_[idx].status == SlotStatus::kActive);
+    slots_[idx].status = SlotStatus::kPrepared;
+  }
+  // The marker itself must be durable too: after a crash the member still
+  // holds both versions and asks the commit record which one wins. A failure
+  // here leaves the entries PREPARED in RAM; the caller aborts, and a stale
+  // durable PREPARED resurfacing later resolves to abort (no record).
+  if (!xconfig_.plp_commit) {
+    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
+    device()->SyncAll();
+  } else {
+    xl2p_dirty_ = true;
+  }
+  xstats_.prepares++;
+  TraceX(device(), trace::Op::kTxPrepare, t0, t, n, 0, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status XFtl::WriteCommitRecord(TxId t) {
+  SimNanos t0 = device()->clock()->Now();
+  XFTL_RETURN_IF_ERROR(CheckWritable());
+  if (records_.find(t) == records_.end()) {
+    XFTL_ASSIGN_OR_RETURN(int idx, AllocateSlot());
+    slots_[idx] = Slot{t, 0, flash::kInvalidPpn, SlotStatus::kCommitRecord};
+    records_[t] = idx;
+  }
+  if (!xconfig_.plp_commit) {
+    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
+    device()->SyncAll();
+  } else {
+    xl2p_dirty_ = true;
+  }
+  xstats_.commit_records++;
+  TraceX(device(), trace::Op::kCommitRecord, t0, t, 1, 0, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status XFtl::ReleaseCommitRecord(TxId t) {
+  auto it = records_.find(t);
+  if (it == records_.end()) return Status::OK();  // idempotent
+  SimNanos t0 = device()->clock()->Now();
+  FreeSlot(it->second);
+  records_.erase(it);
+  // Lazily persisted: until the next snapshot the released record can
+  // resurface after a crash, which only re-drives an idempotent REDO of a
+  // transaction every member already committed.
+  xl2p_dirty_ = true;
+  TraceX(device(), trace::Op::kCommitRecord, t0, t, 0, 0, StatusCode::kOk);
+  return Status::OK();
+}
+
+bool XFtl::HasCommitRecord(TxId t) const {
+  return records_.find(t) != records_.end();
+}
+
+std::vector<TxId> XFtl::CommitRecords() const {
+  std::vector<TxId> out;
+  out.reserve(records_.size());
+  for (const auto& [tid, idx] : records_) out.push_back(tid);
+  return out;
+}
+
+std::vector<TxId> XFtl::InDoubtTransactions() const {
+  std::set<TxId> tids;
+  for (const Slot& s : slots_) {
+    if (s.status == SlotStatus::kPrepared) tids.insert(s.tid);
+  }
+  return std::vector<TxId>(tids.begin(), tids.end());
+}
+
+Status XFtl::ResolveInDoubt(TxId t, bool commit) {
+  SimNanos t0 = device()->clock()->Now();
+  std::vector<int> entries;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].status == SlotStatus::kPrepared && slots_[i].tid == t) {
+      entries.push_back(int(i));
+    }
+  }
+  if (entries.empty()) {
+    // Already resolved (or never prepared here): exactly-once per member.
+    TraceX(device(), trace::Op::kResolve, t0, t, commit ? 1 : 0, 0,
+           StatusCode::kOk);
+    return Status::OK();
+  }
+  by_tid_.erase(t);
+  if (commit) {
+    // REDO: identical to TxCommit's fold, minus the barriers — the data
+    // pages were durable at prepare time and the caller checkpoints before
+    // the commit record is released.
+    for (int idx : entries) {
+      slots_[idx].status = SlotStatus::kCommitted;
+      slots_[idx].folded = false;
+      EraseByLpn(slots_[idx].lpn, idx);
+    }
+    for (int idx : entries) {
+      Slot& s = slots_[idx];
+      flash::Ppn old = MappingOf(s.lpn);
+      if (old != flash::kInvalidPpn && old != s.new_ppn) InvalidatePpn(old);
+      SetMapping(s.lpn, s.new_ppn);
+      s.folded = true;
+    }
+    xstats_.resolved_forward++;
+  } else {
+    // Abort to the pre-image: the L2P never saw the new pages.
+    for (int idx : entries) {
+      InvalidatePpn(slots_[idx].new_ppn);
+      FreeSlot(idx);
+    }
+    xstats_.resolved_aborted++;
+  }
+  xl2p_dirty_ = true;
+  TraceX(device(), trace::Op::kResolve, t0, t, commit ? 1 : 0, entries.size(),
+         StatusCode::kOk);
   return Status::OK();
 }
 
@@ -412,6 +547,7 @@ Status XFtl::FinishRecovery() {
   by_lpn_.clear();
   by_ppn_.clear();
   by_tid_.clear();
+  records_.clear();
   xl2p_dirty_ = false;
 
   // Latest complete snapshot wins. A crash mid-snapshot leaves a newer
@@ -439,6 +575,56 @@ Status XFtl::FinishRecovery() {
   recovery_snaps_.clear();
 
   for (const Slot& e : entries) {
+    if (e.status == SlotStatus::kCommitRecord) {
+      // Coordinator-side commit record: no page of its own. Retained until
+      // the array controller releases it after every participant resolved.
+      auto slot_or = AllocateSlot();
+      if (slot_or.ok()) {
+        int idx = slot_or.value();
+        slots_[idx] = Slot{e.tid, 0, flash::kInvalidPpn,
+                           SlotStatus::kCommitRecord};
+        records_[e.tid] = idx;
+        xl2p_dirty_ = true;
+      }
+      continue;
+    }
+    if (e.status == SlotStatus::kPrepared) {
+      // In-doubt: the member durably promised it can still go either way.
+      // Keep both versions alive until the array controller resolves the
+      // transaction against the commit record — unless the durable state
+      // already shows the outcome (page gone = aborted long ago; newer
+      // superseding write = resolved long ago; fold already in the L2P
+      // checkpoint = committed).
+      const flash::PageOob* oob = ScannedOob(e.new_ppn);
+      if (oob == nullptr ||
+          device()->PageStateOf(e.new_ppn) ==
+              flash::FlashDevice::PageState::kTorn ||
+          oob->lpn != e.lpn || oob->tag != kTagTxData) {
+        xstats_.recovered_discarded++;
+        stats_.recovery_discarded_txn_pages++;
+        continue;
+      }
+      flash::Ppn cur = MappingOf(e.lpn);
+      if (cur == e.new_ppn) continue;  // fold durable: locally committed
+      if (cur != flash::kInvalidPpn) {
+        const flash::PageOob* cur_oob = ScannedOob(cur);
+        if (cur_oob != nullptr && cur_oob->seq > oob->seq) {
+          xstats_.recovered_discarded++;
+          continue;  // a newer durable write superseded this entry
+        }
+      }
+      auto slot_or = AllocateSlot();
+      if (slot_or.ok()) {
+        int idx = slot_or.value();
+        slots_[idx] = Slot{e.tid, e.lpn, e.new_ppn, SlotStatus::kPrepared};
+        MarkPpnValid(e.new_ppn, e.lpn);  // GC must not collect the new copy
+        by_ppn_[e.new_ppn] = idx;
+        by_tid_[e.tid].push_back(idx);
+        xstats_.recovered_prepared++;
+        xl2p_dirty_ = true;
+      }
+      continue;
+    }
     if (e.status != SlotStatus::kCommitted) {
       // ACTIVE at crash time: the transaction never committed; its pages are
       // already unreferenced in the rebuilt bitmaps. This IS the rollback.

@@ -26,6 +26,20 @@
 // re-apply COMMITTED entries to the L2P (idempotent), and discard
 // ACTIVE/ABORTED entries - their pages simply remain unreferenced garbage.
 //
+// Array extension (beyond the paper, for host::StripedVolume): a transaction
+// striped across several devices commits in two phases. TxPrepare durably
+// marks the transaction's entries PREPARED — the member keeps BOTH versions
+// (the L2P still has the pre-image, the X-L2P the new pages) and promises it
+// can go either way. The array controller then writes a commit record — an
+// X-L2P slot with status COMMIT_RECORD, persisted through the ordinary
+// snapshot machinery — on a designated member, and only then fans out
+// TxCommit. After a crash, PREPARED entries survive recovery as in-doubt:
+// InDoubtTransactions() exposes them and ResolveInDoubt() either REDO-folds
+// the new mappings (commit record durable) or invalidates the new pages
+// (no record — abort to the pre-image). Resolution is idempotent and
+// exactly-once per member: a resolved transaction has no PREPARED slots
+// left, so a second resolve is a no-op.
+//
 // Engineering note beyond the paper's prose: a committed entry stays in the
 // table until the next L2P checkpoint covers its mapping; only then is the
 // slot reused. Otherwise a crash after slot reuse could lose a committed
@@ -75,6 +89,12 @@ struct XftlStats {
   uint64_t forced_checkpoints = 0;  // table-full L2P checkpoints
   uint64_t recovered_committed = 0; // entries re-applied at recovery
   uint64_t recovered_discarded = 0; // active/aborted entries rolled back
+  // --- array two-phase commit (host::StripedVolume) -----------------------
+  uint64_t prepares = 0;            // TxPrepare calls with entries
+  uint64_t commit_records = 0;      // coordinator commit records written
+  uint64_t recovered_prepared = 0;  // in-doubt entries retained at recovery
+  uint64_t resolved_forward = 0;    // in-doubt transactions REDO-committed
+  uint64_t resolved_aborted = 0;    // in-doubt transactions aborted
   SimNanos last_recovery_nanos = 0; // X-L2P load + reflect (paper Table 5)
 };
 
@@ -96,6 +116,31 @@ class XFtl : public PageFtl {
   // how many leading pages took effect.
   Status TxWriteBatch(TxId t, const Lpn* lpns, const uint8_t* const* datas,
                       size_t n, size_t* accepted = nullptr);
+
+  // --- array two-phase commit (used by host::StripedVolume) ---------------
+  // Durably marks t's entries PREPARED: after this returns, a crashed member
+  // still holds both versions and can commit or abort t on demand. A
+  // transaction with no writes prepares trivially. Under PLP firmware the
+  // marker lives in the capacitor-protected table, like commits.
+  Status TxPrepare(TxId t);
+  // Writes (durably, modulo PLP) / releases the coordinator-side commit
+  // record for t. The record is an X-L2P slot with no page of its own; it
+  // rides the ordinary snapshot machinery, so a crash tearing the snapshot
+  // that carries it leaves no record — which recovery reads as "abort".
+  // Both are idempotent; releasing is lazily persisted (a resurfacing
+  // released record only re-drives an idempotent REDO).
+  Status WriteCommitRecord(TxId t);
+  Status ReleaseCommitRecord(TxId t);
+  bool HasCommitRecord(TxId t) const;
+  // Transaction ids with a retained commit record, ascending.
+  std::vector<TxId> CommitRecords() const;
+  // Transaction ids with PREPARED entries (in-doubt after a reboot),
+  // ascending.
+  std::vector<TxId> InDoubtTransactions() const;
+  // Resolves an in-doubt transaction: commit=true folds the new mappings
+  // into the L2P (REDO), commit=false invalidates the new pages (the L2P
+  // still holds the pre-images). No-op if t has no PREPARED entries.
+  Status ResolveInDoubt(TxId t, bool commit);
 
   // Durable L2P + X-L2P checkpoint: drains the device, persists the dirty
   // mapping segments and the table snapshot, and releases folded committed
@@ -122,7 +167,10 @@ class XFtl : public PageFtl {
   enum class SlotStatus : uint8_t {
     kFree = 0,
     kActive = 1,
-    kCommitted = 2,  // retained until the next L2P checkpoint
+    kCommitted = 2,     // retained until the next L2P checkpoint
+    kPrepared = 3,      // durably in-doubt: both versions retained until the
+                        // array controller commits or aborts
+    kCommitRecord = 4,  // coordinator commit record (lpn/ppn unused)
   };
 
   struct Slot {
@@ -166,8 +214,11 @@ class XFtl : public PageFtl {
   // committed); this is what keeps GC relocation (OnPageRelocated) O(1)
   // after committed slots left by_lpn_.
   std::unordered_map<flash::Ppn, int> by_ppn_;
-  // tid -> slot indexes with ACTIVE status.
+  // tid -> slot indexes with ACTIVE or PREPARED status.
   std::unordered_map<TxId, std::vector<int>> by_tid_;
+  // tid -> commit-record slot index (records have no page, so they live in
+  // neither by_ppn_ nor by_lpn_).
+  std::map<TxId, int> records_;
   bool xl2p_dirty_ = false;
   uint64_t snapshot_id_ = 0;
   uint64_t xl2p_pages_scanned_ = 0;  // recovery-time accounting

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "check/flash_image.h"
+#include "check/xftl_fsck.h"
 #include "common/sim_clock.h"
 #include "host/scheduler.h"
 #include "host/session.h"
@@ -318,6 +320,290 @@ TEST(HostCrashTest, SessionsRecoverAfterArrayPowerCut) {
       ASSERT_TRUE((*db)->Exec("DELETE FROM t WHERE id = 99991").ok());
     }
   }
+}
+
+// --- cross-device atomic commit ----------------------------------------------
+
+// Builds a 3-member, stripe-1 volume (lpn k lives on member k % 3) with an
+// already-committed baseline value in pages 0..2, one per member.
+struct ArrayFixture {
+  SimClock clock;
+  std::unique_ptr<StripedVolume> vol;
+  uint32_t ps = 0;
+
+  explicit ArrayFixture(VolumeConfig vc) {
+    vol = std::make_unique<StripedVolume>(vc, &clock);
+    ps = vol->page_size();
+  }
+  static VolumeConfig ThreeWide() {
+    VolumeConfig vc;
+    vc.num_devices = 3;
+    vc.stripe_pages = 1;
+    vc.spec = SmallSpec();
+    return vc;
+  }
+  void SeedBaseline(uint8_t value) {
+    std::vector<uint8_t> buf(ps, value);
+    for (uint64_t lpn : {0ull, 1ull, 2ull}) {
+      ASSERT_TRUE(vol->Write(lpn, buf.data()).ok()) << "lpn " << lpn;
+    }
+    ASSERT_TRUE(vol->FlushBarrier().ok());
+  }
+  // Opens transaction `t` with one dirty page on every member.
+  void WriteAllMembers(storage::TxId t, uint8_t value) {
+    std::vector<uint8_t> buf(ps, value);
+    for (uint64_t lpn : {0ull, 1ull, 2ull}) {
+      ASSERT_TRUE(vol->TxWrite(t, lpn, buf.data()).ok()) << "lpn " << lpn;
+    }
+    ASSERT_EQ(vol->Participants(t), (std::set<uint32_t>{0, 1, 2}));
+  }
+  // The committed value visible at `lpn`, or nullopt if the read fails.
+  void ExpectValue(uint64_t lpn, uint8_t want) {
+    std::vector<uint8_t> back(ps);
+    ASSERT_TRUE(vol->Read(lpn, back.data()).ok()) << "lpn " << lpn;
+    EXPECT_EQ(back[0], want) << "lpn " << lpn;
+  }
+};
+
+TEST(ArrayCommitTest, MemberDiesBetweenPrepareAndCommitRollsForward) {
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x11);
+
+  const storage::TxId t = 500;
+  f.WriteAllMembers(t, 0x22);
+  // Member 1's plug is pulled after every participant PREPAREd but before
+  // the coordinator's commit record — the classic in-doubt window.
+  f.vol->ScriptCutAfterPrepare(1);
+  Status cs = f.vol->TxCommit(t);
+  ASSERT_FALSE(cs.ok()) << "phase-2 fan-out hit a dead member";
+  EXPECT_TRUE(f.vol->Degraded());
+  EXPECT_FALSE(f.vol->MemberOnline(1));
+
+  // The record was durable before the fan-out, so the transaction IS
+  // committed: survivors already show the new value, and the record is
+  // retained for the member that missed phase 2.
+  EXPECT_TRUE(f.vol->member(0)->device()->HasCommitRecord(t));
+  f.ExpectValue(0, 0x22);
+  f.ExpectValue(2, 0x22);
+  std::vector<uint8_t> back(f.ps);
+  EXPECT_FALSE(f.vol->Read(1, back.data()).ok()) << "dead stripe fails fast";
+
+  // Reboot resolves the in-doubt member FORWARD off the record, then
+  // releases it: all members end identical, exactly-once.
+  ASSERT_TRUE(f.vol->RebootMember(1).ok());
+  EXPECT_FALSE(f.vol->Degraded());
+  for (uint64_t lpn : {0ull, 1ull, 2ull}) f.ExpectValue(lpn, 0x22);
+  EXPECT_EQ(f.vol->member(1)->device()->stats().resolve_commands, 1u);
+  EXPECT_FALSE(f.vol->member(0)->device()->HasCommitRecord(t));
+  EXPECT_TRUE(f.vol->member(0)->device()->CommitRecords().empty());
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_TRUE(f.vol->member(m)->device()->InDoubtTransactions().empty())
+        << "member " << m;
+  }
+}
+
+TEST(ArrayCommitTest, FullArrayCutAfterPrepareResolvesIdentically) {
+  // Same in-doubt window, but the whole rail dies before the victim is
+  // rebooted: array recovery must reach the same outcome as the
+  // member-only reboot (commit everywhere — the record was durable).
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x11);
+
+  const storage::TxId t = 501;
+  f.WriteAllMembers(t, 0x33);
+  f.vol->ScriptCutAfterPrepare(1);
+  ASSERT_FALSE(f.vol->TxCommit(t).ok());
+  ASSERT_TRUE(f.vol->member(0)->device()->HasCommitRecord(t));
+
+  ASSERT_TRUE(f.vol->PowerCycle().ok());
+  for (uint64_t lpn : {0ull, 1ull, 2ull}) f.ExpectValue(lpn, 0x33);
+  EXPECT_TRUE(f.vol->member(0)->device()->CommitRecords().empty());
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_TRUE(f.vol->member(m)->device()->InDoubtTransactions().empty())
+        << "member " << m;
+  }
+}
+
+TEST(ArrayCommitTest, TornCommitRecordAbortsEverywhere) {
+  // The coordinator's flash tears mid-way through the commit record
+  // program: the record never becomes durable, so the transaction never
+  // happened — recovery must abort every prepared member back to the
+  // baseline (no member may keep the new version).
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x44);
+
+  const storage::TxId t = 502;
+  f.WriteAllMembers(t, 0x55);
+  f.vol->ScriptTearCommitRecord();
+  ASSERT_FALSE(f.vol->TxCommit(t).ok())
+      << "record write tore on the coordinator";
+
+  ASSERT_TRUE(f.vol->PowerCycle().ok());
+  for (uint64_t lpn : {0ull, 1ull, 2ull}) f.ExpectValue(lpn, 0x44);
+  EXPECT_TRUE(f.vol->member(0)->device()->CommitRecords().empty());
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_TRUE(f.vol->member(m)->device()->InDoubtTransactions().empty())
+        << "member " << m;
+  }
+}
+
+TEST(ArrayCommitTest, FsckCrossChecksMemberImages) {
+  // End-to-end offline check: dump the member images mid-in-doubt-window
+  // and run check::CheckArray over them — exactly what
+  // `xftl_fsck --image=a.0.img --image=a.1.img --image=a.2.img` does.
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x11);
+  const storage::TxId t = 600;
+  f.WriteAllMembers(t, 0x22);
+  f.vol->ScriptCutAfterPrepare(1);
+  ASSERT_FALSE(f.vol->TxCommit(t).ok());
+  // State now: record durable on member 0, members 0/2 committed, member 1
+  // powered off holding durable PREPARED (in-doubt) entries.
+
+  const std::string prefix = ::testing::TempDir() + "xftl_array_fsck";
+  ASSERT_TRUE(f.vol->SaveMemberImages(prefix).ok());
+  SimClock img_clock;
+  std::vector<check::LoadedImage> members;
+  for (uint32_t m = 0; m < 3; ++m) {
+    auto img = check::LoadImage(prefix + "." + std::to_string(m) + ".img",
+                                &img_clock);
+    ASSERT_TRUE(img.ok()) << img.status().ToString();
+    members.push_back(std::move(*img));
+  }
+
+  // The in-doubt window is CONSISTENT: the record covers the prepared tid.
+  check::FsckReport rep = check::CheckArray(members);
+  EXPECT_TRUE(rep.ok()) << rep.Summary();
+  EXPECT_GE(rep.counters.in_doubt_entries, 1u);
+  EXPECT_GE(rep.counters.commit_records, 1u);
+
+  // An incomplete member set is a bijection failure.
+  std::vector<check::LoadedImage> partial;
+  partial.push_back(std::move(members[0]));
+  partial.push_back(std::move(members[2]));
+  check::FsckReport bad = check::CheckArray(partial);
+  EXPECT_FALSE(bad.ok());
+
+  // Doctor the coordinator: durably release the record while member 1 is
+  // still in doubt — now recovery would abort member 1 against a
+  // transaction members 0/2 committed, and the checker must say so.
+  ASSERT_TRUE(f.vol->member(0)->device()->ReleaseCommitRecord(t).ok());
+  ASSERT_TRUE(f.vol->member(0)->device()->FlushBarrier().ok());
+  ASSERT_TRUE(f.vol->SaveMemberImages(prefix + "_torn").ok());
+  std::vector<check::LoadedImage> torn;
+  for (uint32_t m = 0; m < 3; ++m) {
+    auto img = check::LoadImage(
+        prefix + "_torn." + std::to_string(m) + ".img", &img_clock);
+    ASSERT_TRUE(img.ok()) << img.status().ToString();
+    torn.push_back(std::move(*img));
+  }
+  check::FsckReport tear = check::CheckArray(torn);
+  ASSERT_FALSE(tear.ok()) << "released record with a member still in doubt";
+  bool mentions_record = false;
+  for (const std::string& e : tear.errors) {
+    if (e.find("commit record") != std::string::npos) mentions_record = true;
+  }
+  EXPECT_TRUE(mentions_record) << tear.Summary();
+}
+
+// --- degraded arrays ---------------------------------------------------------
+
+TEST(DegradedArrayTest, ReadsSurviveWritesLatchDeferredError) {
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x66);
+
+  f.vol->CutPowerMember(1);
+  EXPECT_TRUE(f.vol->Degraded());
+  EXPECT_FALSE(f.vol->MemberOnline(1));
+  EXPECT_TRUE(f.vol->MemberOnline(0));
+
+  // Surviving stripes keep serving; the dead stripe fails fast.
+  f.ExpectValue(0, 0x66);
+  f.ExpectValue(2, 0x66);
+  std::vector<uint8_t> buf(f.ps, 0x77);
+  EXPECT_FALSE(f.vol->Read(1, buf.data()).ok());
+
+  // A write into the dead member fails fast AND latches the volume's
+  // errseq: the next barrier reports it once, then the latch is clear.
+  EXPECT_FALSE(f.vol->Write(1, buf.data()).ok());
+  EXPECT_TRUE(f.vol->has_deferred_error());
+  EXPECT_FALSE(f.vol->FlushBarrier().ok());
+  EXPECT_FALSE(f.vol->has_deferred_error());
+  EXPECT_TRUE(f.vol->FlushBarrier().ok());
+
+  // Surviving stripes still accept writes while degraded.
+  ASSERT_TRUE(f.vol->Write(0, buf.data()).ok());
+  ASSERT_TRUE(f.vol->FlushBarrier().ok());
+  f.ExpectValue(0, 0x77);
+
+  // Re-integration: the member comes back and its stripe serves again.
+  ASSERT_TRUE(f.vol->RebootMember(1).ok());
+  EXPECT_FALSE(f.vol->Degraded());
+  f.ExpectValue(1, 0x66);
+}
+
+TEST(DegradedArrayTest, BatchPrefixStopsAtOfflineMember) {
+  // Regression for the fan-out `accepted` contract: a batch spanning an
+  // offline member must report only the longest durable input PREFIX, not
+  // silently count the dead member's pages accepted.
+  ArrayFixture f(ArrayFixture::ThreeWide());
+  f.SeedBaseline(0x11);
+  f.vol->CutPowerMember(1);
+
+  std::vector<std::vector<uint8_t>> bufs;
+  std::vector<const uint8_t*> datas;
+  std::vector<uint64_t> pages;
+  for (uint64_t lpn : {0ull, 1ull, 2ull}) {  // members 0, 1(dead), 2
+    pages.push_back(lpn);
+    bufs.emplace_back(f.ps, uint8_t(0x80 + lpn));
+    datas.push_back(bufs.back().data());
+  }
+  size_t accepted = 99;
+  Status s =
+      f.vol->WriteBatch(pages.data(), datas.data(), pages.size(), &accepted);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(accepted, 1u) << "prefix ends at the dead member's page";
+  EXPECT_TRUE(f.vol->has_deferred_error());
+  EXPECT_FALSE(f.vol->FlushBarrier().ok());
+
+  // The surviving members' pages did land (reissue after repair is
+  // idempotent); the dead page kept its baseline.
+  f.ExpectValue(0, 0x80);
+  f.ExpectValue(2, 0x82);
+  ASSERT_TRUE(f.vol->RebootMember(1).ok());
+  f.ExpectValue(1, 0x11);
+}
+
+TEST(DegradedArrayTest, ReadsSurviveWhileOneMemberLinkFailed) {
+  // One member's SATA link is hostile (every transfer CRC-fails, no
+  // retries, the first reset kills the link) while the rest of the array
+  // is clean: reads on surviving stripes must keep succeeding.
+  VolumeConfig vc = ArrayFixture::ThreeWide();
+  vc.member_specs.assign(3, SmallSpec());
+  vc.member_specs[1].link_fault.crc_error_prob = 1.0;
+  vc.member_specs[1].link_policy.max_retries = 0;
+  vc.member_specs[1].link_policy.degrade_after_resets = 1;
+  vc.member_specs[1].link_policy.fail_after_resets = 2;
+  ArrayFixture f(vc);
+
+  // Seed only the healthy members (member 1 never accepts a transfer).
+  std::vector<uint8_t> buf(f.ps, 0x42);
+  ASSERT_TRUE(f.vol->Write(0, buf.data()).ok());
+  ASSERT_TRUE(f.vol->Write(2, buf.data()).ok());
+  ASSERT_TRUE(f.vol->FlushBarrier().ok());
+
+  // The first command into member 1 dies on the link...
+  std::vector<uint8_t> back(f.ps);
+  EXPECT_FALSE(f.vol->Read(1, back.data()).ok());
+  Status w = f.vol->Write(1, buf.data());
+  if (w.ok()) {
+    // Queued write: the loss must surface at the next barrier instead.
+    EXPECT_FALSE(f.vol->FlushBarrier().ok());
+  }
+  // ...and the survivors keep serving their stripes regardless.
+  f.ExpectValue(0, 0x42);
+  f.ExpectValue(2, 0x42);
+  EXPECT_GT(f.vol->member(1)->device()->stats().crc_errors, 0u);
 }
 
 // --- clock ownership ---------------------------------------------------------

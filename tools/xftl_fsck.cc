@@ -4,6 +4,14 @@
 //       Load a flash image (check::SaveImage format) and run the checker;
 //       prints the report and exits 0 if clean, 1 if inconsistent.
 //
+//   xftl_fsck --image=a.0.img --image=a.1.img ...
+//       Array mode: load every member image of one striped volume
+//       (host::StripedVolume::SaveMemberImages) and cross-check the set —
+//       per-member consistency, stripe-map bijection, and the two-phase
+//       commit atomicity invariant (an in-doubt TxId committed on another
+//       member must have a coordinator commit record; records live only on
+//       member 0). A single --image degenerates to the plain check.
+//
 //   xftl_fsck --make-demo <image> [--seed=N] [--mode=off|wal|delete]
 //             [--corrupt]
 //       Build a small simulated stack, run a transactional SQL workload
@@ -34,6 +42,7 @@ constexpr uint32_t kXl2pMagic = 0x584c3250;  // "XL2P"
 int Usage() {
   std::fprintf(stderr,
                "usage: xftl_fsck <image>\n"
+               "       xftl_fsck --image=MEMBER.img [--image=MEMBER.img ...]\n"
                "       xftl_fsck --make-demo <image> [--seed=N]"
                " [--mode=off|wal|delete] [--corrupt]\n");
   return 2;
@@ -195,6 +204,24 @@ int CheckImageFile(const std::string& path) {
   return rep.ok() ? 0 : 1;
 }
 
+int CheckArrayFiles(const std::vector<std::string>& paths) {
+  SimClock clock;
+  std::vector<check::LoadedImage> members;
+  members.reserve(paths.size());
+  for (const std::string& p : paths) {
+    auto img_or = check::LoadImage(p, &clock);
+    if (!img_or.ok()) {
+      std::fprintf(stderr, "%s\n", img_or.status().ToString().c_str());
+      return 2;
+    }
+    members.push_back(std::move(img_or).value());
+  }
+  check::FsckReport rep = check::CheckArray(members);
+  std::printf("array of %zu member(s): %s\n", members.size(),
+              rep.Summary().c_str());
+  return rep.ok() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool make_demo = false;
@@ -202,6 +229,7 @@ int Main(int argc, char** argv) {
   uint64_t seed = 42;
   std::string mode = "off";
   std::string path;
+  std::vector<std::string> images;
   for (const std::string& a : args) {
     if (a == "--make-demo") {
       make_demo = true;
@@ -211,6 +239,8 @@ int Main(int argc, char** argv) {
       seed = std::strtoull(a.c_str() + 7, nullptr, 0);
     } else if (a.rfind("--mode=", 0) == 0) {
       mode = a.substr(7);
+    } else if (a.rfind("--image=", 0) == 0) {
+      images.push_back(a.substr(8));
     } else if (!a.empty() && a[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -218,6 +248,11 @@ int Main(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+  if (!images.empty()) {
+    if (make_demo || !path.empty()) return Usage();
+    if (images.size() == 1) return CheckImageFile(images[0]);
+    return CheckArrayFiles(images);
   }
   if (path.empty()) return Usage();
   if (make_demo) return MakeDemo(path, seed, mode, corrupt);

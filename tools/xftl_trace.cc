@@ -130,8 +130,20 @@ int Summary(const std::string& path) {
   std::map<uint32_t, uint64_t> session_busy;
   uint64_t host_txns = 0;
   SimNanos host_first = ~0ull, host_last = 0;
+  // Array commit (cross-device two-phase): kSata kTxPrepare commands,
+  // kCommitRecord with `a` = 1 write / 0 release, kResolve with `a` = 1
+  // forward / 0 abort; kHost kMemberFault marks a member going offline
+  // (`b` = 1) or back online (`b` = 0), `a` = member index — pairs bound
+  // the degraded-mode intervals.
+  uint64_t prepares = 0, record_writes = 0, record_releases = 0;
+  uint64_t resolved_forward = 0, resolved_abort = 0;
+  uint64_t member_faults = 0;
+  std::map<uint32_t, SimNanos> member_down_since;
+  uint64_t degraded_nanos = 0;
+  SimNanos last_time = 0;
 
   for (const TraceEvent& e : events) {
+    last_time = std::max(last_time, e.time);
     lat[int(e.layer)][int(e.op)].Add(e.latency);
     if (e.op == Op::kFlush || e.op == Op::kFsync) {
       flush_count[int(e.layer)]++;
@@ -166,6 +178,27 @@ int Summary(const std::string& path) {
         if (e.a == 1) degrade_enters++;
         if (e.a == 0) degrade_exits++;
         if (e.a == 2) link_deaths++;
+      }
+      if (e.op == Op::kTxPrepare) prepares++;
+      if (e.op == Op::kCommitRecord) {
+        if (e.a == 1) record_writes++;
+        if (e.a == 0) record_releases++;
+      }
+      if (e.op == Op::kResolve) {
+        if (e.a == 1) resolved_forward++;
+        if (e.a == 0) resolved_abort++;
+      }
+    }
+    if (e.layer == Layer::kHost && e.op == Op::kMemberFault) {
+      if (e.b == 1) {
+        member_faults++;
+        member_down_since.emplace(uint32_t(e.a), e.time);
+      } else {
+        auto it = member_down_since.find(uint32_t(e.a));
+        if (it != member_down_since.end()) {
+          degraded_nanos += e.time - it->second;
+          member_down_since.erase(it);
+        }
       }
     }
     if (e.layer == Layer::kFlash && e.op == Op::kWrite) {
@@ -313,6 +346,31 @@ int Summary(const std::string& path) {
                 (unsigned long long)degrade_enters,
                 (unsigned long long)degrade_exits,
                 link_deaths > 0 ? "  [LINK FAILED]" : "");
+  }
+
+  // Array commit: the cross-device two-phase protocol and per-member fault
+  // domains (striped-volume traces only).
+  if (prepares > 0 || record_writes > 0 || member_faults > 0 ||
+      resolved_forward + resolved_abort > 0) {
+    // A member still offline when the trace ends counts as degraded through
+    // the last event.
+    size_t still_down = member_down_since.size();
+    for (const auto& [m, t0] : member_down_since) {
+      degraded_nanos += last_time - t0;
+    }
+    std::printf("\narray commit (cross-device two-phase)\n");
+    std::printf("  prepares: %llu   commit records: %llu written, "
+                "%llu released\n",
+                (unsigned long long)prepares,
+                (unsigned long long)record_writes,
+                (unsigned long long)record_releases);
+    std::printf("  in-doubt resolved: %llu forward, %llu aborted\n",
+                (unsigned long long)resolved_forward,
+                (unsigned long long)resolved_abort);
+    std::printf("  member faults: %llu, degraded-mode time %.1f us%s\n",
+                (unsigned long long)member_faults,
+                double(degraded_nanos) / 1e3,
+                still_down > 0 ? "  [MEMBER STILL OFFLINE]" : "");
   }
   return 0;
 }
