@@ -22,6 +22,12 @@
 //   --closed        closed-loop (zero think time) instead of Poisson
 //   --profile=s830|openssd   member profile (default s830)
 //   --setup=xftl|wal|rbj     stack configuration (default xftl)
+//   --commit=drain|barrier|plp  firmware commit discipline (default keeps
+//                            the profile's: OpenSSD drain, S830 PLP).
+//                            barrier replaces commit-path queue drains with
+//                            order-preserving barriers (epoch-prefix
+//                            durability; cross-device PREPARE still
+//                            completion-waits before the commit record)
 //   --cpu-statement-us=N     SQL parse/plan CPU per statement (default 10;
 //                            the library default of 45 is calibrated to the
 //                            paper's 2009-era single-core host)
@@ -57,6 +63,7 @@ int Run(int argc, char** argv) {
   const bool closed = FlagBool(argc, argv, "closed");
   const std::string profile = FlagString(argc, argv, "profile", "s830");
   const std::string setup = FlagString(argc, argv, "setup", "xftl");
+  const std::string commit = FlagString(argc, argv, "commit", "");
   const long cpu_us = FlagInt(argc, argv, "cpu-statement-us", 10);
   const std::string trace = FlagString(argc, argv, "trace", "");
   const long kill_member = FlagInt(argc, argv, "kill-member", -1);
@@ -96,6 +103,16 @@ int Run(int argc, char** argv) {
     hc.stripe_pages = uint32_t(stripe);
     hc.cpu_per_statement = Micros(uint64_t(cpu_us));
     hc.seed = 42;
+    if (commit == "drain") {
+      hc.commit_mode = int(ftl::CommitMode::kDrain);
+    } else if (commit == "barrier") {
+      hc.commit_mode = int(ftl::CommitMode::kBarrier);
+    } else if (commit == "plp") {
+      hc.commit_mode = int(ftl::CommitMode::kPlp);
+    } else if (!commit.empty()) {
+      std::fprintf(stderr, "--commit must be drain, barrier or plp\n");
+      return 1;
+    }
     workload::Harness h(hc);
     Status st = h.Setup();
     if (!st.ok()) {
@@ -190,6 +207,7 @@ int Run(int argc, char** argv) {
       o.Add("bench", "host")
           .Add("profile", profile)
           .Add("setup", setup)
+          .Add("commit", commit.empty() ? "default" : commit)
           .Add("devices", uint64_t(cell.devices))
           .Add("sessions", uint64_t(cell.sessions))
           .Add("rate_per_session", rate)

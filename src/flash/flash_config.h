@@ -118,6 +118,12 @@ struct FlashStats {
   uint64_t buffer_flushes = 0;    // SyncAll flush barriers issued
   uint64_t programs_flushed = 0;  // buffered programs made durable by a flush
   uint64_t programs_dropped = 0;  // buffered programs lost at a power cut
+  // Barrier (epoch) ordering model.
+  uint64_t barrier_epochs = 0;  // epochs opened by AdvanceEpoch()
+  uint64_t programs_stalled_for_order = 0;  // delayed by an epoch fence
+  uint64_t programs_stalled_for_bank = 0;   // delayed by a busy bank (only
+                                            // counted once epochs are in use)
+  uint64_t max_epochs_in_flight = 0;  // peak distinct epochs buffered at once
   // NAND failure model.
   uint64_t program_fails = 0;      // program status failures (block retired)
   uint64_t erase_fails = 0;        // erase status failures (block retired)

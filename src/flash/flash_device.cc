@@ -80,10 +80,42 @@ uint8_t* FlashDevice::PageData(Block& blk, uint32_t page) {
   return blk.data.data() + size_t(page) * config_.page_size;
 }
 
-SimNanos FlashDevice::ScheduleOnBank(uint32_t bank, SimNanos latency) {
-  SimNanos start = std::max(clock_->Now(), bank_busy_until_[bank]);
+SimNanos FlashDevice::ScheduleOnBank(uint32_t bank, SimNanos latency,
+                                     SimNanos not_before) {
+  SimNanos start =
+      std::max({clock_->Now(), bank_busy_until_[bank], not_before});
   bank_busy_until_[bank] = start + latency;
   return bank_busy_until_[bank];
+}
+
+void FlashDevice::NoteBarrier(uint64_t kind, uint64_t a, uint32_t tid,
+                              SimNanos latency) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(trace::Layer::kFlash, trace::Op::kBarrier, clock_->Now(),
+                    tid, a, kind, latency, StatusCode::kOk);
+  }
+}
+
+void FlashDevice::AdvanceEpoch() {
+  RetireDrained();
+  // Everything issued so far belongs to the closing epoch: the next fenced
+  // program must wait for the latest of those completions.
+  epoch_fence_ = std::max(epoch_fence_, epoch_last_done_);
+  current_epoch_++;
+  stats_.barrier_epochs++;
+  // Distinct epochs still undrained (buffered_ is in issue order and epochs
+  // are monotone, so a linear scan counts runs).
+  uint64_t in_flight = 0;
+  uint64_t last = ~uint64_t{0};
+  for (const BufferedProgram& p : buffered_) {
+    if (p.epoch != last) {
+      last = p.epoch;
+      in_flight++;
+    }
+  }
+  stats_.max_epochs_in_flight =
+      std::max(stats_.max_epochs_in_flight, in_flight);
+  NoteBarrier(0, current_epoch_, uint32_t(in_flight), 0);
 }
 
 SimNanos FlashDevice::ScheduleOnChannel(SimNanos not_before, SimNanos latency) {
@@ -251,12 +283,30 @@ Status FlashDevice::ProgramPage(Ppn ppn, const uint8_t* data,
   stats_.page_programs++;
 
   // Submit: the host pays only the serialized channel transfer; the cell
-  // program overlaps on its bank and drains in the background.
+  // program overlaps on its bank and drains in the background. Under an
+  // open barrier epoch the cell program is additionally fenced: it may not
+  // start before every program of the previous epoch has completed.
   uint32_t bank = config_.BankOf(block);
   SimNanos t0 = clock_->Now();
   clock_->AdvanceTo(ScheduleOnChannel(t0, config_.timings.bus_per_page));
-  SimNanos done = ScheduleOnBank(bank, config_.timings.program_page);
-  buffered_.push_back(BufferedProgram{ppn, done});
+  if (current_epoch_ > 0) {
+    SimNanos now = clock_->Now();
+    SimNanos bank_free = std::max(now, bank_busy_until_[bank]);
+    SimNanos start = std::max(bank_free, epoch_fence_);
+    if (start > now) {
+      if (epoch_fence_ >= bank_free) {
+        stats_.programs_stalled_for_order++;
+        NoteBarrier(1, ppn, bank, start - now);
+      } else {
+        stats_.programs_stalled_for_bank++;
+        NoteBarrier(2, ppn, bank, start - now);
+      }
+    }
+  }
+  SimNanos done =
+      ScheduleOnBank(bank, config_.timings.program_page, epoch_fence_);
+  epoch_last_done_ = std::max(epoch_last_done_, done);
+  buffered_.push_back(BufferedProgram{ppn, done, current_epoch_});
   last_op_done_ = done;
   if (tracer_ != nullptr) {
     // Programs are asynchronous; the recorded latency is issue-to-retire
@@ -365,30 +415,62 @@ Status FlashDevice::CrashNow(Ppn ppn, const uint8_t* data,
   // are independent, which is what lets buffered writes persist out of their
   // issue order.
   Rng rng(crash_plan_.seed ^ 0x9e3779b97f4a7c15ull);
-  std::map<BlockNum, std::vector<uint32_t>> pending;
+  struct PendingPage {
+    uint32_t page;
+    uint64_t epoch;
+    bool dropped = false;
+  };
+  std::map<BlockNum, std::vector<PendingPage>> pending;
   for (const BufferedProgram& p : buffered_) {
-    pending[config_.BlockOf(p.ppn)].push_back(config_.PageInBlock(p.ppn));
+    pending[config_.BlockOf(p.ppn)].push_back(
+        PendingPage{config_.PageInBlock(p.ppn), p.epoch});
   }
   buffered_.clear();
   const BlockNum crash_block = config_.BlockOf(ppn);
   const uint32_t crash_page = config_.PageInBlock(ppn);
-  pending[crash_block].push_back(crash_page);
+  pending[crash_block].push_back(PendingPage{crash_page, current_epoch_});
 
-  bool issue_survives = false;
+  // Pass 1: per-block survival sampling. The RNG consumption order here is
+  // the contract — it must not depend on whether barriers were in use, or
+  // every seeded crash point in the sweep would shift.
+  uint64_t min_dropped_epoch = ~uint64_t{0};
   for (auto& [block, pages] : pending) {
-    std::sort(pages.begin(), pages.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const PendingPage& a, const PendingPage& b) {
+                return a.page < b.page;
+              });
     bool dropping = false;
-    for (uint32_t pg : pages) {
+    for (PendingPage& pg : pages) {
       if (!dropping && !rng.Bernoulli(crash_plan_.persist_prob)) {
         dropping = true;
       }
-      if (block == crash_block && pg == crash_page) {
+      pg.dropped = dropping;
+      if (dropping) min_dropped_epoch = std::min(min_dropped_epoch, pg.epoch);
+    }
+  }
+
+  // Pass 2 (epoch-prefix consistency): once any program of epoch E is lost,
+  // every program of a later epoch is lost too — the fence kept them from
+  // starting before epoch E finished, so they cannot have reached the cells
+  // first. Within a block epochs are non-decreasing with page index, so this
+  // only extends the dropped suffix and per-block prefix consistency holds.
+  // With a single epoch (no barriers ever issued) this pass is a no-op.
+  for (auto& [block, pages] : pending) {
+    for (PendingPage& pg : pages) {
+      if (pg.epoch > min_dropped_epoch) pg.dropped = true;
+    }
+  }
+
+  bool issue_survives = false;
+  for (auto& [block, pages] : pending) {
+    for (const PendingPage& pg : pages) {
+      if (block == crash_block && pg.page == crash_page) {
         // The issued program's data never reached the cells (it is still in
         // `data`); nothing to revert if it drops.
-        issue_survives = !dropping;
-        if (dropping) stats_.programs_dropped++;
-      } else if (dropping) {
-        DropPage(block, pg);
+        issue_survives = !pg.dropped;
+        if (pg.dropped) stats_.programs_dropped++;
+      } else if (pg.dropped) {
+        DropPage(block, pg.page);
         stats_.programs_dropped++;
       }
     }
@@ -426,6 +508,11 @@ void FlashDevice::PowerCut() {
   buffered_.clear();
   crash_armed_ = false;
   failed_ = true;
+  // Epoch timing state is RAM-side; the cut loses it with the buffer. The
+  // epoch counter itself stays monotone so post-reboot barriers never fence
+  // against stale completion times from before the cut.
+  epoch_fence_ = 0;
+  epoch_last_done_ = 0;
 }
 
 bool FlashDevice::IsProgrammed(Ppn ppn) const {
@@ -448,6 +535,8 @@ void FlashDevice::ClearFailure() {
   // RAM-side timing state only: the cells already hold whatever survived.
   // Buffer loss happens at the cut (PowerCut / CrashNow), not at reboot.
   buffered_.clear();
+  epoch_fence_ = 0;
+  epoch_last_done_ = 0;
 }
 
 FlashDevice::PageState FlashDevice::PageStateOf(Ppn ppn) const {

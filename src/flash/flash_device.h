@@ -106,6 +106,22 @@ class FlashDevice {
   // Everything buffered becomes durable.
   void SyncAll();
 
+  // --- barrier (epoch) ordering -------------------------------------------
+  // Opens a new barrier epoch without waiting for anything: every program
+  // issued after this call is fenced behind the completion of every program
+  // issued before it. The scheduler refuses to start an epoch-e+1 program
+  // until the last epoch-e program has completed on its bank — ordering is
+  // enforced inside the controller, overlapping across banks, while the
+  // issuer keeps submitting. At a power cut, survival is epoch-prefix
+  // consistent: once any program of epoch e is lost, every program of a
+  // later epoch is lost too (CrashNow's second pass).
+  void AdvanceEpoch();
+  // Current epoch id (0 until the first AdvanceEpoch; programs issued under
+  // epoch 0 are unfenced, which keeps drain-mode timing byte-identical).
+  uint64_t current_epoch() const { return current_epoch_; }
+  // Earliest simulated time the next fenced program may start (tests).
+  SimNanos epoch_fence() const { return epoch_fence_; }
+
   // Bank completion time of the most recently submitted program/erase/read —
   // the "completion token" of the submit/wait split. The SATA layer's NCQ
   // queue records this per command and waits on it only when the queue
@@ -198,15 +214,23 @@ class FlashDevice {
   // One issued-but-not-yet-durable program.
   struct BufferedProgram {
     Ppn ppn;
-    SimNanos done;  // completion (drain) time on its bank
+    SimNanos done;      // completion (drain) time on its bank
+    uint64_t epoch = 0; // barrier epoch the program was issued under
   };
 
   Status CheckAlive() const;
   Status CheckPpn(Ppn ppn) const;
   void EnsureAllocated(Block& blk);
   uint8_t* PageData(Block& blk, uint32_t page);
-  // Schedules `latency` on `bank`; returns completion time.
-  SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency);
+  // Schedules `latency` on `bank`, starting no earlier than `not_before`
+  // (the epoch fence for fenced programs); returns completion time.
+  SimNanos ScheduleOnBank(uint32_t bank, SimNanos latency,
+                          SimNanos not_before = 0);
+  // Records one flash-layer barrier trace event (no-op without a tracer).
+  // kind: 0 = epoch opened (a = epoch id, tid = epochs in flight),
+  //       1 = program stalled for order, 2 = stalled for bank (a = ppn,
+  //       tid = bank, latency = the stall paid).
+  void NoteBarrier(uint64_t kind, uint64_t a, uint32_t tid, SimNanos latency);
   // Schedules `latency` on the shared channel, starting no earlier than
   // `not_before` (a bank sense completion for reads, now for programs);
   // returns the transfer's completion time. The channel is the one resource
@@ -243,6 +267,13 @@ class FlashDevice {
   // Volatile write buffer: issued programs that have not drained yet
   // (bounded by write_buffer_pages).
   std::vector<BufferedProgram> buffered_;
+  // Barrier epoch state. current_epoch_ is monotone for the device's life;
+  // the fence is the completion time the next fenced program must wait for,
+  // and epoch_last_done_ tracks the latest completion inside the current
+  // epoch (folded into the fence at the next AdvanceEpoch).
+  uint64_t current_epoch_ = 0;
+  SimNanos epoch_fence_ = 0;
+  SimNanos epoch_last_done_ = 0;
   FlashStats stats_;
   CrashPlan crash_plan_;
   bool crash_armed_ = false;

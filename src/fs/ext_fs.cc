@@ -691,7 +691,7 @@ storage::TxId ExtFs::TidFor(Ino ino) {
   return tid;
 }
 
-Status ExtFs::Fsync(Fd fd) {
+Status ExtFs::SyncFile(Fd fd, bool datasync, bool ordered) {
   SimNanos t0 = clock_->Now();
   ChargeSyscall();
   if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
@@ -699,33 +699,25 @@ Status ExtFs::Fsync(Fd fd) {
   }
   stats_.fsync_calls++;
   Ino ino = open_files_[fd].ino;
-  Status s = CommitDirty(ino, /*datasync=*/false);
+  Status s = CommitDirty(ino, datasync, ordered);
   if (tracer_ != nullptr) {
     tracer_->Record(trace::Layer::kFs, trace::Op::kFsync, t0,
-                    static_cast<uint32_t>(ino), 0, 0, clock_->Now() - t0,
-                    s.code());
+                    static_cast<uint32_t>(ino),
+                    (datasync ? 1 : 0) | (ordered ? 2 : 0), 0,
+                    clock_->Now() - t0, s.code());
   }
   return s;
 }
 
-Status ExtFs::Fdatasync(Fd fd) {
-  SimNanos t0 = clock_->Now();
-  ChargeSyscall();
-  if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
-    return Status::InvalidArgument("bad fd");
-  }
-  stats_.fsync_calls++;
-  Ino ino = open_files_[fd].ino;
-  Status s = CommitDirty(ino, /*datasync=*/true);
-  if (tracer_ != nullptr) {
-    tracer_->Record(trace::Layer::kFs, trace::Op::kFsync, t0,
-                    static_cast<uint32_t>(ino), 1, 0, clock_->Now() - t0,
-                    s.code());
-  }
-  return s;
-}
+Status ExtFs::Fsync(Fd fd) { return SyncFile(fd, false, false); }
 
-Status ExtFs::CommitDirty(Ino ino, bool datasync) {
+Status ExtFs::Fdatasync(Fd fd) { return SyncFile(fd, true, false); }
+
+Status ExtFs::Fbarrier(Fd fd) { return SyncFile(fd, false, true); }
+
+Status ExtFs::Fdatabarrier(Fd fd) { return SyncFile(fd, true, true); }
+
+Status ExtFs::CommitDirty(Ino ino, bool datasync, bool ordered) {
   // Collect the dirty set. Ordered/full journaling flushes all dirty data
   // (JBD's shared running transaction); off mode commits this file's data -
   // plus every linked file's - and all dirty metadata, under the shared
@@ -822,13 +814,13 @@ Status ExtFs::CommitDirty(Ino ino, bool datasync) {
         }
       }
       if (meta_entries.empty()) {
-        XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
+        XFTL_RETURN_IF_ERROR(ordered ? dev_->Barrier() : dev_->FlushBarrier());
         return RunPendingTrims();
       }
       std::vector<std::pair<uint64_t, const uint8_t*>> txn;
       txn.reserve(meta_entries.size());
       for (auto* e : meta_entries) txn.emplace_back(e->page, e->data.data());
-      XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn));
+      XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn, ordered));
       // Checkpoint: metadata to home locations (made durable by the next
       // transaction's first barrier).
       {
@@ -851,7 +843,7 @@ Status ExtFs::CommitDirty(Ino ino, bool datasync) {
     }
     case JournalMode::kFull: {
       if (data_entries.empty() && meta_entries.empty()) {
-        XFTL_RETURN_IF_ERROR(dev_->FlushBarrier());
+        XFTL_RETURN_IF_ERROR(ordered ? dev_->Barrier() : dev_->FlushBarrier());
         return RunPendingTrims();
       }
       // Both data and metadata go through the journal: every page is
@@ -860,7 +852,7 @@ Status ExtFs::CommitDirty(Ino ino, bool datasync) {
       txn.reserve(data_entries.size() + meta_entries.size());
       for (auto* e : data_entries) txn.emplace_back(e->page, e->data.data());
       for (auto* e : meta_entries) txn.emplace_back(e->page, e->data.data());
-      XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn));
+      XFTL_RETURN_IF_ERROR(journal_->CommitTransaction(txn, ordered));
       // Checkpoint everything in place as one queued batch.
       {
         std::vector<uint64_t> cp;
@@ -1076,13 +1068,13 @@ Status ExtFs::SyncAll() {
     // metadata under a fresh transaction.
     std::vector<Ino> inos;
     for (const auto& [ino, tid] : active_tid_) inos.push_back(ino);
-    for (Ino ino : inos) XFTL_RETURN_IF_ERROR(CommitDirty(ino, false));
+    for (Ino ino : inos) XFTL_RETURN_IF_ERROR(CommitDirty(ino, false, false));
     bool any_dirty = false;
     cache_->ForEachDirty([&](BufferCache::Entry*) { any_dirty = true; });
-    if (any_dirty) XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false));
+    if (any_dirty) XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false, false));
     return Status::OK();
   }
-  XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false));
+  XFTL_RETURN_IF_ERROR(CommitDirty(kRootIno, false, false));
   return dev_->FlushBarrier();
 }
 

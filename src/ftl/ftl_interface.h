@@ -16,6 +16,25 @@ namespace xftl::ftl {
 // Logical page number as exposed to the host.
 using Lpn = uint64_t;
 
+// How a firmware implements its durability points (FLUSH / commit /
+// prepare). Drain is the classic completion-wait: the command returns only
+// once everything is in the cells. Barrier is order-preserving: the command
+// opens a new flash epoch and returns immediately — earlier writes are
+// guaranteed to reach the cells before any later write, but not to have
+// reached them when the command returns (epoch-prefix durability). Plp
+// models a power-loss-protected cache: the buffer drains on its own and an
+// emergency checkpoint covers a power cut.
+enum class CommitMode : uint8_t { kDrain, kBarrier, kPlp };
+
+inline const char* CommitModeName(CommitMode mode) {
+  switch (mode) {
+    case CommitMode::kDrain:   return "drain";
+    case CommitMode::kBarrier: return "barrier";
+    case CommitMode::kPlp:     return "plp";
+  }
+  return "?";
+}
+
 class FtlInterface {
  public:
   virtual ~FtlInterface() = default;
@@ -57,6 +76,14 @@ class FtlInterface {
   // Write barrier: waits for in-flight programs and persists the mapping
   // table (dirty segments + root record).
   virtual Status Flush() = 0;
+
+  // Order-preserving barrier: all pages written before it are programmed
+  // before any page written after it, without waiting for completion.
+  // Firmwares without epoch support fall back to a full Flush().
+  virtual Status Barrier() { return Flush(); }
+
+  // The firmware's durability-point discipline (see CommitMode).
+  virtual CommitMode commit_mode() const { return CommitMode::kDrain; }
 
   // Rebuilds all volatile state from flash after a power failure.
   virtual Status Recover() = 0;

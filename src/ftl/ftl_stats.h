@@ -23,6 +23,7 @@ struct FtlStats {
   uint64_t block_erases = 0;
   // Barriers / commits.
   uint64_t flush_barriers = 0;
+  uint64_t ordered_barriers = 0;  // order-only barriers (no completion wait)
   // NAND failure handling (grown-bad-block management + ECC).
   uint64_t grown_bad_blocks = 0;      // blocks retired after status failures
   uint64_t program_fail_reissues = 0; // in-flight pages re-issued elsewhere
@@ -67,6 +68,7 @@ struct FtlStats {
     meta_page_writes += o.meta_page_writes;
     block_erases += o.block_erases;
     flush_barriers += o.flush_barriers;
+    ordered_barriers += o.ordered_barriers;
     grown_bad_blocks += o.grown_bad_blocks;
     program_fail_reissues += o.program_fail_reissues;
     retire_relocations += o.retire_relocations;
@@ -91,6 +93,7 @@ struct FtlStats {
     d.meta_page_writes = meta_page_writes - base.meta_page_writes;
     d.block_erases = block_erases - base.block_erases;
     d.flush_barriers = flush_barriers - base.flush_barriers;
+    d.ordered_barriers = ordered_barriers - base.ordered_barriers;
     d.grown_bad_blocks = grown_bad_blocks - base.grown_bad_blocks;
     d.program_fail_reissues =
         program_fail_reissues - base.program_fail_reissues;

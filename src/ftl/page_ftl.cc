@@ -176,6 +176,21 @@ Status PageFtl::Flush() {
   return s;
 }
 
+Status PageFtl::Barrier() {
+  // Order-preserving barrier: open a new epoch and return. Nothing is
+  // persisted here — durability of the mapping is the OOB roll-forward
+  // scan's job (same recovery contract as fast_barrier firmware), and the
+  // epoch fence guarantees earlier data programs land before later ones.
+  if (config_.commit_mode != CommitMode::kBarrier) return Flush();
+  XFTL_RETURN_IF_ERROR(CheckWritable());
+  SimNanos t0 = device_->clock()->Now();
+  device_->AdvanceEpoch();
+  stats_.ordered_barriers++;
+  TraceFtl(trace::Op::kBarrier, t0, device_->current_epoch(), 0,
+           StatusCode::kOk);
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Data path
 // ---------------------------------------------------------------------------

@@ -71,6 +71,12 @@ struct FtlConfig {
   // any mapping that was not checkpointed). Research firmware like the
   // OpenSSD's persists the mapping synchronously instead.
   bool fast_barrier = false;
+  // Durability-point discipline of the firmware's FLUSH/commit/prepare
+  // verbs: completion-wait drain (classic), order-preserving barrier
+  // (epoch-fenced flash scheduling, no wait), or PLP-backed ack. The S830
+  // profile runs kPlp; barrier mode is the Won-et-al. protocol that works
+  // without the capacitor.
+  CommitMode commit_mode = CommitMode::kDrain;
   // ECC strength and read-retry policy for every flash read the FTL issues.
   EccConfig ecc;
   // Graceful degradation floor: the FTL turns read-only when the usable
@@ -102,6 +108,8 @@ class PageFtl : public FtlInterface {
                     size_t* accepted = nullptr) override;
   Status Trim(Lpn lpn) override;
   Status Flush() override;
+  Status Barrier() override;
+  CommitMode commit_mode() const override { return config_.commit_mode; }
   Status Recover() override;
   SimNanos LastCompletionTime() const override {
     return device_->last_op_done();

@@ -125,6 +125,20 @@ Status StripedVolume::FlushBarrier() {
   return first;
 }
 
+Status StripedVolume::Barrier() {
+  // Order-only array barrier: every online member opens a new epoch; none
+  // drains. Cross-member ordering needs no extra work — the callers that
+  // require one member's writes durable before another's proceed (the 2PC
+  // commit path) use AwaitDurable explicitly.
+  Status first = TakeDeferredError();
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    if (!powered_[dev]) continue;
+    Status s = members_[dev]->device()->Barrier();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
 bool StripedVolume::SupportsTransactions() const {
   return members_[0]->device()->SupportsTransactions();
 }
@@ -270,6 +284,19 @@ Status StripedVolume::TxCommit(storage::TxId t) {
       if (s.ok()) s = members_[dev]->device()->TxCommit(t);
       if (!s.ok() && first.ok()) first = s;
     }
+    // Barrier-firmware member commits are order-only, and epoch-prefix
+    // durability is a PER-MEMBER promise: a volatile ack here could be lost
+    // while a later transaction on a different member survives, breaking
+    // the array's global prefix. The volume therefore keeps ack == durable
+    // by completion-waiting the member(s) before acknowledging.
+    if (first.ok() &&
+        members_[0]->device()->commit_mode() == ftl::CommitMode::kBarrier) {
+      for (uint32_t dev : parts) {
+        Status s = CheckMember(dev);
+        if (s.ok()) s = members_[dev]->device()->AwaitDurable();
+        if (!s.ok() && first.ok()) first = s;
+      }
+    }
     participants_.erase(t);
     return first;
   }
@@ -283,6 +310,27 @@ Status StripedVolume::TxCommit(storage::TxId t) {
       AbortOn(parts, t);
       participants_.erase(t);
       return s;
+    }
+  }
+
+  // Barrier-firmware prepares are order-only: the PREPARED markers are
+  // still volatile when TxPrepare returns. The protocol's promise — a
+  // prepared member can go either way after a crash — needs them in the
+  // cells before the commit record exists, so the coordinator
+  // completion-waits every participant here. The waits overlap: each
+  // member's programs have been running concurrently on the shared clock,
+  // so the pass costs roughly the slowest member, not the sum.
+  const bool ordered =
+      members_[0]->device()->commit_mode() == ftl::CommitMode::kBarrier;
+  if (ordered) {
+    for (uint32_t dev : parts) {
+      Status s = CheckMember(dev);
+      if (s.ok()) s = members_[dev]->device()->AwaitDurable();
+      if (!s.ok()) {
+        AbortOn(parts, t);
+        participants_.erase(t);
+        return s;
+      }
     }
   }
 
@@ -304,6 +352,10 @@ Status StripedVolume::TxCommit(storage::TxId t) {
   // transaction never happened; recovery aborts every prepared member.
   Status rs = CheckMember(0);
   if (rs.ok()) rs = members_[0]->device()->WriteCommitRecord(t);
+  // Under barrier firmware the record snapshot is still in flight; it must
+  // be in the cells before any member executes phase 2, or a coordinator
+  // crash could erase the commit point after members already committed.
+  if (rs.ok() && ordered) rs = members_[0]->device()->AwaitDurable();
   if (!rs.ok()) {
     AbortOn(parts, t);
     participants_.erase(t);
@@ -321,6 +373,19 @@ Status StripedVolume::TxCommit(storage::TxId t) {
     if (!s.ok()) {
       all_acked = false;
       if (first.ok()) first = s;
+    }
+  }
+  if (all_acked && ordered) {
+    // Barrier-mode member commits are order-only; the record may not be
+    // released while any member's commit snapshot could still be lost, or a
+    // crash would leave that member's entries PREPARED with no record —
+    // resolving to abort a transaction the others committed.
+    for (uint32_t dev : parts) {
+      Status s = members_[dev]->device()->AwaitDurable();
+      if (!s.ok()) {
+        all_acked = false;
+        if (first.ok()) first = s;
+      }
     }
   }
   if (all_acked) {
@@ -419,7 +484,9 @@ Status StripedVolume::ResolveInDoubtArray() {
   bool all_online = !Degraded();
   for (uint32_t dev = 0; dev < members_.size(); ++dev) {
     if (rolled_forward[dev]) {
-      Status s = members_[dev]->device()->FlushBarrier();
+      // Completion-wait regardless of commit mode: with barrier firmware an
+      // ordinary FlushBarrier is order-only, which is not enough here.
+      Status s = members_[dev]->device()->AwaitDurable();
       if (!s.ok() && first.ok()) first = s;
     }
   }

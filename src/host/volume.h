@@ -115,6 +115,9 @@ class StripedVolume : public storage::TxBlockDevice {
   // Durability barrier across the online members; reports (and clears) the
   // volume's deferred error from writes that hit an offline member.
   Status FlushBarrier() override;
+  // Order-preserving barrier fan-out: each online member opens a new epoch
+  // without draining. Same deferred-error reporting as FlushBarrier.
+  Status Barrier() override;
 
   // --- TxBlockDevice -------------------------------------------------------
   bool SupportsTransactions() const override;

@@ -20,6 +20,10 @@ struct DbOptions {
   SqlJournalMode journal_mode = SqlJournalMode::kDelete;
   uint32_t cache_pages = 256;
   uint32_t wal_autocheckpoint = 1000;
+  // Commit through order-preserving barriers instead of fsync (see
+  // PagerOptions::barrier_commit): atomicity unchanged, durability relaxed
+  // to epoch-prefix.
+  bool barrier_commit = false;
   // Host CPU-time model: parsing/planning cost per statement and row-visit
   // cost during execution, charged to the simulation clock. Calibrated so
   // cache-resident read workloads land near SQLite's throughput on the

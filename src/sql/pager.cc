@@ -379,6 +379,13 @@ Status Pager::Free(Pgno pgno) {
   return WriteHeader();
 }
 
+Status Pager::SyncFd(fs::Fd fd, bool datasync) {
+  if (options_.barrier_commit) {
+    return datasync ? fs_->Fdatabarrier(fd) : fs_->Fbarrier(fd);
+  }
+  return datasync ? fs_->Fdatasync(fd) : fs_->Fsync(fd);
+}
+
 // ---------------------------------------------------------------------------
 // transactions
 // ---------------------------------------------------------------------------
@@ -413,7 +420,7 @@ Status Pager::Commit() {
         CacheEntry& e = cache_.at(pgno);
         XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, e.data.data()));
       }
-      XFTL_RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+      XFTL_RETURN_IF_ERROR(SyncFd(db_fd_, /*datasync=*/false));
       XFTL_RETURN_IF_ERROR(DeleteJournal());
       // Only a fully committed transaction may mark its pages clean: a
       // failure part-way (e.g. the device degrading to read-only) must leave
@@ -437,7 +444,7 @@ Status Pager::Commit() {
         XFTL_RETURN_IF_ERROR(
             AppendWalFrame(1, e->data.data(), page_count_));
       }
-      XFTL_RETURN_IF_ERROR(fs_->Fsync(wal_fd_));
+      XFTL_RETURN_IF_ERROR(SyncFd(wal_fd_, /*datasync=*/false));
       for (const auto& [pgno, off] : wal_uncommitted_) {
         wal_committed_[pgno] = off;
       }
@@ -462,7 +469,7 @@ Status Pager::Commit() {
         CacheEntry& e = cache_.at(pgno);
         XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, e.data.data()));
       }
-      XFTL_RETURN_IF_ERROR(fs_->Fdatasync(db_fd_));
+      XFTL_RETURN_IF_ERROR(SyncFd(db_fd_, /*datasync=*/true));
       for (Pgno pgno : dirty) cache_.at(pgno).dirty = false;
       break;
     }
@@ -563,7 +570,7 @@ Status Pager::SyncJournal(bool finalize) {
   if (journal_fd_ < 0) return Status::OK();
   if (journal_synced_) return Status::OK();
   // Sync the record data first...
-  XFTL_RETURN_IF_ERROR(fs_->Fsync(journal_fd_));
+  XFTL_RETURN_IF_ERROR(SyncFd(journal_fd_, /*datasync=*/false));
   if (finalize) {
     // ...then publish the record count in the header and sync it
     // separately (the paper: "the header page of a journal file requires
@@ -574,7 +581,7 @@ Status Pager::SyncJournal(bool finalize) {
     EncodeFixed32(hdr.data() + 8, page_size_);
     XFTL_RETURN_IF_ERROR(fs_->Write(journal_fd_, 0, hdr.data(), hdr.size()));
     stats_.journal_page_writes++;  // the header page
-    XFTL_RETURN_IF_ERROR(fs_->Fsync(journal_fd_));
+    XFTL_RETURN_IF_ERROR(SyncFd(journal_fd_, /*datasync=*/false));
     journal_synced_ = true;
   }
   return Status::OK();
@@ -736,10 +743,10 @@ Status Pager::CheckpointWal() {
     if (n != page_size_) return Status::Corruption("short WAL frame");
     XFTL_RETURN_IF_ERROR(WritePageToDb(pgno, buf.data()));
   }
-  XFTL_RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+  XFTL_RETURN_IF_ERROR(SyncFd(db_fd_, /*datasync=*/false));
   // Rewind the log.
   XFTL_RETURN_IF_ERROR(fs_->Truncate(wal_fd_, kWalFileHeader));
-  XFTL_RETURN_IF_ERROR(fs_->Fsync(wal_fd_));
+  XFTL_RETURN_IF_ERROR(SyncFd(wal_fd_, /*datasync=*/false));
   wal_committed_.clear();
   wal_append_off_ = kWalFileHeader;
   wal_prev_crc_ = 0;

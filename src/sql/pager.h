@@ -48,6 +48,14 @@ struct PagerOptions {
   uint32_t cache_pages = 256;
   // Checkpoint the WAL after this many appended frames (SQLite default 1000).
   uint32_t wal_autocheckpoint = 1000;
+  // Commit through order-preserving barriers (ExtFs::Fbarrier /
+  // Fdatabarrier) instead of fsync, in every journal mode. Atomicity is
+  // unchanged — the sync ordering each mode relies on still holds under
+  // epoch-prefix durability — but an acknowledged commit may be lost
+  // wholesale by a power cut (relaxed durability, as in the
+  // barrier-enabled I/O stack). No-op on devices without ordered-command
+  // support.
+  bool barrier_commit = false;
 };
 
 struct PagerStats {
@@ -177,6 +185,10 @@ class Pager {
   // Reads a page's current committed content (WAL-aware).
   Status ReadPageFromFiles(Pgno pgno, uint8_t* out);
   Status WritePageToDb(Pgno pgno, const uint8_t* data);
+
+  // The commit path's durability point: fsync/fdatasync, or their ordered
+  // siblings under barrier_commit.
+  Status SyncFd(fs::Fd fd, bool datasync);
 
   // --- rollback journal (kDelete) ------------------------------------------
   std::string JournalPath() const { return db_path_ + "-journal"; }

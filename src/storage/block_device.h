@@ -48,6 +48,11 @@ class BlockDevice {
   // Durability barrier: all previously acknowledged writes (and the device's
   // mapping metadata) are persistent when this returns.
   virtual Status FlushBarrier() = 0;
+  // Order-preserving barrier: writes before it reach the medium before any
+  // write after it, but need not have reached it when this returns
+  // (epoch-prefix durability). Devices without ordered-command support fall
+  // back to the full FlushBarrier.
+  virtual Status Barrier() { return FlushBarrier(); }
 };
 
 // The extended command set. A device reports whether it actually implements

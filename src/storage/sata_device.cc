@@ -180,6 +180,7 @@ void SataDevice::EnqueueCompletion(TxId t, const uint64_t* pages,
   cmd.submitted = clock_->Now();
   cmd.done = ftl_->LastCompletionTime();
   cmd.txn = t;
+  cmd.epoch = barrier_epoch_;
   cmd.fate = SampleFate();
   cmd.pages.assign(pages, pages + n);
   const uint32_t psz = ftl_->page_size();
@@ -517,6 +518,10 @@ Status SataDevice::Trim(uint64_t page) {
 }
 
 Status SataDevice::FlushBarrier() {
+  // kBarrier firmware serves FLUSH order-only: the fsync path is the whole
+  // point of the barrier rework, and callers that truly need completion-wait
+  // semantics use AwaitDurable().
+  if (ftl_->commit_mode() == ftl::CommitMode::kBarrier) return Barrier();
   SimNanos t0 = clock_->Now();
   DrainQueue();
   ChargeCommand(false);
@@ -526,6 +531,35 @@ Status SataDevice::FlushBarrier() {
   Status s = TakeDeferredError();
   if (s.ok()) s = ftl_->Flush();
   Note(trace::Op::kFlush, t0, ftl::kNoTx, 0, s.code());
+  return s;
+}
+
+Status SataDevice::Barrier() {
+  if (ftl_->commit_mode() != ftl::CommitMode::kBarrier) return FlushBarrier();
+  SimNanos t0 = clock_->Now();
+  // No drain: polling retires what already finished and discovers faults,
+  // but queued programs keep running behind the epoch fence.
+  PollQueue();
+  ChargeCommand(false);
+  stats_.barrier_commands++;
+  // A background loss latched in the closing epoch fails this barrier — the
+  // first command of the next epoch, per the errseq contract.
+  Status s = TakeDeferredError();
+  if (s.ok()) s = ftl_->Barrier();
+  barrier_epoch_++;
+  Note(trace::Op::kBarrier, t0, ftl::kNoTx, barrier_epoch_, s.code());
+  return s;
+}
+
+Status SataDevice::AwaitDurable() {
+  SimNanos t0 = clock_->Now();
+  DrainQueue();
+  ChargeCommand(false);
+  stats_.barrier_commands++;
+  Status s = TakeDeferredError();
+  if (s.ok()) s = ftl_->Flush();
+  // `a` = 1 marks the completion-wait flavor in the trace stream.
+  Note(trace::Op::kFlush, t0, ftl::kNoTx, 1, s.code());
   return s;
 }
 
@@ -582,17 +616,12 @@ Status SataDevice::TxWriteBatch(TxId t, const uint64_t* pages,
 Status SataDevice::TxCommit(TxId t) {
   if (xftl_ == nullptr) return FlushBarrier();
   // One extended trim command carries the commit verb. The commit's data
-  // barrier must cover every acknowledged write, so the queue drains first;
-  // a deferred background loss fails the commit without executing it. PLP
-  // firmware skips the drain: every acknowledged queued write already sits
-  // in the capacitor-backed buffer, so the commit is ordered behind them
-  // inside the controller without waiting for the cells.
+  // barrier must cover every acknowledged write; OrderCommit applies the
+  // firmware's discipline (drain, or poll for barrier/PLP modes where the
+  // verb is ordered behind queued writes inside the controller). A deferred
+  // background loss fails the commit without executing it.
   SimNanos t0 = clock_->Now();
-  if (xftl_->plp_commit()) {
-    PollQueue();
-  } else {
-    DrainQueue();
-  }
+  OrderCommit();
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.commit_commands++;
@@ -610,13 +639,9 @@ Status SataDevice::TxPrepare(TxId t) {
     return Status::NotSupported("prepare on a non-transactional device");
   }
   // Same barrier discipline as TxCommit: PREPARE promises both versions are
-  // durable, so every acknowledged queued write must be ordered before it.
+  // retained, so every acknowledged queued write must be ordered before it.
   SimNanos t0 = clock_->Now();
-  if (xftl_->plp_commit()) {
-    PollQueue();
-  } else {
-    DrainQueue();
-  }
+  OrderCommit();
   ChargeCommand(false);
   stats_.trim_commands++;
   stats_.prepare_commands++;
@@ -680,6 +705,24 @@ Status SataDevice::ResolveInDoubt(TxId t, bool commit) {
   return s;
 }
 
+void SataDevice::OrderCommit() {
+  switch (ftl_->commit_mode()) {
+    case ftl::CommitMode::kDrain:
+      // Classic completion-wait: the commit verb may not pass the device
+      // until every acknowledged queued write reached the cells.
+      DrainQueue();
+      break;
+    case ftl::CommitMode::kBarrier:
+    case ftl::CommitMode::kPlp:
+      // The verb is ordered behind queued writes inside the controller
+      // (epoch fence, or the capacitor-backed buffer). Polling retires what
+      // already finished and surfaces discoverable link faults so a failed
+      // queue never hides behind a fast commit.
+      PollQueue();
+      break;
+  }
+}
+
 Status SataDevice::TxAbort(TxId t) {
   if (xftl_ == nullptr) {
     return Status::NotSupported("abort on a non-transactional device");
@@ -712,6 +755,9 @@ void SataDevice::ResetVolatile() {
   consecutive_resets_ = 0;
   clean_streak_ = 0;
   deferred_error_ = Status::OK();
+  // Barrier-epoch tagging restarts with the link: ordering across the cut
+  // is moot (recovery re-derives durable state from the cells).
+  barrier_epoch_ = 0;
 }
 
 }  // namespace xftl::storage

@@ -40,6 +40,16 @@
 // A queued write whose reissue exhausts every rung is an acknowledged write
 // lost in the background: it latches an errseq-style deferred error that
 // fails the NEXT FlushBarrier/TxCommit, never silently dropped.
+//
+// Order-preserving barriers (ftl::CommitMode::kBarrier firmware): the host
+// tags every queued write with the current barrier epoch; Barrier() bumps
+// the epoch, passes an ordered-flush verb down to the FTL (which fences the
+// flash program scheduler) and returns without draining the queue, so the
+// pipeline stays full across fsync points. FlushBarrier/TxCommit/TxPrepare
+// then become order-only too; a deferred background loss surfaces at the
+// first barrier or commit of the next epoch. AwaitDurable() keeps the
+// classic completion-wait semantics for the callers that genuinely need the
+// result in the cells (the array controller's 2PC commit record).
 #ifndef XFTL_STORAGE_SATA_DEVICE_H_
 #define XFTL_STORAGE_SATA_DEVICE_H_
 
@@ -192,6 +202,13 @@ class SataDevice : public TxBlockDevice {
                     size_t n, size_t* accepted = nullptr) override;
   Status Trim(uint64_t page) override;
   Status FlushBarrier() override;
+  Status Barrier() override;
+  // Completion-wait durability point regardless of commit mode: drains the
+  // queue, surfaces any deferred error, and runs a full FTL flush. Under
+  // kBarrier firmware the ordinary barrier verbs are order-only; callers
+  // that must have the bits in the cells before proceeding (2PC commit
+  // records) use this instead.
+  Status AwaitDurable();
 
   bool SupportsTransactions() const override { return xftl_ != nullptr; }
   Status TxRead(TxId t, uint64_t page, uint8_t* data) override;
@@ -252,6 +269,10 @@ class SataDevice : public TxBlockDevice {
   const SataStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SataStats{}; }
   ftl::FtlInterface* ftl() const { return ftl_; }
+  ftl::CommitMode commit_mode() const { return ftl_->commit_mode(); }
+  // Barrier epoch the next queued write will be tagged with (volatile host
+  // state; a power cut or link reset restarts it).
+  uint64_t barrier_epoch() const { return barrier_epoch_; }
 
   // Transactions with at least one write issued and no commit/abort yet.
   // This is volatile front-end state: it does not survive a power cycle.
@@ -281,6 +302,10 @@ class SataDevice : public TxBlockDevice {
     SimNanos done = 0;  // device-side completion time
     TagFate fate = TagFate::kClean;
     TxId txn = ftl::kNoTx;
+    // Barrier epoch the write was queued under. A REDO reissue after a
+    // queue abort re-executes in the CURRENT flash epoch — safe, because
+    // moving a write later never violates epoch-prefix ordering.
+    uint64_t epoch = 0;
     std::vector<uint64_t> pages;
     // Host-held page images (REDO source), pages.size() * page_size bytes.
     std::vector<uint8_t> data;
@@ -346,6 +371,10 @@ class SataDevice : public TxBlockDevice {
   // background; reported (and cleared) by the next barrier/commit.
   void DeferError(const Status& s);
   Status TakeDeferredError();
+  // The pre-commit queue discipline shared by TxCommit/TxPrepare: kDrain
+  // waits for every queued write, kBarrier and kPlp only poll (the verb is
+  // ordered behind them inside the controller).
+  void OrderCommit();
 
   ftl::FtlInterface* const ftl_;
   ftl::XFtl* const xftl_;  // non-null when ftl_ is transactional
@@ -371,6 +400,10 @@ class SataDevice : public TxBlockDevice {
   std::vector<uint64_t> scripted_aborts_;
   uint64_t transfer_ops_ = 0;
   uint64_t enqueue_ops_ = 0;
+  // Barrier epoch counter (kBarrier firmware); tags queued writes and is
+  // bumped by Barrier(). Volatile: ResetVolatile restarts it, and recovery
+  // re-derives ordering from what reached the cells.
+  uint64_t barrier_epoch_ = 0;
   // Degradation-ladder state.
   bool in_recovery_ = false;
   bool degraded_ = false;

@@ -57,7 +57,7 @@ SsdSpec S830Spec(uint32_t num_blocks, double utilization) {
   spec.flash.timings.bus_per_page = Micros(25);
   spec.ftl.num_logical_pages = LogicalPagesFor(spec.flash, spec.ftl, utilization);
   spec.ftl.fast_barrier = true;
-  spec.xftl.plp_commit = true;
+  spec.ftl.commit_mode = ftl::CommitMode::kPlp;
   spec.sata.command_overhead = Micros(8);
   spec.sata.transfer_per_page = Micros(14);  // 8 KB at ~600 MB/s
   return spec;
@@ -88,7 +88,7 @@ void SimSsd::CutPower() {
   // snapshot, making every acknowledged commit durable. Best effort — a
   // flash array already failing when power drops cannot take the
   // checkpoint, and recovery then falls back to the last ordinary one.
-  if (xftl_ != nullptr && spec_.xftl.plp_commit) {
+  if (xftl_ != nullptr && spec_.ftl.commit_mode == ftl::CommitMode::kPlp) {
     (void)xftl_->Checkpoint();
   }
   // Pulling the plug drops whatever the volatile program buffer still held

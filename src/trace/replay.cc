@@ -65,7 +65,14 @@ StatusOr<ReplayResult> ReplayTrace(const std::string& path,
         break;
       case Op::kFlush:
         r.flushes++;
-        s = dev->FlushBarrier();
+        // `a` = 1 marks the completion-wait flavor (AwaitDurable): under
+        // barrier firmware a plain FlushBarrier would replay order-only and
+        // diverge from the captured run.
+        s = e.a == 1 ? dev->AwaitDurable() : dev->FlushBarrier();
+        break;
+      case Op::kBarrier:
+        r.flushes++;
+        s = dev->Barrier();
         break;
       case Op::kTxCommit:
         r.commits++;

@@ -67,8 +67,13 @@ enum class Op : uint8_t {
                     //   0 abort; b = entries resolved)
   kMemberFault = 23,   // host: array member state change (a = member index,
                        //   b = 1 offline, 0 back online)
+  kBarrier = 24,    // sata/fs/ftl: order-preserving barrier (no drain);
+                    //   flash: barrier-ordering bookkeeping, discriminated
+                    //   by b (0 = epoch opened, a = epoch id, tid = epochs
+                    //   in flight; 1 = program stalled for order; 2 =
+                    //   stalled for bank, a = ppn, latency = stall paid)
 };
-inline constexpr int kNumOps = 24;
+inline constexpr int kNumOps = 25;
 const char* OpName(Op op);
 
 // One trace record. Field meaning by layer:

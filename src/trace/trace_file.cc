@@ -46,6 +46,7 @@ const char* OpName(Op op) {
     case Op::kCommitRecord: return "commit-record";
     case Op::kResolve:    return "resolve";
     case Op::kMemberFault: return "member-fault";
+    case Op::kBarrier:    return "barrier";
   }
   return "?";
 }

@@ -49,6 +49,10 @@ Status Harness::Setup() {
   if (config_.write_buffer_pages > 0) {
     spec.flash.write_buffer_pages = config_.write_buffer_pages;
   }
+  if (config_.commit_mode >= 0) {
+    spec.ftl.commit_mode = static_cast<ftl::CommitMode>(config_.commit_mode);
+  }
+  barrier_commit_ = spec.ftl.commit_mode == ftl::CommitMode::kBarrier;
   if (config_.num_devices > 1) {
     host::VolumeConfig vc;
     vc.num_devices = config_.num_devices;
@@ -103,6 +107,7 @@ StatusOr<sql::Database*> Harness::OpenDatabase(const std::string& name) {
   opt.journal_mode = sql_mode();
   opt.cache_pages = config_.db_cache_pages;
   opt.wal_autocheckpoint = config_.wal_autocheckpoint;
+  opt.barrier_commit = barrier_commit_;
   if (config_.cpu_per_statement > 0) {
     opt.cpu_per_statement = config_.cpu_per_statement;
   }

@@ -59,6 +59,11 @@ struct HarnessConfig {
   // Depth 1 is effectively write-through (every program drains before the
   // next), isolating what the buffer saves at flush barriers.
   uint32_t write_buffer_pages = 0;
+  // Firmware commit discipline override: -1 keeps the device profile's
+  // default (OpenSSD: drain, S830: PLP), otherwise the value is a
+  // ftl::CommitMode. Under kBarrier the databases this harness opens also
+  // commit through ordered barriers (sql barrier_commit).
+  int commit_mode = -1;
   // Device array: >1 builds a host::StripedVolume of identical members
   // instead of a single drive. 1 keeps the exact legacy single-device path
   // (no stripe rounding of the logical space, so seeded single-device
@@ -240,6 +245,7 @@ class Harness {
   std::unique_ptr<fs::ExtFs> fs_;
   std::vector<std::pair<std::string, std::unique_ptr<sql::Database>>> dbs_;
   double aged_validity_ = 0.0;
+  bool barrier_commit_ = false;  // effective firmware mode is kBarrier
   std::unique_ptr<trace::TraceWriter> trace_writer_;
   std::unique_ptr<trace::Tracer> tracer_;
   Baseline baseline_;

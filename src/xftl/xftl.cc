@@ -213,11 +213,11 @@ Status XFtl::TxCommit(TxId t) {
   std::vector<int> entries = std::move(it->second);
   by_tid_.erase(it);
 
-  // Step 0 (implicit in the paper): all data pages written by t must have
-  // finished programming before the commit record makes them reachable.
-  // Under PLP the capacitor covers the program buffer, so the commit does
-  // not wait for the cells.
-  if (!xconfig_.plp_commit) device()->SyncAll();
+  // Step 0 (implicit in the paper): all data pages written by t must reach
+  // the cells before the commit record makes them reachable. kDrain waits
+  // for them; kBarrier only orders them ahead of the snapshot (epoch fence);
+  // under PLP the capacitor covers the program buffer.
+  CommitOrderPoint();
 
   // Step 1: mark entries committed (not yet folded into the L2P). The slot
   // leaves ACTIVE status here, so its by_lpn_ entry is erased eagerly —
@@ -239,12 +239,7 @@ Status XFtl::TxCommit(TxId t) {
   // are protected by their folded=false flag.) PLP firmware keeps the
   // commit in the protected DRAM table instead and snapshots lazily — at
   // forced reclaim, meta compaction, or the power-loss checkpoint.
-  if (!xconfig_.plp_commit) {
-    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
-    device()->SyncAll();
-  } else {
-    xl2p_dirty_ = true;
-  }
+  XFTL_RETURN_IF_ERROR(PersistCommitState());
 
   // Step 4: fold the new physical addresses into the L2P (idempotent; the
   // base FTL checkpoints the L2P lazily).
@@ -292,9 +287,11 @@ Status XFtl::TxPrepare(TxId t) {
     return Status::OK();
   }
   XFTL_RETURN_IF_ERROR(CheckWritable());
-  // The data pages must be durable before the PREPARED marker may promise
-  // the coordinator a REDO; under PLP the capacitor covers them.
-  if (!xconfig_.plp_commit) device()->SyncAll();
+  // The data pages must be ordered ahead of the PREPARED marker; with
+  // kBarrier firmware the marker is volatile until the coordinator
+  // completion-waits the member (host::StripedVolume does, before it writes
+  // the commit record). Under PLP the capacitor covers them.
+  CommitOrderPoint();
   size_t n = it->second.size();
   for (int idx : it->second) {
     DCHECK(slots_[idx].status == SlotStatus::kActive);
@@ -304,12 +301,7 @@ Status XFtl::TxPrepare(TxId t) {
   // holds both versions and asks the commit record which one wins. A failure
   // here leaves the entries PREPARED in RAM; the caller aborts, and a stale
   // durable PREPARED resurfacing later resolves to abort (no record).
-  if (!xconfig_.plp_commit) {
-    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
-    device()->SyncAll();
-  } else {
-    xl2p_dirty_ = true;
-  }
+  XFTL_RETURN_IF_ERROR(PersistCommitState());
   xstats_.prepares++;
   TraceX(device(), trace::Op::kTxPrepare, t0, t, n, 0, StatusCode::kOk);
   return Status::OK();
@@ -323,12 +315,10 @@ Status XFtl::WriteCommitRecord(TxId t) {
     slots_[idx] = Slot{t, 0, flash::kInvalidPpn, SlotStatus::kCommitRecord};
     records_[t] = idx;
   }
-  if (!xconfig_.plp_commit) {
-    XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
-    device()->SyncAll();
-  } else {
-    xl2p_dirty_ = true;
-  }
+  // No ordering point of its own: the coordinator completion-waits every
+  // member's prepare before writing the record, so there is nothing left in
+  // flight that the record could overtake.
+  XFTL_RETURN_IF_ERROR(PersistCommitState());
   xstats_.commit_records++;
   TraceX(device(), trace::Op::kCommitRecord, t0, t, 1, 0, StatusCode::kOk);
   return Status::OK();
@@ -422,6 +412,40 @@ Status XFtl::Checkpoint() {
   XFTL_RETURN_IF_ERROR(PersistMapping());
   XFTL_RETURN_IF_ERROR(FlushSubclassMeta());
   device()->SyncAll();
+  return Status::OK();
+}
+
+void XFtl::CommitOrderPoint() {
+  switch (config_.commit_mode) {
+    case CommitMode::kDrain:
+      device()->SyncAll();
+      break;
+    case CommitMode::kBarrier:
+      device()->AdvanceEpoch();
+      stats_.ordered_barriers++;
+      break;
+    case CommitMode::kPlp:
+      break;
+  }
+}
+
+Status XFtl::PersistCommitState() {
+  switch (config_.commit_mode) {
+    case CommitMode::kDrain:
+      XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
+      device()->SyncAll();
+      break;
+    case CommitMode::kBarrier:
+      // The snapshot lands in the epoch the order point just opened. If any
+      // earlier page is lost at a power cut, epoch-prefix consistency says
+      // the snapshot is lost too, so recovery can never see a commit whose
+      // data is missing — only drop acked commits from the tail.
+      XFTL_RETURN_IF_ERROR(WriteXl2pSnapshot());
+      break;
+    case CommitMode::kPlp:
+      xl2p_dirty_ = true;
+      break;
+  }
   return Status::OK();
 }
 

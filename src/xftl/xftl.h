@@ -66,16 +66,22 @@ inline constexpr TxId kNoTx = 0;
 struct XftlConfig {
   // Paper: 500 entries (8 KB) or 1000 entries (16 KB), 16 bytes each.
   uint32_t xl2p_capacity = 500;
-  // Power-loss-protected commit: the drive's capacitor-backed cache covers
-  // the X-L2P table and the program buffer, so TxCommit neither drains the
-  // device nor programs a snapshot page synchronously — durability comes
-  // from the emergency checkpoint the firmware runs on power loss (see
-  // SimSsd::CutPower). Research firmware (OpenSSD) has no such cache and
-  // keeps the strict snapshot-per-commit path. Note the limitation shared
-  // with real PLP drives: if the flash array itself is failing when power
-  // drops, the emergency checkpoint cannot land and commits since the last
-  // ordinary checkpoint are lost.
-  bool plp_commit = false;
+  // The firmware's durability-point discipline lives in
+  // FtlConfig::commit_mode (shared with the base FTL):
+  //   kDrain   — the paper's strict path: drain the device, then persist an
+  //              X-L2P snapshot synchronously at every commit/prepare.
+  //   kBarrier — order-preserving: the commit opens a new flash epoch and
+  //              writes the snapshot into it without waiting. A durable
+  //              complete snapshot then implies (epoch-prefix consistency)
+  //              that every earlier data page is durable too, so recovery
+  //              never sees a commit whose data is missing; an acked commit
+  //              may be lost wholesale, which is the contract fsync-style
+  //              callers opt into by issuing barriers instead of flushes.
+  //   kPlp     — capacitor-backed cache: commits stay in the protected DRAM
+  //              table; the emergency checkpoint at power-off persists them
+  //              (see SimSsd::CutPower). Shared real-drive limitation: a
+  //              flash array already failing when power drops cannot take
+  //              the checkpoint, and those commits are lost.
 };
 
 struct XftlStats {
@@ -149,7 +155,7 @@ class XFtl : public PageFtl {
   Status Checkpoint();
 
   const XftlStats& xstats() const { return xstats_; }
-  bool plp_commit() const { return xconfig_.plp_commit; }
+  bool plp_commit() const { return commit_mode() == CommitMode::kPlp; }
   void ResetXstats() { xstats_ = XftlStats{}; }
   // Number of table slots in use (active + retained committed).
   size_t Xl2pOccupancy() const;
@@ -200,6 +206,15 @@ class XFtl : public PageFtl {
   void ReleaseCommittedSlots();
   // Serializes occupied slots into meta pages (tag kTagXl2p).
   Status WriteXl2pSnapshot();
+  // The ordering point at the head of a commit/prepare: kDrain waits for the
+  // program buffer, kBarrier opens a new epoch (the transaction's data pages
+  // stay in the old one, the snapshot goes into the new one), kPlp needs
+  // neither — the capacitor covers the buffer.
+  void CommitOrderPoint();
+  // The durability point at the tail: kDrain snapshots and drains, kBarrier
+  // snapshots without waiting (epoch order does the rest), kPlp just marks
+  // the protected table dirty for the next lazy snapshot.
+  Status PersistCommitState();
 
   const XftlConfig xconfig_;
   XftlStats xstats_;

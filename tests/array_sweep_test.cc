@@ -41,6 +41,12 @@ struct ArrayPoint {
   uint64_t seed = 0;               // pins the plan AND the workload arrivals
   uint64_t crash_after_programs = 0;  // on the victim, from workload start
   double persist_prob = 0.5;
+  // Barrier-firmware members: PREPARE rides an ordered barrier instead of a
+  // drain, so the coordinator's explicit completion-waits are the only thing
+  // standing between the cut and a cross-device atomicity violation. The
+  // full ACID contract (tolerance 0 included) must still hold: the volume
+  // acks a commit only after completion-waiting every member.
+  bool barrier = false;
 };
 
 int SeedsPerVictim() {
@@ -55,18 +61,22 @@ std::vector<ArrayPoint> SweepPoints() {
   const double kPersistProbs[] = {0.25, 0.5, 0.75};
   const int per_victim = SeedsPerVictim();
   std::vector<ArrayPoint> points;
-  for (uint32_t victim = 0; victim < kDevices; ++victim) {
-    for (int i = 0; i < per_victim; ++i) {
-      ArrayPoint p;
-      p.victim = victim;
-      p.seed = (uint64_t(victim + 1) << 56) ^
-               ((uint64_t(i) + 1) * 0x9e3779b97f4a7c15ull);
-      Rng rng(p.seed);
-      // The victim sees ~1/kDevices of the array's programs; the range is
-      // sized so essentially every point fires within the workload.
-      p.crash_after_programs = 20 + rng.Uniform(400);
-      p.persist_prob = kPersistProbs[rng.Uniform(3)];
-      points.push_back(p);
+  for (bool barrier : {false, true}) {
+    for (uint32_t victim = 0; victim < kDevices; ++victim) {
+      for (int i = 0; i < per_victim; ++i) {
+        ArrayPoint p;
+        p.victim = victim;
+        p.barrier = barrier;
+        p.seed = (uint64_t(victim + 1) << 56) ^
+                 (uint64_t(barrier) << 55) ^
+                 ((uint64_t(i) + 1) * 0x9e3779b97f4a7c15ull);
+        Rng rng(p.seed);
+        // The victim sees ~1/kDevices of the array's programs; the range is
+        // sized so essentially every point fires within the workload.
+        p.crash_after_programs = 20 + rng.Uniform(400);
+        p.persist_prob = kPersistProbs[rng.Uniform(3)];
+        points.push_back(p);
+      }
     }
   }
   return points;
@@ -81,6 +91,7 @@ void RunArrayCrashPoint(const ArrayPoint& point) {
   hc.fs_cache_pages = 64;
   hc.db_cache_pages = 16;  // small: forces steals mid-transaction
   hc.seed = point.seed;
+  if (point.barrier) hc.commit_mode = int(ftl::CommitMode::kBarrier);
   Harness h(hc);
   ASSERT_TRUE(h.Setup().ok());
 
@@ -162,7 +173,7 @@ INSTANTIATE_TEST_SUITE_P(
       std::snprintf(hex, sizeof(hex), "%016llx",
                     static_cast<unsigned long long>(info.param.seed));
       return "victim" + std::to_string(info.param.victim) + "_s" +
-             std::string(hex);
+             std::string(hex) + (info.param.barrier ? "_bar" : "");
     });
 
 }  // namespace

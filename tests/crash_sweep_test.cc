@@ -80,6 +80,13 @@ struct SweepParam {
   // spurious aborts with queue-abort recovery) with the power cut, so the
   // cut can land with NCQ tags in flight and REDO reissues mid-recovery.
   bool link_faults = false;
+  // Firmware commit discipline. kBarrier replaces every commit-path drain
+  // with an order-preserving barrier: the cut can then land between a
+  // barrier and its commit verb with whole acknowledged epochs still
+  // buffered. Atomicity, prefix ordering and integrity must STILL hold
+  // (epoch-prefix durability) — only the "acked implies durable" lower
+  // bound is relaxed.
+  ftl::CommitMode commit_mode = ftl::CommitMode::kDrain;
 };
 
 void RunCrashPoint(const SweepParam& param) {
@@ -94,6 +101,7 @@ void RunCrashPoint(const SweepParam& param) {
     spec.link_fault.abort_prob = 0.001;
     spec.link_fault.seed = param.seed ^ 0x11ec0debull;
   }
+  spec.ftl.commit_mode = param.commit_mode;
   storage::SimSsd ssd(spec, &clock);
   fs::FsOptions fs_opt;
   fs_opt.journal_mode = param.mode == SqlJournalMode::kOff
@@ -104,6 +112,7 @@ void RunCrashPoint(const SweepParam& param) {
   DbOptions db_opt;
   db_opt.journal_mode = param.mode;
   db_opt.cache_pages = 16;  // small: forces steals mid-transaction
+  db_opt.barrier_commit = param.commit_mode == ftl::CommitMode::kBarrier;
   auto db = std::move(Database::Open(fs.get(), "sweep.db", db_opt)).value();
   ASSERT_TRUE(
       db->Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)")
@@ -189,10 +198,15 @@ void RunCrashPoint(const SweepParam& param) {
   }
 
   // Durability: everything acknowledged must survive, modulo the
-  // rollback-journal mode's last-transaction window.
-  int64_t tolerance = param.mode == SqlJournalMode::kDelete ? 1 : 0;
-  EXPECT_GE(survived_txns, acked - tolerance)
-      << "acknowledged transactions lost (acked " << acked << ")";
+  // rollback-journal mode's last-transaction window. Barrier commits trade
+  // exactly this bound away — the cut may drop an acknowledged suffix of
+  // epochs wholesale — while atomicity, prefix ordering and integrity above
+  // still held unconditionally.
+  if (param.commit_mode != ftl::CommitMode::kBarrier) {
+    int64_t tolerance = param.mode == SqlJournalMode::kDelete ? 1 : 0;
+    EXPECT_GE(survived_txns, acked - tolerance)
+        << "acknowledged transactions lost (acked " << acked << ")";
+  }
   EXPECT_LE(survived_txns, acked + 1)
       << "unacknowledged transaction surfaced";
 
@@ -260,6 +274,29 @@ std::vector<SweepParam> SweepPoints() {
       points.push_back(p);
     }
   }
+  // Barrier firmware: a dense crash-point set so cuts land in every window
+  // of the ordered commit — mid-write, between the barrier and the commit
+  // verb, and mid-snapshot with earlier acknowledged epochs still buffered.
+  for (SqlJournalMode mode : {SqlJournalMode::kDelete, SqlJournalMode::kWal,
+                              SqlJournalMode::kOff}) {
+    for (uint64_t k : {23ull, 57ull, 101ull, 187ull, 266ull, 341ull, 512ull,
+                       700ull, 903ull, 1337ull}) {
+      SweepParam p{mode, k};
+      p.commit_mode = ftl::CommitMode::kBarrier;
+      points.push_back(p);
+    }
+  }
+  // Barrier firmware composed with SATA link faults: a link reset rebuilds
+  // the NCQ queue while epoch state persists below it.
+  for (SqlJournalMode mode : {SqlJournalMode::kDelete, SqlJournalMode::kWal,
+                              SqlJournalMode::kOff}) {
+    for (uint64_t k : {57ull, 341ull, 903ull}) {
+      SweepParam p{mode, k};
+      p.commit_mode = ftl::CommitMode::kBarrier;
+      p.link_faults = true;
+      points.push_back(p);
+    }
+  }
   return points;
 }
 
@@ -277,6 +314,7 @@ INSTANTIATE_TEST_SUITE_P(
         name += "_faulty";
       }
       if (info.param.link_faults) name += "_lf";
+      if (info.param.commit_mode == ftl::CommitMode::kBarrier) name += "_bar";
       return name;
     });
 
@@ -298,11 +336,19 @@ std::vector<SweepParam> RandomizedPoints() {
   struct Config {
     bool transactional;
     SqlJournalMode mode;
+    ftl::CommitMode commit = ftl::CommitMode::kDrain;
   };
   const Config configs[] = {
-      {true, SqlJournalMode::kDelete}, {true, SqlJournalMode::kWal},
-      {true, SqlJournalMode::kOff},    {false, SqlJournalMode::kDelete},
+      {true, SqlJournalMode::kDelete},
+      {true, SqlJournalMode::kWal},
+      {true, SqlJournalMode::kOff},
+      {false, SqlJournalMode::kDelete},
       {false, SqlJournalMode::kWal},
+      // Barrier firmware under the randomized checker: the seeded buffer
+      // sampling composes with epoch-prefix forced drops (CrashNow pass 2).
+      {true, SqlJournalMode::kDelete, ftl::CommitMode::kBarrier},
+      {true, SqlJournalMode::kWal, ftl::CommitMode::kBarrier},
+      {true, SqlJournalMode::kOff, ftl::CommitMode::kBarrier},
   };
   const double kPersistProbs[] = {0.25, 0.5, 0.75};
   const int per_config = SweepSeedsPerConfig();
@@ -314,11 +360,13 @@ std::vector<SweepParam> RandomizedPoints() {
       // it inside the device. Reproduce any failure from its test name.
       uint64_t seed = (uint64_t(cfg.transactional) << 62) ^
                       (uint64_t(cfg.mode) << 56) ^
+                      (uint64_t(cfg.commit) << 50) ^
                       ((uint64_t(i) + 1) * 0x9e3779b97f4a7c15ull);
       Rng rng(seed);
       SweepParam p;
       p.mode = cfg.mode;
       p.transactional = cfg.transactional;
+      p.commit_mode = cfg.commit;
       p.seed = seed;
       p.crash_after_programs = 20 + rng.Uniform(900);
       p.persist_prob = kPersistProbs[rng.Uniform(3)];
@@ -346,6 +394,7 @@ INSTANTIATE_TEST_SUITE_P(
       name += "_s";
       name += hex;
       if (info.param.link_faults) name += "_lf";
+      if (info.param.commit_mode == ftl::CommitMode::kBarrier) name += "_bar";
       return name;
     });
 

@@ -194,6 +194,170 @@ TEST_F(FlashDeviceTest, WriteBufferBoundsInflightPrograms) {
   EXPECT_GE(clock.Now(), per_program);  // stalled at least once
 }
 
+// --- barrier (epoch) ordering -----------------------------------------------
+
+TEST_F(FlashDeviceTest, CrossEpochProgramWaitsForFence) {
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x91);
+  dev_.AdvanceEpoch();  // epoch 1
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());  // bank 0
+  dev_.AdvanceEpoch();  // epoch 2
+  ASSERT_TRUE(
+      dev_.ProgramPage(cfg.pages_per_block, data.data(), {}).ok());  // bank 1
+  // The barrier never blocked the issuer: only the two channel transfers of
+  // wall clock have passed at submit time.
+  EXPECT_EQ(clock_.Now(), 2 * cfg.timings.bus_per_page);
+  dev_.SyncAll();
+  // Bank 1's transfer landed at 2 x bus with its bank idle, but the epoch-2
+  // program may not start before bank 0's epoch-1 program completes at
+  // bus + prog: the two programs chain even across distinct banks.
+  EXPECT_EQ(clock_.Now(),
+            cfg.timings.bus_per_page + 2 * cfg.timings.program_page);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_order, 1u);
+  EXPECT_EQ(dev_.stats().barrier_epochs, 2u);
+}
+
+TEST_F(FlashDeviceTest, BanksStillOverlapWithinAnEpoch) {
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x92);
+  dev_.AdvanceEpoch();  // everything below shares epoch 1
+  for (uint32_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(
+        dev_.ProgramPage(b * cfg.pages_per_block, data.data(), {}).ok());
+  }
+  dev_.SyncAll();
+  // Identical to the unfenced pipeline: the fence only orders ACROSS
+  // epochs, so the four same-epoch programs still overlap on their banks.
+  EXPECT_EQ(clock_.Now(),
+            4 * cfg.timings.bus_per_page + cfg.timings.program_page);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_order, 0u);
+}
+
+TEST_F(FlashDeviceTest, EpochsPipelineWithoutDraining) {
+  // Three epochs, one program each on three different banks: the issuer
+  // pays only the transfers, while the controller chains the programs
+  // back-to-back. A drain at each boundary would cost 3 x (bus + prog)
+  // of issuer wall clock; the barrier costs 3 x bus.
+  const auto& cfg = dev_.config();
+  const SimNanos bus = cfg.timings.bus_per_page;
+  const SimNanos prog = cfg.timings.program_page;
+  auto data = Pattern(0x93);
+  for (uint32_t b = 0; b < 3; ++b) {
+    dev_.AdvanceEpoch();
+    ASSERT_TRUE(
+        dev_.ProgramPage(b * cfg.pages_per_block, data.data(), {}).ok());
+  }
+  EXPECT_EQ(clock_.Now(), 3 * bus);  // issuer never waited
+  dev_.SyncAll();
+  // Each program starts at its predecessor's completion: bus + 3 x prog.
+  EXPECT_EQ(clock_.Now(), bus + 3 * prog);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_order, 2u);
+  EXPECT_EQ(dev_.stats().max_epochs_in_flight, 2u);
+}
+
+TEST_F(FlashDeviceTest, SameBankStallUnderFenceCountsAsBankStall) {
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x94);
+  dev_.AdvanceEpoch();
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());  // bank 0
+  ASSERT_TRUE(dev_.ProgramPage(1, data.data(), {}).ok());  // bank 0 again
+  dev_.SyncAll();
+  // The second program waited for its bank, not for an epoch fence — the
+  // two stall causes are separated in the stats.
+  EXPECT_EQ(dev_.stats().programs_stalled_for_bank, 1u);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_order, 0u);
+  EXPECT_EQ(clock_.Now(),
+            cfg.timings.bus_per_page + 2 * cfg.timings.program_page);
+}
+
+TEST_F(FlashDeviceTest, UnfencedProgramsKeepDrainModeTiming) {
+  // Epoch 0 (no AdvanceEpoch ever): the scheduler must behave bit-identically
+  // to the pre-barrier device — no fence, no stall accounting.
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x95);
+  for (uint32_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(
+        dev_.ProgramPage(b * cfg.pages_per_block, data.data(), {}).ok());
+  }
+  dev_.SyncAll();
+  EXPECT_EQ(clock_.Now(),
+            4 * cfg.timings.bus_per_page + cfg.timings.program_page);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_order, 0u);
+  EXPECT_EQ(dev_.stats().programs_stalled_for_bank, 0u);
+  EXPECT_EQ(dev_.stats().barrier_epochs, 0u);
+}
+
+TEST_F(FlashDeviceTest, CrashSurvivalIsEpochPrefixConsistent) {
+  // Buffered programs spread over three epochs, then a sampled crash: if
+  // any program of epoch e dropped, every later-epoch program must have
+  // dropped too, for every crash seed.
+  const auto& cfg = dev_.config();
+  auto data = Pattern(0x96);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SimClock clock;
+    FlashDevice dev(cfg, &clock);
+    struct Issued {
+      Ppn ppn;
+      uint64_t epoch;
+    };
+    std::vector<Issued> issued;
+    // Two pages per epoch on rotating banks so several blocks hold
+    // multi-epoch suffixes in the buffer.
+    for (uint64_t e = 1; e <= 3; ++e) {
+      dev.AdvanceEpoch();
+      for (uint32_t i = 0; i < 2; ++i) {
+        uint32_t block = uint32_t((e - 1) * 2 + i) % cfg.num_blocks;
+        Ppn ppn = block * cfg.pages_per_block;
+        ASSERT_TRUE(dev.ProgramPage(ppn, data.data(), {.lpn = ppn}).ok());
+        issued.push_back({ppn, e});
+      }
+    }
+    CrashPlan plan;
+    plan.crash_after_programs = 1;
+    plan.seed = seed;
+    plan.persist_prob = 0.5;
+    dev.ArmCrashPlan(plan);
+    // The crash victim lands in a fourth epoch of its own.
+    dev.AdvanceEpoch();
+    Ppn victim = 7 * cfg.pages_per_block;
+    EXPECT_EQ(dev.ProgramPage(victim, data.data(), {}).code(),
+              StatusCode::kIoError);
+    dev.ClearFailure();
+
+    uint64_t min_dropped = ~uint64_t{0};
+    uint64_t max_survived = 0;
+    for (const Issued& p : issued) {
+      if (dev.IsProgrammed(p.ppn)) {
+        max_survived = std::max(max_survived, p.epoch);
+      } else {
+        min_dropped = std::min(min_dropped, p.epoch);
+      }
+    }
+    // Epoch-prefix durability: no survivor from an epoch AFTER the first
+    // dropped one. Partial survival inside the first dropped epoch itself is
+    // legal — the fence orders across epochs, not within them.
+    EXPECT_LE(max_survived, min_dropped) << "seed " << seed;
+  }
+}
+
+TEST_F(FlashDeviceTest, PowerCutResetsFenceButKeepsEpochMonotone) {
+  auto data = Pattern(0x97);
+  dev_.AdvanceEpoch();
+  ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());
+  dev_.AdvanceEpoch();
+  EXPECT_GT(dev_.epoch_fence(), 0u);
+  uint64_t epoch_before = dev_.current_epoch();
+  dev_.PowerCut();
+  dev_.ClearFailure();
+  // The fence died with the RAM state — post-reboot programs must not wait
+  // on pre-cut completions — but the epoch id itself never goes backwards.
+  EXPECT_EQ(dev_.epoch_fence(), 0u);
+  EXPECT_GE(dev_.current_epoch(), epoch_before);
+  ASSERT_TRUE(dev_.ProgramPage(1 * dev_.config().pages_per_block,
+                               data.data(), {})
+                  .ok());
+}
+
 TEST_F(FlashDeviceTest, PowerFailureTearsPageAndHaltsDevice) {
   auto data = Pattern(0x88);
   ASSERT_TRUE(dev_.ProgramPage(0, data.data(), {}).ok());

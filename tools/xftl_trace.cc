@@ -138,6 +138,15 @@ int Summary(const std::string& path) {
   uint64_t prepares = 0, record_writes = 0, record_releases = 0;
   uint64_t resolved_forward = 0, resolved_abort = 0;
   uint64_t member_faults = 0;
+  // Barrier ordering (kBarrier firmware): host/sata barrier commands, and
+  // the flash scheduler's bookkeeping — kFlash kBarrier events carry the
+  // kind in `b` (0 = epoch opened, `a` = epoch id, `tid` = epochs in
+  // flight; 1 = program stalled for order; 2 = stalled for its bank while
+  // the fence was also up; stalls carry the wait in `latency`).
+  uint64_t host_barriers = 0, ftl_barriers = 0;
+  uint64_t epochs_opened = 0, max_epochs_in_flight = 0;
+  uint64_t order_stalls = 0, order_stall_nanos = 0;
+  uint64_t bank_stalls = 0, bank_stall_nanos = 0;
   std::map<uint32_t, SimNanos> member_down_since;
   uint64_t degraded_nanos = 0;
   SimNanos last_time = 0;
@@ -187,6 +196,22 @@ int Summary(const std::string& path) {
       if (e.op == Op::kResolve) {
         if (e.a == 1) resolved_forward++;
         if (e.a == 0) resolved_abort++;
+      }
+      if (e.op == Op::kBarrier) host_barriers++;
+    }
+    if (e.layer == Layer::kFtl && e.op == Op::kBarrier) ftl_barriers++;
+    if (e.layer == Layer::kFlash && e.op == Op::kBarrier) {
+      if (e.b == 0) {
+        epochs_opened++;
+        max_epochs_in_flight = std::max<uint64_t>(max_epochs_in_flight, e.tid);
+      }
+      if (e.b == 1) {
+        order_stalls++;
+        order_stall_nanos += e.latency;
+      }
+      if (e.b == 2) {
+        bank_stalls++;
+        bank_stall_nanos += e.latency;
       }
     }
     if (e.layer == Layer::kHost && e.op == Op::kMemberFault) {
@@ -346,6 +371,24 @@ int Summary(const std::string& path) {
                 (unsigned long long)degrade_enters,
                 (unsigned long long)degrade_exits,
                 link_deaths > 0 ? "  [LINK FAILED]" : "");
+  }
+
+  // Barrier ordering: order-preserving barriers instead of queue drains
+  // (kBarrier firmware traces only).
+  if (host_barriers > 0 || epochs_opened > 0) {
+    std::printf("\nbarrier ordering (order-preserving barriers)\n");
+    std::printf("  barrier commands: %llu host, %llu ftl   epochs opened: "
+                "%llu   max epochs in flight: %llu\n",
+                (unsigned long long)host_barriers,
+                (unsigned long long)ftl_barriers,
+                (unsigned long long)epochs_opened,
+                (unsigned long long)max_epochs_in_flight);
+    std::printf("  programs stalled for order: %llu (%.1f us)   "
+                "stalled for bank under fence: %llu (%.1f us)\n",
+                (unsigned long long)order_stalls,
+                double(order_stall_nanos) / 1e3,
+                (unsigned long long)bank_stalls,
+                double(bank_stall_nanos) / 1e3);
   }
 
   // Array commit: the cross-device two-phase protocol and per-member fault
