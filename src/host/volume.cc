@@ -20,6 +20,15 @@ StripedVolume::StripedVolume(const VolumeConfig& config, SimClock* clock)
     members_.push_back(std::make_unique<storage::SimSsd>(spec, clock));
   }
   powered_.assign(config.num_devices, true);
+  // The commit disciplines below (Barrier's completion-wait fallback,
+  // TxCommit's barrier-mode compensation) read member 0's firmware mode and
+  // apply it array-wide; a mixed-firmware array would silently get the
+  // wrong discipline on some members, so homogeneity is enforced here.
+  for (uint32_t i = 1; i < config.num_devices; ++i) {
+    CHECK(members_[i]->device()->commit_mode() ==
+          members_[0]->device()->commit_mode())
+        << "array members must share one commit-mode firmware";
+  }
   // Round each member down to whole stripe units so the map is a bijection
   // onto [0, num_pages): a partial tail unit would alias across members.
   uint64_t member_pages = members_[0]->device()->num_pages();
@@ -126,14 +135,26 @@ Status StripedVolume::FlushBarrier() {
 }
 
 Status StripedVolume::Barrier() {
-  // Order-only array barrier: every online member opens a new epoch; none
-  // drains. Cross-member ordering needs no extra work — the callers that
-  // require one member's writes durable before another's proceed (the 2PC
-  // commit path) use AwaitDurable explicitly.
+  // Epoch-prefix durability is a PER-MEMBER promise: with several members,
+  // order-only barriers cannot stop member A from persisting a later-epoch
+  // write while member B loses an earlier one, and a cut in that window
+  // tears exactly the cross-member orderings the barrier-commit callers
+  // rely on (checkpoint before journal overwrite, commit record before
+  // checkpoint, SQL journal before db pages). Until a cross-member epoch
+  // protocol exists, a multi-member array serves Barrier() with
+  // completion-wait semantics on barrier firmware; a single member keeps
+  // the order-only fast path. kDrain members already completion-wait via
+  // the FlushBarrier fallback and kPlp members lose nothing at a cut, so
+  // only kBarrier firmware needs the stronger verb (commit modes are
+  // homogeneous across members — checked at construction).
+  const bool completion_wait =
+      members_.size() > 1 &&
+      members_[0]->device()->commit_mode() == ftl::CommitMode::kBarrier;
   Status first = TakeDeferredError();
   for (uint32_t dev = 0; dev < members_.size(); ++dev) {
     if (!powered_[dev]) continue;
-    Status s = members_[dev]->device()->Barrier();
+    Status s = completion_wait ? members_[dev]->device()->AwaitDurable()
+                               : members_[dev]->device()->Barrier();
     if (!s.ok() && first.ok()) first = s;
   }
   return first;
@@ -288,7 +309,9 @@ Status StripedVolume::TxCommit(storage::TxId t) {
     // durability is a PER-MEMBER promise: a volatile ack here could be lost
     // while a later transaction on a different member survives, breaking
     // the array's global prefix. The volume therefore keeps ack == durable
-    // by completion-waiting the member(s) before acknowledging.
+    // by completion-waiting the member(s) before acknowledging. Member 0
+    // speaks for the whole array: commit modes are homogeneous, checked at
+    // construction.
     if (first.ok() &&
         members_[0]->device()->commit_mode() == ftl::CommitMode::kBarrier) {
       for (uint32_t dev : parts) {
@@ -319,7 +342,8 @@ Status StripedVolume::TxCommit(storage::TxId t) {
   // cells before the commit record exists, so the coordinator
   // completion-waits every participant here. The waits overlap: each
   // member's programs have been running concurrently on the shared clock,
-  // so the pass costs roughly the slowest member, not the sum.
+  // so the pass costs roughly the slowest member, not the sum. (Member 0's
+  // mode decides for all — homogeneity is checked at construction.)
   const bool ordered =
       members_[0]->device()->commit_mode() == ftl::CommitMode::kBarrier;
   if (ordered) {

@@ -115,8 +115,12 @@ class StripedVolume : public storage::TxBlockDevice {
   // Durability barrier across the online members; reports (and clears) the
   // volume's deferred error from writes that hit an offline member.
   Status FlushBarrier() override;
-  // Order-preserving barrier fan-out: each online member opens a new epoch
-  // without draining. Same deferred-error reporting as FlushBarrier.
+  // Order-preserving barrier fan-out. A single member opens a new epoch
+  // without draining; with several members, barrier-firmware epochs cannot
+  // order writes ACROSS members, so the volume falls back to
+  // completion-wait (AwaitDurable per member) to keep the cross-member
+  // orderings the barrier-commit paths depend on. Same deferred-error
+  // reporting as FlushBarrier.
   Status Barrier() override;
 
   // --- TxBlockDevice -------------------------------------------------------

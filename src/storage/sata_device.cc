@@ -180,7 +180,6 @@ void SataDevice::EnqueueCompletion(TxId t, const uint64_t* pages,
   cmd.submitted = clock_->Now();
   cmd.done = ftl_->LastCompletionTime();
   cmd.txn = t;
-  cmd.epoch = barrier_epoch_;
   cmd.fate = SampleFate();
   cmd.pages.assign(pages, pages + n);
   const uint32_t psz = ftl_->page_size();
@@ -378,6 +377,9 @@ void SataDevice::RecoverQueue(uint64_t failed_tag) {
   // REDO-only reissue in submission order, exactly once per killed tag: the
   // host still holds every unacknowledged page image, and re-writing the
   // same (lpn, data) is idempotent through the FTL's copy-on-write path.
+  // Reissues execute in the CURRENT flash epoch even when the killed tag
+  // was queued epochs ago — moving a write later never violates
+  // epoch-prefix ordering, so the host tracks no per-tag epoch.
   uint64_t reissued_pages = 0;
   for (auto& [tag, cmd] : redo) {
     // Drop pages a newer tag also wrote (whether that tag already retired,

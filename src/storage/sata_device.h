@@ -41,10 +41,10 @@
 // lost in the background: it latches an errseq-style deferred error that
 // fails the NEXT FlushBarrier/TxCommit, never silently dropped.
 //
-// Order-preserving barriers (ftl::CommitMode::kBarrier firmware): the host
-// tags every queued write with the current barrier epoch; Barrier() bumps
-// the epoch, passes an ordered-flush verb down to the FTL (which fences the
-// flash program scheduler) and returns without draining the queue, so the
+// Order-preserving barriers (ftl::CommitMode::kBarrier firmware): Barrier()
+// bumps the host's epoch counter, passes an ordered-flush verb down to the
+// FTL (which fences the flash program scheduler — epoch membership lives
+// there, not per queued tag) and returns without draining the queue, so the
 // pipeline stays full across fsync points. FlushBarrier/TxCommit/TxPrepare
 // then become order-only too; a deferred background loss surfaces at the
 // first barrier or commit of the next epoch. AwaitDurable() keeps the
@@ -302,10 +302,6 @@ class SataDevice : public TxBlockDevice {
     SimNanos done = 0;  // device-side completion time
     TagFate fate = TagFate::kClean;
     TxId txn = ftl::kNoTx;
-    // Barrier epoch the write was queued under. A REDO reissue after a
-    // queue abort re-executes in the CURRENT flash epoch — safe, because
-    // moving a write later never violates epoch-prefix ordering.
-    uint64_t epoch = 0;
     std::vector<uint64_t> pages;
     // Host-held page images (REDO source), pages.size() * page_size bytes.
     std::vector<uint8_t> data;

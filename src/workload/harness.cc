@@ -50,6 +50,14 @@ Status Harness::Setup() {
     spec.flash.write_buffer_pages = config_.write_buffer_pages;
   }
   if (config_.commit_mode >= 0) {
+    // An out-of-range value cast through would fall past every firmware
+    // switch (OrderCommit, CommitOrderPoint) without draining — silently
+    // weaker commit semantics, so reject it up front.
+    if (config_.commit_mode > int(ftl::CommitMode::kPlp)) {
+      return Status::InvalidArgument(
+          "commit_mode " + std::to_string(config_.commit_mode) +
+          " out of range (0=drain, 1=barrier, 2=plp)");
+    }
     spec.ftl.commit_mode = static_cast<ftl::CommitMode>(config_.commit_mode);
   }
   barrier_commit_ = spec.ftl.commit_mode == ftl::CommitMode::kBarrier;
