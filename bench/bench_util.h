@@ -5,6 +5,7 @@
 #ifndef XFTL_BENCH_BENCH_UTIL_H_
 #define XFTL_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +67,9 @@ class JsonObject {
     return AddRaw(key, std::to_string(v));
   }
   JsonObject& Add(const std::string& key, double v) {
+    // NaN/inf (e.g. a ratio over an empty interval) would render as bare
+    // `nan`, which is not JSON; emit null so consumers see a typed absence.
+    if (std::isnan(v) || std::isinf(v)) return AddRaw(key, "null");
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return AddRaw(key, buf);

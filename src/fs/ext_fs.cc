@@ -556,6 +556,34 @@ StatusOr<size_t> ExtFs::Read(Fd fd, uint64_t offset, size_t n, uint8_t* out) {
   return done;
 }
 
+StatusOr<uint64_t> ExtFs::SnapPin() {
+  ChargeSyscall();
+  return dev_->SnapPin();
+}
+
+Status ExtFs::SnapUnpin(uint64_t epoch) {
+  ChargeSyscall();
+  return dev_->SnapUnpin(epoch);
+}
+
+Status ExtFs::SnapReadPage(Fd fd, uint64_t idx, uint64_t epoch, uint8_t* out) {
+  ChargeSyscall();
+  if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {
+    return Status::InvalidArgument("bad fd");
+  }
+  Ino ino = open_files_[fd].ino;
+  XFTL_ASSIGN_OR_RETURN(Inode inode, LoadInode(ino));
+  XFTL_ASSIGN_OR_RETURN(uint32_t page,
+                        FilePage(ino, &inode, idx, /*alloc=*/false, nullptr));
+  stats_.page_reads++;
+  if (page == kNoPage) {
+    // Hole in the live file: it was certainly a hole at the pin too.
+    std::memset(out, 0, sb_.page_size);
+    return Status::OK();
+  }
+  return dev_->SnapRead(epoch, page, out);
+}
+
 Status ExtFs::Write(Fd fd, uint64_t offset, const uint8_t* data, size_t n) {
   ChargeSyscall();
   if (fd < 0 || size_t(fd) >= open_files_.size() || !open_files_[fd].valid) {

@@ -143,6 +143,21 @@ class ExtFs {
   // transactions yet. The group dissolves at commit or abort.
   Status LinkTransactions(const std::vector<Fd>& fds);
 
+  // --- MVCC snapshot reads (paper extension) -------------------------------
+  // Thin passthrough to the device's snapshot verbs. A pinned epoch lets a
+  // reader see every data page as of that commit epoch while a writer keeps
+  // committing; pins are volatile in the device and die at power cuts.
+  bool SupportsSnapshots() const { return dev_->SupportsSnapshots(); }
+  StatusOr<uint64_t> SnapPin();
+  Status SnapUnpin(uint64_t epoch);
+  // Reads file page `idx` of `fd` as of pinned `epoch`, bypassing the
+  // buffer cache (cached copies can be newer than the snapshot). The file's
+  // block mapping is resolved live: page rewrites keep their device page in
+  // this file system, so a data page that existed at the pin resolves to the
+  // same device page and the device serves the retained pre-image. A page
+  // allocated after the pin reads as unwritten (0xff fill from the device).
+  Status SnapReadPage(Fd fd, uint64_t idx, uint64_t epoch, uint8_t* out);
+
   // Flushes every file and the journal (sync(2)-ish).
   Status SyncAll();
 

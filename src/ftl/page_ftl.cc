@@ -407,6 +407,11 @@ Status PageFtl::RetireBlock(flash::BlockNum block) {
         reloc.seq = old_oob.seq;
         reloc.link_lpn = old_oob.link_lpn;
         reloc.link_seq = old_oob.link_seq;
+      } else if (!in_l2p && old_oob.tag == kTagData) {
+        // A superseded copy kept valid outside the L2P — an MVCC retained
+        // pre-image. A fresh sequence number would make the old version
+        // look newest to crash roll-forward; keep its original identity.
+        reloc.seq = old_oob.seq;
       }
       flash::Ppn to;
       Status ps = ProgramWithRetirement(buf.data(), reloc, &to);
@@ -463,6 +468,13 @@ void PageFtl::MarkPpnValid(flash::Ppn ppn, Lpn lpn) {
     }
   }
   blk.rmap[page] = lpn;
+}
+
+bool PageFtl::PpnHolds(flash::Ppn ppn, Lpn lpn) const {
+  const auto& fc = device_->config();
+  const BlockInfo& blk = blocks_[fc.BlockOf(ppn)];
+  uint32_t page = fc.PageInBlock(ppn);
+  return !blk.valid.empty() && blk.valid[page] && blk.rmap[page] == lpn;
 }
 
 void PageFtl::SetMapping(Lpn lpn, flash::Ppn ppn) {
@@ -693,6 +705,12 @@ Status PageFtl::CollectOneBlock() {
       oob.seq = old_oob.seq;
       oob.link_lpn = old_oob.link_lpn;
       oob.link_seq = old_oob.link_seq;
+    } else if (!in_l2p && old_oob.tag == kTagData) {
+      // A superseded copy kept valid outside the L2P — an MVCC retained
+      // pre-image. A fresh sequence number would make the old version look
+      // newest to crash roll-forward and resurrect it over the committed
+      // copy; keep its original identity instead.
+      oob.seq = old_oob.seq;
     }
     flash::Ppn to;
     XFTL_RETURN_IF_ERROR(ProgramWithRetirement(buf.data(), oob, &to));

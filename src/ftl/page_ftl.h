@@ -204,6 +204,10 @@ class PageFtl : public FtlInterface {
   }
   // Clears the valid bit of `ppn` so GC can reclaim it.
   void InvalidatePpn(flash::Ppn ppn);
+  // True if `ppn`'s valid bit is set and the RAM rmap says it holds `lpn`.
+  // Lets subclasses verify a long-held physical reference before acting on
+  // it (GC may have lost the page to an uncorrectable read and reused it).
+  bool PpnHolds(flash::Ppn ppn, Lpn lpn) const;
   // Re-marks `ppn` (holding `lpn`) valid; used by subclass recovery when a
   // page is reachable only through a transactional table.
   void MarkPpnValid(flash::Ppn ppn, Lpn lpn);

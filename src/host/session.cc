@@ -13,12 +13,55 @@ Session::Session(const SessionConfig& config, sql::Database* db)
 
 Status Session::Init() {
   if (db_ == nullptr) return Status::FailedPrecondition("session has no db");
+  if (config_.read_only) return Status::OK();  // the writer owns the schema
   return db_->Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)")
       .status();
 }
 
+Status Session::RunReadTxn() {
+  dispatched_++;
+  XFTL_RETURN_IF_ERROR(db_->Exec("BEGIN READONLY").status());
+  auto rows = db_->Exec("SELECT id, a, b FROM t ORDER BY id");
+  Status s = rows.status();
+  if (s.ok()) {
+    // Snapshot consistency: the reader must see whole committed
+    // transactions of the crash-sweep shape, never a torn or regressed
+    // state, no matter what the writer is doing right now.
+    std::set<int64_t> ids;
+    for (const sql::Row& row : rows->rows) {
+      int64_t id = row[0].AsInt();
+      if (row[1].AsInt() != id * 7 ||
+          row[2].AsText() != "v" + std::to_string(id)) {
+        s = Status::Corruption("snapshot integrity violated for id " +
+                               std::to_string(id));
+        break;
+      }
+      ids.insert(id);
+    }
+    if (s.ok() && ids.size() % config_.rows_per_txn != 0) {
+      s = Status::Corruption("snapshot saw a torn transaction (" +
+                             std::to_string(ids.size()) + " rows)");
+    }
+    if (s.ok() && !ids.empty() &&
+        (*ids.begin() != 1 || *ids.rbegin() != int64_t(ids.size()))) {
+      s = Status::Corruption("snapshot saw a non-prefix id set");
+    }
+    if (s.ok() && ids.size() < rows_seen_) {
+      s = Status::Corruption("snapshot went backwards (" +
+                             std::to_string(ids.size()) + " rows after " +
+                             std::to_string(rows_seen_) + ")");
+    }
+    if (s.ok()) rows_seen_ = ids.size();
+  }
+  Status end = db_->Commit();  // closes the read transaction either way
+  if (s.ok()) s = end;
+  if (s.ok()) committed_++;
+  return s;
+}
+
 Status Session::RunTxn() {
   if (db_ == nullptr) return Status::FailedPrecondition("session has no db");
+  if (config_.read_only) return RunReadTxn();
   const uint64_t txn = dispatched_ + 1;
   const uint64_t rows = config_.rows_per_txn;
   std::string sql;

@@ -47,6 +47,13 @@ struct SessionConfig {
   // the next dispatch starts clean — degraded-array runs where failures are
   // expected and the session keeps going (scheduler continue-on-error).
   bool rollback_on_error = false;
+  // Read-only session: each dispatch runs BEGIN READONLY, scans the whole
+  // table, verifies the snapshot (integrity a = id*7, whole transactions
+  // only, prefix ids, row count never shrinking across dispatches), and
+  // COMMITs. The session's db must be a connection onto ANOTHER session's
+  // database file — the writer it reads behind. Init() is a no-op (the
+  // writer owns the schema), and committed() counts clean read transactions.
+  bool read_only = false;
 };
 
 class Session {
@@ -99,12 +106,18 @@ class Session {
                                             uint32_t rows_per_txn,
                                             uint64_t acked);
 
+  // Rows the last successful read-only dispatch saw (read_only sessions).
+  uint64_t rows_seen() const { return rows_seen_; }
+
  private:
+  // One read-only dispatch: BEGIN READONLY + full-scan + verify + COMMIT.
+  Status RunReadTxn();
   const SessionConfig config_;
   sql::Database* db_;
   Rng rng_;
   uint64_t dispatched_ = 0;
   uint64_t committed_ = 0;
+  uint64_t rows_seen_ = 0;
   Histogram latency_;
 };
 

@@ -170,6 +170,70 @@ Status StripedVolume::TxRead(storage::TxId t, uint64_t page, uint8_t* data) {
   return members_[loc.device]->device()->TxRead(t, loc.lpn, data);
 }
 
+bool StripedVolume::SupportsSnapshots() const {
+  for (const auto& m : members_) {
+    if (!m->device()->SupportsSnapshots()) return false;
+  }
+  return true;
+}
+
+StatusOr<uint64_t> StripedVolume::SnapPin() {
+  // Pin every member at one simulated instant (no member command advances
+  // the clock between pins); ascending order keeps fan-out deterministic.
+  // Any failure unwinds the members already pinned — a token either covers
+  // the whole array or does not exist.
+  std::vector<uint64_t> epochs(members_.size(), 0);
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    Status s = CheckMember(dev);
+    if (s.ok()) {
+      auto pin = members_[dev]->device()->SnapPin();
+      if (!pin.ok()) {
+        s = pin.status();
+      } else {
+        epochs[dev] = pin.value();
+      }
+    }
+    if (!s.ok()) {
+      for (uint32_t j = 0; j < dev; ++j) {
+        if (powered_[j]) members_[j]->device()->SnapUnpin(epochs[j]);
+      }
+      return s;
+    }
+  }
+  uint64_t token = next_snap_token_++;
+  snap_pins_[token] = std::move(epochs);
+  return token;
+}
+
+Status StripedVolume::SnapUnpin(uint64_t token) {
+  auto it = snap_pins_.find(token);
+  if (it == snap_pins_.end()) return Status::OK();  // lenient, like members
+  for (uint32_t dev = 0; dev < members_.size(); ++dev) {
+    // A member that power-cycled since the pin already dropped its epochs;
+    // its SnapUnpin is a no-op we can skip while it is offline.
+    if (!powered_[dev]) continue;
+    members_[dev]->device()->SnapUnpin(it->second[dev]);
+  }
+  snap_pins_.erase(it);
+  return Status::OK();
+}
+
+Status StripedVolume::SnapRead(uint64_t token, uint64_t page, uint8_t* data) {
+  auto it = snap_pins_.find(token);
+  if (it == snap_pins_.end()) {
+    return Status::FailedPrecondition("snapshot token " +
+                                      std::to_string(token) +
+                                      " is not pinned on this volume");
+  }
+  Location loc = Map(page);
+  XFTL_RETURN_IF_ERROR(CheckMember(loc.device));
+  // A rebooted member rejects the stale epoch (FailedPrecondition) — the
+  // reader's snapshot died with the member's pins, never silently serving
+  // newer data.
+  return members_[loc.device]->device()->SnapRead(it->second[loc.device],
+                                                  loc.lpn, data);
+}
+
 Status StripedVolume::TxWrite(storage::TxId t, uint64_t page,
                               const uint8_t* data) {
   Location loc = Map(page);
@@ -538,6 +602,7 @@ Status StripedVolume::PowerCycle() {
   // because cutting is instantaneous on the shared timeline.
   for (uint32_t i = 0; i < members_.size(); ++i) CutPowerMember(i);
   participants_.clear();
+  snap_pins_.clear();  // pins are volatile on every member; tokens die too
   Status first;
   for (uint32_t i = 0; i < members_.size(); ++i) {
     // Ascending order brings the coordinator back first, but resolution

@@ -139,6 +139,17 @@ class StripedVolume : public storage::TxBlockDevice {
   // Empty set = unknown/idle transaction.
   std::set<uint32_t> Participants(storage::TxId t) const;
 
+  // --- MVCC snapshot reads -------------------------------------------------
+  // A volume-level pin is one pin on every member taken back to back on the
+  // shared timeline; the returned token maps to the per-member epochs. Pins
+  // are volatile per member: a member power cut discards its side of every
+  // pin, so SnapRead on that member's stripes fails until the reader
+  // re-pins (SnapUnpin of the half-dead token stays a clean no-op there).
+  bool SupportsSnapshots() const override;
+  StatusOr<uint64_t> SnapPin() override;
+  Status SnapUnpin(uint64_t token) override;
+  Status SnapRead(uint64_t token, uint64_t page, uint8_t* data) override;
+
   // --- power and fault domains ---------------------------------------------
   // Same-instant array power cycle: cut every member, then reboot every
   // member (ascending, so the coordinator's records are back first), then
@@ -214,6 +225,11 @@ class StripedVolume : public storage::TxBlockDevice {
   std::map<storage::TxId, std::set<uint32_t>> participants_;
   Status deferred_error_;
   trace::Tracer* tracer_ = nullptr;
+  // Volume snapshot pins: token -> per-member pinned epoch. Tokens are
+  // host-side state (the members only know their own epochs), so they do
+  // not survive an array power cycle — matching the members' volatile pins.
+  uint64_t next_snap_token_ = 1;
+  std::map<uint64_t, std::vector<uint64_t>> snap_pins_;
   // Crash-scripting hooks (one-shot).
   int64_t cut_after_prepare_ = -1;
   bool tear_commit_record_ = false;

@@ -112,7 +112,11 @@ struct DeleteStmt {
   ExprPtr where;
 };
 
-struct BeginStmt {};
+struct BeginStmt {
+  // BEGIN READONLY: open a pinned snapshot read transaction instead of the
+  // writer path (MVCC snapshot reads; DESIGN.md §13).
+  bool read_only = false;
+};
 struct CommitStmt {};
 struct RollbackStmt {};
 

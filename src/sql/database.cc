@@ -9,6 +9,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(fs::ExtFs* fs,
   pager_options.journal_mode = options.journal_mode;
   pager_options.cache_pages = options.cache_pages;
   pager_options.wal_autocheckpoint = options.wal_autocheckpoint;
+  pager_options.read_only = options.read_only;
   pager_options.barrier_commit = options.barrier_commit;
   XFTL_ASSIGN_OR_RETURN(auto pager, Pager::Open(fs, path, pager_options));
   auto db = std::unique_ptr<Database>(
@@ -16,7 +17,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(fs::ExtFs* fs,
 
   // Bootstrap the master table on a fresh database.
   XFTL_ASSIGN_OR_RETURN(uint32_t master, db->pager_->GetHeaderField(0));
-  if (master == 0) {
+  if (master == 0 && !options.read_only) {
     XFTL_RETURN_IF_ERROR(db->pager_->Begin());
     Status s = db->schema_->value.EnsureMaster();
     if (!s.ok()) {
@@ -40,7 +41,27 @@ Status Database::Close() {
 }
 
 Status Database::Begin() { return pager_->Begin(); }
-Status Database::Commit() { return pager_->Commit(); }
+
+Status Database::BeginReadOnly() {
+  XFTL_RETURN_IF_ERROR(pager_->BeginReadOnly());
+  // The catalog may have moved since this connection last loaded it (a
+  // writer connection's commits); reload it through the snapshot so table
+  // roots match the pages the reader will see.
+  Status s = schema_->value.Load();
+  if (!s.ok()) {
+    (void)pager_->Rollback();
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  const bool was_read = pager_->in_read_transaction();
+  XFTL_RETURN_IF_ERROR(pager_->Commit());
+  // Leaving a read transaction: drop the snapshot's catalog for the live one.
+  if (was_read) return schema_->value.Load();
+  return Status::OK();
+}
 
 Status Database::Rollback() {
   XFTL_RETURN_IF_ERROR(pager_->Rollback());
@@ -58,8 +79,8 @@ bool Database::IsWriteStatement(const Statement& stmt) {
 }
 
 StatusOr<ResultSet> Database::ExecOne(const Statement& stmt) {
-  if (std::holds_alternative<BeginStmt>(stmt)) {
-    XFTL_RETURN_IF_ERROR(Begin());
+  if (const auto* begin = std::get_if<BeginStmt>(&stmt)) {
+    XFTL_RETURN_IF_ERROR(begin->read_only ? BeginReadOnly() : Begin());
     return ResultSet{};
   }
   if (std::holds_alternative<CommitStmt>(stmt)) {
@@ -74,6 +95,10 @@ StatusOr<ResultSet> Database::ExecOne(const Statement& stmt) {
     return RunPragma(*pragma);
   }
 
+  if (pager_->in_read_transaction() && IsWriteStatement(stmt)) {
+    return Status::FailedPrecondition(
+        "cannot write inside a read-only transaction");
+  }
   bool autocommit = !pager_->in_transaction() && IsWriteStatement(stmt);
   if (autocommit) XFTL_RETURN_IF_ERROR(pager_->Begin());
   auto result = ExecuteStatement(pager_.get(), &schema_->value, stmt);

@@ -20,6 +20,9 @@ struct DbOptions {
   SqlJournalMode journal_mode = SqlJournalMode::kDelete;
   uint32_t cache_pages = 256;
   uint32_t wal_autocheckpoint = 1000;
+  // Read-only connection onto another connection's live database file (see
+  // PagerOptions::read_only): only BEGIN READONLY transactions run.
+  bool read_only = false;
   // Commit through order-preserving barriers instead of fsync (see
   // PagerOptions::barrier_commit): atomicity unchanged, durability relaxed
   // to epoch-prefix.
@@ -60,9 +63,14 @@ class Database {
   StatusOr<ResultSet> Query(const std::string& sql) { return Exec(sql); }
 
   Status Begin();
+  // BEGIN READONLY: a pinned-snapshot read transaction (see
+  // Pager::BeginReadOnly). The schema is reloaded through the snapshot so
+  // the reader sees the catalog as of the pin.
+  Status BeginReadOnly();
   Status Commit();
   Status Rollback();
   bool in_transaction() const { return pager_->in_transaction(); }
+  bool in_read_transaction() const { return pager_->in_read_transaction(); }
 
   // Forces a WAL checkpoint (no-op in other modes).
   Status Checkpoint() { return pager_->Checkpoint(); }

@@ -34,17 +34,18 @@ const char* SqlJournalModeName(SqlJournalMode mode) {
 // ---------------------------------------------------------------------------
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
-  if (pager_ != nullptr) pager_->Unpin(pgno_);
+  if (pager_ != nullptr && !snap_) pager_->Unpin(pgno_);
   pager_ = other.pager_;
   pgno_ = other.pgno_;
   data_ = other.data_;
+  snap_ = other.snap_;
   other.pager_ = nullptr;
   other.data_ = nullptr;
   return *this;
 }
 
 PageRef::~PageRef() {
-  if (pager_ != nullptr) pager_->Unpin(pgno_);
+  if (pager_ != nullptr && !snap_) pager_->Unpin(pgno_);
 }
 
 Status PageRef::MarkDirty() {
@@ -77,6 +78,10 @@ Status Pager::Initialize() {
   page_size_ = 0;
   XFTL_ASSIGN_OR_RETURN(bool exists, fs_->Exists(db_path_));
   if (!exists) {
+    if (options_.read_only) {
+      return Status::NotFound("database " + db_path_ +
+                              " does not exist (read-only connection)");
+    }
     XFTL_ASSIGN_OR_RETURN(db_fd_, fs_->Create(db_path_));
   } else {
     XFTL_ASSIGN_OR_RETURN(db_fd_, fs_->Open(db_path_));
@@ -119,6 +124,16 @@ uint32_t Pager::fs_page_size() const {
 
 Status Pager::RecoverIfNeeded() {
   SimNanos t0 = fs_->clock()->Now();
+  if (options_.read_only) {
+    // A reader must not write: no hot-journal replay (that is the live
+    // writer's journal, not a crashed one), no WAL checkpoint. Just build
+    // the committed-frame index by scanning; BEGIN READONLY re-scans.
+    if (options_.journal_mode == SqlJournalMode::kWal) {
+      XFTL_RETURN_IF_ERROR(RescanWal());
+    }
+    stats_.last_recovery_nanos = fs_->clock()->Now() - t0;
+    return Status::OK();
+  }
   switch (options_.journal_mode) {
     case SqlJournalMode::kDelete: {
       XFTL_ASSIGN_OR_RETURN(bool hot, fs_->Exists(JournalPath()));
@@ -185,6 +200,7 @@ Status Pager::SetHeaderField(int slot, uint32_t value) {
 Status Pager::Close() {
   if (db_fd_ < 0) return Status::OK();
   if (in_txn_) return Status::FailedPrecondition("transaction still open");
+  if (read_txn_) (void)EndReadOnly();  // a read transaction closes cleanly
   if (journal_fd_ >= 0) {
     (void)fs_->Close(journal_fd_);
     journal_fd_ = -1;
@@ -280,6 +296,21 @@ StatusOr<PageRef> Pager::Get(Pgno pgno) {
   if (pgno == kNoPgno || pgno > page_count_) {
     return Status::OutOfRange("page " + std::to_string(pgno) + " of " +
                               std::to_string(page_count_));
+  }
+  if (read_txn_) {
+    // Read transactions bypass the main cache: its entries may be newer
+    // (another connection's commits already read back) or older than the
+    // snapshot. Pages land in the per-transaction cache instead; the ref is
+    // marked snap so its destructor cannot unpin a main-cache entry that
+    // happens to share the pgno.
+    auto it = snap_cache_.find(pgno);
+    if (it == snap_cache_.end()) {
+      std::vector<uint8_t> buf(page_size_);
+      XFTL_RETURN_IF_ERROR(ReadSnapshotPage(pgno, buf.data()));
+      stats_.page_reads++;
+      it = snap_cache_.emplace(pgno, std::move(buf)).first;
+    }
+    return PageRef(this, pgno, it->second.data(), /*snap=*/true);
   }
   XFTL_ASSIGN_OR_RETURN(CacheEntry * e, FetchPage(pgno));
   e->pins++;
@@ -391,7 +422,13 @@ Status Pager::SyncFd(fs::Fd fd, bool datasync) {
 // ---------------------------------------------------------------------------
 
 Status Pager::Begin() {
-  if (in_txn_) return Status::FailedPrecondition("transaction already open");
+  if (options_.read_only) {
+    return Status::FailedPrecondition(
+        "write transaction on a read-only connection");
+  }
+  if (in_txn_ || read_txn_) {
+    return Status::FailedPrecondition("transaction already open");
+  }
   in_txn_ = true;
   db_dirtied_in_txn_ = false;
   journal_records_ = 0;
@@ -400,7 +437,66 @@ Status Pager::Begin() {
   return Status::OK();
 }
 
+Status Pager::BeginReadOnly() {
+  if (in_txn_ || read_txn_) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  SimNanos t0 = fs_->clock()->Now();
+  if (options_.journal_mode == SqlJournalMode::kOff &&
+      fs_->SupportsSnapshots()) {
+    XFTL_ASSIGN_OR_RETURN(snap_epoch_, fs_->SnapPin());
+    snap_pinned_ = true;
+  } else if (options_.journal_mode == SqlJournalMode::kWal) {
+    // SQLite's reader snapshot: latch the committed-frame index at BEGIN.
+    XFTL_RETURN_IF_ERROR(RescanWal());
+  }
+  read_txn_ = true;
+  snap_cache_.clear();
+  // Load the header as of the snapshot so page_count_ (the Get() bounds) and
+  // the schema root match the state the reader sees — the live header may
+  // already include another connection's later commits.
+  std::vector<uint8_t> buf(page_size_);
+  Status s = ReadSnapshotPage(1, buf.data());
+  if (s.ok() && DecodeFixed32(buf.data()) != kDbMagic) {
+    s = Status::Corruption("bad database header in snapshot");
+  }
+  if (!s.ok()) {
+    (void)EndReadOnly();
+    return s;
+  }
+  page_count_ = DecodeFixed32(buf.data() + 8);
+  freelist_head_ = DecodeFixed32(buf.data() + 12);
+  for (int i = 0; i < 8; ++i) {
+    header_fields_[i] = DecodeFixed32(buf.data() + 16 + i * 4);
+  }
+  snap_cache_[1] = std::move(buf);
+  // `a` = 1 marks the read-only flavor in the trace.
+  TraceSql(trace::Op::kBegin, t0, 1, StatusCode::kOk);
+  return Status::OK();
+}
+
+Status Pager::ReadSnapshotPage(Pgno pgno, uint8_t* out) {
+  if (snap_pinned_) {
+    stats_.snap_page_reads++;
+    return fs_->SnapReadPage(db_fd_, pgno - 1, snap_epoch_, out);
+  }
+  return ReadPageFromFiles(pgno, out);
+}
+
+Status Pager::EndReadOnly() {
+  Status s;
+  if (snap_pinned_) {
+    s = fs_->SnapUnpin(snap_epoch_);
+    snap_pinned_ = false;
+  }
+  snap_cache_.clear();
+  read_txn_ = false;
+  stats_.read_txns++;
+  return s;
+}
+
 Status Pager::Commit() {
+  if (read_txn_) return EndReadOnly();
   if (!in_txn_) return Status::FailedPrecondition("no open transaction");
   SimNanos t0 = fs_->clock()->Now();
   std::vector<Pgno> dirty;
@@ -482,6 +578,7 @@ Status Pager::Commit() {
 }
 
 Status Pager::Rollback() {
+  if (read_txn_) return EndReadOnly();
   if (!in_txn_) return Status::FailedPrecondition("no open transaction");
   SimNanos t0 = fs_->clock()->Now();
   switch (options_.journal_mode) {
@@ -726,6 +823,52 @@ Status Pager::RecoverWal() {
   // database; do that, then reset the log.
   if (!wal_committed_.empty()) {
     XFTL_RETURN_IF_ERROR(CheckpointWal());
+  }
+  return Status::OK();
+}
+
+Status Pager::RescanWal() {
+  if (wal_fd_ < 0) {
+    // A reader connection may open before the writer creates the WAL.
+    XFTL_ASSIGN_OR_RETURN(bool exists, fs_->Exists(WalPath()));
+    if (!exists) return Status::OK();
+    XFTL_ASSIGN_OR_RETURN(wal_fd_, fs_->Open(WalPath()));
+  }
+  // Same frame walk as RecoverWal, against the file's CURRENT content:
+  // another connection may have appended commits (or checkpointed and
+  // truncated) since this connection last looked. No checkpoint here — a
+  // reader must not write.
+  wal_committed_.clear();
+  wal_append_off_ = kWalFileHeader;
+  wal_prev_crc_ = 0;
+  wal_committed_end_ = wal_append_off_;
+  wal_committed_crc_ = 0;
+  XFTL_ASSIGN_OR_RETURN(uint64_t size, fs_->FileSize(wal_fd_));
+  std::vector<uint8_t> frame(kWalFrameHeader + page_size_);
+  uint64_t off = kWalFileHeader;
+  uint32_t crc = 0;
+  std::unordered_map<Pgno, uint64_t> pending;
+  while (off + frame.size() <= size) {
+    XFTL_ASSIGN_OR_RETURN(size_t got,
+                          fs_->Read(wal_fd_, off, frame.size(), frame.data()));
+    if (got != frame.size()) break;
+    Pgno pgno = DecodeFixed32(frame.data());
+    uint32_t commit_size = DecodeFixed32(frame.data() + 4);
+    uint32_t want = DecodeFixed32(frame.data() + 8);
+    uint32_t c = Crc32c(frame.data(), 8, crc);
+    c = Crc32c(frame.data() + kWalFrameHeader, page_size_, c);
+    if (c != want) break;  // torn, stale, or in-flight frame
+    crc = c;
+    pending[pgno] = off;
+    off += frame.size();
+    if (commit_size != 0) {
+      for (const auto& [p, o] : pending) wal_committed_[p] = o;
+      pending.clear();
+      wal_append_off_ = off;
+      wal_prev_crc_ = crc;
+      wal_committed_end_ = off;
+      wal_committed_crc_ = crc;
+    }
   }
   return Status::OK();
 }

@@ -48,6 +48,12 @@ struct PagerOptions {
   uint32_t cache_pages = 256;
   // Checkpoint the WAL after this many appended frames (SQLite default 1000).
   uint32_t wal_autocheckpoint = 1000;
+  // Read-only connection: Open() refuses to create the file, recovery never
+  // writes (no hot-journal replay, no WAL checkpoint — the index is rebuilt
+  // by scanning), and Begin() fails; only BeginReadOnly() transactions run.
+  // This is what a reader connection onto another connection's live database
+  // file must use: two writers on one file are unsupported.
+  bool read_only = false;
   // Commit through order-preserving barriers (ExtFs::Fbarrier /
   // Fdatabarrier) instead of fsync, in every journal mode. Atomicity is
   // unchanged — the sync ordering each mode relies on still holds under
@@ -65,6 +71,8 @@ struct PagerStats {
   uint64_t wal_index_hits = 0;       // reads served from the WAL, not the DB
   uint64_t commits = 0;
   uint64_t rollbacks = 0;
+  uint64_t read_txns = 0;        // BEGIN READONLY transactions completed
+  uint64_t snap_page_reads = 0;  // pages served through a pinned snapshot
   uint64_t checkpoints = 0;
   uint64_t journal_creates = 0;
   uint64_t journal_deletes = 0;
@@ -94,12 +102,16 @@ class PageRef {
 
  private:
   friend class Pager;
-  PageRef(Pager* pager, Pgno pgno, uint8_t* data)
-      : pager_(pager), pgno_(pgno), data_(data) {}
+  PageRef(Pager* pager, Pgno pgno, uint8_t* data, bool snap = false)
+      : pager_(pager), pgno_(pgno), data_(data), snap_(snap) {}
 
   Pager* pager_ = nullptr;
   Pgno pgno_ = 0;
   uint8_t* data_ = nullptr;
+  // A ref into the read-transaction snapshot cache holds no pin on the main
+  // cache; destruction must not decrement a main-cache entry that happens
+  // to share the pgno.
+  bool snap_ = false;
 };
 
 class Pager {
@@ -123,9 +135,21 @@ class Pager {
 
   // --- transactions --------------------------------------------------------
   Status Begin();
+  // BEGIN READONLY: opens a read transaction that sees one committed state
+  // of the database while a writer (another connection on the same file)
+  // keeps committing. In kOff mode on a snapshot-capable device this pins
+  // the device's commit epoch and every page read resolves through the
+  // retained pre-images (MVCC; DESIGN.md §13). In kWal mode the reader
+  // re-scans the WAL index at BEGIN (SQLite's reader snapshot); in kDelete
+  // mode it reads the database file's committed content directly. Ends via
+  // Commit() or Rollback() (equivalent for a read transaction).
+  Status BeginReadOnly();
   Status Commit();
   Status Rollback();
-  bool in_transaction() const { return in_txn_; }
+  bool in_transaction() const { return in_txn_ || read_txn_; }
+  bool in_read_transaction() const { return read_txn_; }
+  // True while a device snapshot epoch is pinned (kOff read transaction).
+  bool snapshot_pinned() const { return snap_pinned_; }
 
   // --- page access ---------------------------------------------------------
   StatusOr<PageRef> Get(Pgno pgno);
@@ -203,6 +227,13 @@ class Pager {
   Status AppendWalFrame(Pgno pgno, const uint8_t* data, uint32_t commit_size);
   Status RecoverWal();
   Status CheckpointWal();
+  // Rebuilds the committed-frame index from the WAL file's current content
+  // (a reader picking up another connection's commits). No checkpoint.
+  Status RescanWal();
+
+  // --- read-only transactions ----------------------------------------------
+  Status EndReadOnly();
+  Status ReadSnapshotPage(Pgno pgno, uint8_t* out);
 
   fs::ExtFs* const fs_;
   const std::string db_path_;
@@ -215,6 +246,14 @@ class Pager {
 
   bool in_txn_ = false;
   bool db_dirtied_in_txn_ = false;  // stolen pages reached the DB file
+
+  // Read-only transaction state. Reads bypass the main cache (whose entries
+  // may be newer or older than the snapshot) and land in a per-transaction
+  // cache that dies with the transaction.
+  bool read_txn_ = false;
+  bool snap_pinned_ = false;
+  uint64_t snap_epoch_ = 0;
+  std::unordered_map<Pgno, std::vector<uint8_t>> snap_cache_;
 
   std::unordered_map<Pgno, CacheEntry> cache_;
   std::list<Pgno> lru_;

@@ -80,11 +80,20 @@ class Parser {
     if (t.Is("DELETE")) return ParseDelete();
     if (t.Is("BEGIN")) {
       Advance();
+      BeginStmt stmt;
       if (Peek().Is("TRANSACTION") || Peek().Is("IMMEDIATE") ||
           Peek().Is("EXCLUSIVE") || Peek().Is("DEFERRED")) {
         Advance();
+      } else if (Peek().Is("READONLY")) {
+        Advance();
+        stmt.read_only = true;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // An unknown modifier is a parse error, not a silently ignored
+        // token: "BEGIN BOGUS" used to open a write transaction.
+        return Status::InvalidArgument("unknown BEGIN modifier '" +
+                                       Peek().text + "'");
       }
-      return Statement{BeginStmt{}};
+      return Statement{stmt};
     }
     if (t.Is("COMMIT") || t.Is("END")) {
       Advance();

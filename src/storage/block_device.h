@@ -82,6 +82,26 @@ class TxBlockDevice : public BlockDevice {
   // (paper §5.2); semantically they are first-class verbs.
   virtual Status TxCommit(TxId t) = 0;
   virtual Status TxAbort(TxId t) = 0;
+
+  // --- MVCC snapshot reads (beyond the paper) -----------------------------
+  // A device that retains committed pre-images (X-FTL's X-L2P) can pin the
+  // current commit epoch and serve page reads as of that pin while a writer
+  // proceeds. Devices without version retention report no support and the
+  // host falls back to reading through its own cache coherency.
+  virtual bool SupportsSnapshots() const { return false; }
+  // Pins the current commit epoch; the returned token names the snapshot.
+  virtual StatusOr<uint64_t> SnapPin() {
+    return Status::NotSupported("snapshot reads");
+  }
+  // Releases a pin. Lenient: unknown epochs (e.g. after a device reboot
+  // discarded all pins) are a no-op.
+  virtual Status SnapUnpin(uint64_t epoch) {
+    return Status::NotSupported("snapshot reads");
+  }
+  // Reads `page` as of pinned epoch `epoch`.
+  virtual Status SnapRead(uint64_t epoch, uint64_t page, uint8_t* data) {
+    return Status::NotSupported("snapshot reads");
+  }
 };
 
 }  // namespace xftl::storage

@@ -707,6 +707,68 @@ Status SataDevice::ResolveInDoubt(TxId t, bool commit) {
   return s;
 }
 
+StatusOr<uint64_t> SataDevice::SnapPin() {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("snapshot pin on a non-transactional device");
+  }
+  // The pin must not see a commit that is still in the queue ahead of it;
+  // the same ordering discipline as a commit verb keeps the epoch exact.
+  SimNanos t0 = clock_->Now();
+  OrderCommit();
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.snap_pin_commands++;
+  uint64_t epoch = xftl_->PinSnapshot();
+  Note(trace::Op::kSnapPin, t0, ftl::kNoTx, 0, StatusCode::kOk, epoch);
+  return epoch;
+}
+
+Status SataDevice::SnapUnpin(uint64_t epoch) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("snapshot unpin on a non-transactional device");
+  }
+  SimNanos t0 = clock_->Now();
+  ChargeCommand(false);
+  stats_.trim_commands++;
+  stats_.snap_unpin_commands++;
+  xftl_->UnpinSnapshot(epoch);
+  Note(trace::Op::kSnapUnpin, t0, ftl::kNoTx, 0, StatusCode::kOk, epoch);
+  return Status::OK();
+}
+
+Status SataDevice::SnapRead(uint64_t epoch, uint64_t page, uint8_t* data) {
+  if (xftl_ == nullptr) {
+    return Status::NotSupported("snapshot read on a non-transactional device");
+  }
+  // Synchronous like every read, with the same CRC retransfer policy as
+  // LinkRead; the epoch rides in the command's parameter set.
+  SimNanos t0 = clock_->Now();
+  stats_.read_commands++;
+  stats_.snap_read_commands++;
+  Status s;
+  for (uint32_t attempt = 0;; ++attempt) {
+    ChargeCommand(true);
+    s = xftl_->SnapshotRead(epoch, page, data);
+    if (!s.ok()) break;              // device-side error, not a link problem
+    if (!TransferFaults()) break;    // data crossed intact
+    stats_.crc_errors++;
+    SimNanos f0 = clock_->Now();
+    if (attempt >= policy_.max_retries) {
+      Note(trace::Op::kLinkFault, f0, ftl::kNoTx, page, StatusCode::kIoError,
+           kCrc);
+      s = Status::IoError("SATA link: read CRC retries exhausted");
+      break;
+    }
+    SimNanos backoff = policy_.backoff_base << attempt;
+    clock_->Advance(backoff);
+    stats_.backoff_nanos += backoff;
+    stats_.link_retries++;
+    Note(trace::Op::kLinkFault, f0, ftl::kNoTx, page, StatusCode::kOk, kCrc);
+  }
+  Note(trace::Op::kSnapRead, t0, ftl::kNoTx, page, s.code(), epoch);
+  return s;
+}
+
 void SataDevice::OrderCommit() {
   switch (ftl_->commit_mode()) {
     case ftl::CommitMode::kDrain:

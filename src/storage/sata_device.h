@@ -148,6 +148,10 @@ struct SataStats {
   // In-flight NCQ state dropped by a power cut (ResetVolatile).
   uint64_t dropped_on_power_cut = 0;        // tags
   uint64_t dropped_pages_on_power_cut = 0;  // pages those tags carried
+  // --- MVCC snapshot reads (extended commands) -----------------------------
+  uint64_t snap_pin_commands = 0;    // pins opened on the device
+  uint64_t snap_unpin_commands = 0;  // pins released
+  uint64_t snap_read_commands = 0;   // version-aware page reads
 
   // Field-wise sum: aggregates per-device front-end counters into an
   // array-wide view (the workload harness over a host::StripedVolume).
@@ -181,6 +185,9 @@ struct SataStats {
     deferred_errors_reported += o.deferred_errors_reported;
     dropped_on_power_cut += o.dropped_on_power_cut;
     dropped_pages_on_power_cut += o.dropped_pages_on_power_cut;
+    snap_pin_commands += o.snap_pin_commands;
+    snap_unpin_commands += o.snap_unpin_commands;
+    snap_read_commands += o.snap_read_commands;
   }
 };
 
@@ -236,6 +243,15 @@ class SataDevice : public TxBlockDevice {
   // Post-reboot resolution of an in-doubt transaction (REDO forward when
   // `commit`, abort to the pre-image otherwise). Idempotent per member.
   Status ResolveInDoubt(TxId t, bool commit);
+
+  // --- MVCC snapshot reads -------------------------------------------------
+  // Pin/unpin travel the wire as extended trims (like commit/abort); the
+  // snapshot read is a read command with the epoch in the parameter set.
+  // All require a transactional FTL with version retention.
+  bool SupportsSnapshots() const override { return xftl_ != nullptr; }
+  StatusOr<uint64_t> SnapPin() override;
+  Status SnapUnpin(uint64_t epoch) override;
+  Status SnapRead(uint64_t epoch, uint64_t page, uint8_t* data) override;
 
   // --- NCQ observability ---------------------------------------------------
   // Writes whose device-side program has not yet drained at the current

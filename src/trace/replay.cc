@@ -1,5 +1,6 @@
 #include "trace/replay.h"
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/coding.h"
@@ -34,6 +35,10 @@ StatusOr<ReplayResult> ReplayTrace(const std::string& path,
 
   ReplayResult r;
   std::vector<uint8_t> page(dev->page_size());
+  // Snapshot epochs are device-assigned, so the replayed device may hand out
+  // different numbers than the captured run (e.g. when replaying against a
+  // different FTL). Map captured epoch -> replayed epoch at each pin.
+  std::unordered_map<uint64_t, uint64_t> epoch_map;
   uint64_t ordinal = 0;
   TraceEvent e;
   while (reader->Next(&e)) {
@@ -88,6 +93,39 @@ StatusOr<ReplayResult> ReplayTrace(const std::string& path,
         r.aborts++;
         s = dev->TxAbort(e.tid);
         break;
+      case Op::kSnapPin: {
+        if (!dev->SupportsSnapshots()) {
+          r.skipped++;
+          continue;
+        }
+        r.snap_pins++;
+        auto pin = dev->SnapPin();
+        s = pin.status();
+        if (s.ok()) epoch_map[e.b] = pin.value();
+        break;
+      }
+      case Op::kSnapUnpin: {
+        if (!dev->SupportsSnapshots()) {
+          r.skipped++;
+          continue;
+        }
+        r.snap_pins++;
+        auto it = epoch_map.find(e.b);
+        s = dev->SnapUnpin(it != epoch_map.end() ? it->second : e.b);
+        if (it != epoch_map.end()) epoch_map.erase(it);
+        break;
+      }
+      case Op::kSnapRead: {
+        if (!dev->SupportsSnapshots()) {
+          r.skipped++;
+          continue;
+        }
+        r.reads++;
+        auto it = epoch_map.find(e.b);
+        s = dev->SnapRead(it != epoch_map.end() ? it->second : e.b, e.a,
+                          page.data());
+        break;
+      }
       case Op::kLinkFault:
       case Op::kLinkReset:
       case Op::kDegrade:

@@ -30,6 +30,8 @@ struct ReplayResult {
   uint64_t flushes = 0;
   uint64_t commits = 0;
   uint64_t aborts = 0;
+  // Snapshot pin/unpin verbs (snapshot reads themselves count under reads).
+  uint64_t snap_pins = 0;
   // Commands the target device could not express (e.g. TxAbort on a
   // non-transactional FTL) — skipped, not errors.
   uint64_t skipped = 0;
@@ -45,7 +47,7 @@ struct ReplayResult {
   storage::SataStats sata;
 
   uint64_t Commands() const {
-    return reads + writes + trims + flushes + commits + aborts;
+    return reads + writes + trims + flushes + commits + aborts + snap_pins;
   }
 };
 

@@ -72,8 +72,14 @@ enum class Op : uint8_t {
                     //   by b (0 = epoch opened, a = epoch id, tid = epochs
                     //   in flight; 1 = program stalled for order; 2 =
                     //   stalled for bank, a = ppn, latency = stall paid)
+  kSnapPin = 25,    // sata/xftl: MVCC snapshot pin (b = epoch pinned)
+  kSnapUnpin = 26,  // sata/xftl: MVCC snapshot unpin (b = epoch released)
+  kSnapRead = 27,   // sata/xftl: snapshot read (a = lpn, b = 1 when served
+                    //   from a retained pre-image, 0 from the live L2P)
+  kSnapDefer = 28,  // xftl: a release scan kept committed slots alive for a
+                    //   pinned snapshot (a = slots deferred, b = oldest pin)
 };
-inline constexpr int kNumOps = 25;
+inline constexpr int kNumOps = 29;
 const char* OpName(Op op);
 
 // One trace record. Field meaning by layer:

@@ -47,6 +47,10 @@ const char* OpName(Op op) {
     case Op::kResolve:    return "resolve";
     case Op::kMemberFault: return "member-fault";
     case Op::kBarrier:    return "barrier";
+    case Op::kSnapPin:    return "snap-pin";
+    case Op::kSnapUnpin:  return "snap-unpin";
+    case Op::kSnapRead:   return "snap-read";
+    case Op::kSnapDefer:  return "snap-defer";
   }
   return "?";
 }

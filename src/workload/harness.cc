@@ -125,6 +125,23 @@ StatusOr<sql::Database*> Harness::OpenDatabase(const std::string& name) {
   return dbs_.back().second.get();
 }
 
+StatusOr<sql::Database*> Harness::OpenReaderConnection(
+    const std::string& name) {
+  sql::DbOptions opt;
+  opt.journal_mode = sql_mode();
+  opt.cache_pages = config_.db_cache_pages;
+  opt.wal_autocheckpoint = config_.wal_autocheckpoint;
+  opt.read_only = true;
+  opt.barrier_commit = barrier_commit_;
+  if (config_.cpu_per_statement > 0) {
+    opt.cpu_per_statement = config_.cpu_per_statement;
+  }
+  XFTL_ASSIGN_OR_RETURN(auto db, sql::Database::Open(fs_.get(), name, opt));
+  if (tracer_ != nullptr) db->pager()->set_tracer(tracer_.get());
+  dbs_.emplace_back(name + "@r" + std::to_string(dbs_.size()), std::move(db));
+  return dbs_.back().second.get();
+}
+
 Status Harness::CloseDatabase(const std::string& name) {
   for (auto it = dbs_.begin(); it != dbs_.end(); ++it) {
     if (it->first == name) {
@@ -283,6 +300,25 @@ StatusOr<MultiSessionResult> Harness::RunMultiSession(
     raw.push_back(s.get());
     sessions.push_back(std::move(s));
   }
+  // Read-only sessions: fresh connections onto session 1's database, opened
+  // AFTER the writers so the schema exists.
+  for (uint32_t k = 1; k <= mc.readers; ++k) {
+    XFTL_ASSIGN_OR_RETURN(sql::Database * db, OpenReaderConnection("s1.db"));
+    host::SessionConfig sc;
+    sc.id = mc.sessions + k;
+    sc.txns = mc.txns_per_reader > 0 ? mc.txns_per_reader : mc.txns_per_session;
+    sc.rows_per_txn = mc.rows_per_txn;
+    sc.open_loop = mc.open_loop;
+    sc.rate_per_sec =
+        mc.reader_rate_per_sec > 0 ? mc.reader_rate_per_sec : mc.rate_per_sec;
+    sc.think_time = mc.think_time;
+    sc.seed = config_.seed;
+    sc.read_only = true;
+    auto s = std::make_unique<host::Session>(sc, db);
+    XFTL_RETURN_IF_ERROR(s->Init());
+    raw.push_back(s.get());
+    sessions.push_back(std::move(s));
+  }
 
   const SimNanos start = clock_.Now();
   MultiSessionResult result;
@@ -310,10 +346,12 @@ StatusOr<MultiSessionResult> Harness::RunMultiSession(
       const host::SessionProgress& p = sched.progress()[i];
       SessionReport r;
       r.id = raw[i]->id();
+      r.read_only = raw[i]->config().read_only;
       r.dispatched = raw[i]->dispatched();
       r.committed = raw[i]->committed();
       r.busy = p.busy;
       r.waited = p.waited;
+      r.done = p.prev_done > start ? p.prev_done - start : 0;
       r.latency = raw[i]->latency();
       result.committed += r.committed;
       result.sessions.push_back(r);

@@ -135,14 +135,26 @@ struct MultiSessionConfig {
   // volume and usually continue_on_error). -1 = never.
   int32_t kill_member = -1;
   uint64_t kill_after_txns = 0;
+  // Readers-vs-writer mode: this many read-only sessions (ids after the
+  // writers) open their own connections onto session 1's database file and
+  // run BEGIN READONLY + full-scan + snapshot-verify per dispatch, while
+  // the writer sessions keep committing. Requires sessions >= 1.
+  uint32_t readers = 0;
+  uint64_t txns_per_reader = 0;       // 0 = txns_per_session
+  double reader_rate_per_sec = 0.0;   // 0 = rate_per_sec
 };
 
 struct SessionReport {
   uint32_t id = 0;
+  bool read_only = false;
   uint64_t dispatched = 0;
   uint64_t committed = 0;
   SimNanos busy = 0;    // host-busy share of this session's dispatches
   SimNanos waited = 0;  // device-wait share
+  SimNanos done = 0;    // completion time of this session's LAST dispatch,
+                        // relative to run start (per-session throughput =
+                        // committed / done, exact even when other sessions
+                        // keep running afterwards)
   Histogram latency;    // arrival -> completion, per transaction
 };
 
@@ -173,6 +185,10 @@ class Harness {
   // Opens (or reopens) a database file on the mounted file system with the
   // configured journal mode.
   StatusOr<sql::Database*> OpenDatabase(const std::string& name);
+  // Opens an ADDITIONAL read-only connection onto `name` (which must exist —
+  // usually another connection's live database). Each call returns a fresh
+  // connection; they are registered under "<name>@r<k>" for CloseDatabase.
+  StatusOr<sql::Database*> OpenReaderConnection(const std::string& name);
   Status CloseDatabase(const std::string& name);
 
   // Simulated crash: databases and file system are torn down, the device

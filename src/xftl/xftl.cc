@@ -69,19 +69,17 @@ int XFtl::FindActiveSlot(TxId t, Lpn p) const {
 StatusOr<int> XFtl::AllocateSlot() {
   if (free_slots_.empty()) {
     // Retained committed slots are reclaimable once the L2P checkpoint
-    // covers their mappings; force one.
-    bool any_committed = std::any_of(
-        slots_.begin(), slots_.end(),
-        [](const Slot& s) { return s.status == SlotStatus::kCommitted; });
-    if (!any_committed) {
+    // covers their mappings — unless a pinned snapshot still sees their
+    // pre-images; force a checkpoint only if it can actually free one.
+    if (ReleasableCommittedSlots().empty()) {
       return Status::ResourceExhausted(
-          "X-L2P table full of active transactions");
+          "X-L2P table full of active transactions and pinned versions");
     }
     XFTL_RETURN_IF_ERROR(Checkpoint());
     xstats_.forced_checkpoints++;
     if (free_slots_.empty()) {
       return Status::ResourceExhausted(
-          "X-L2P table full of active transactions");
+          "X-L2P table full of active transactions and pinned versions");
     }
   }
   int idx = free_slots_.back();
@@ -99,11 +97,30 @@ void XFtl::EraseByLpn(Lpn p, int idx) {
   }
 }
 
+void XFtl::EraseVersion(Lpn p, int idx) {
+  auto [lo, hi] = versions_by_lpn_.equal_range(p);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == idx) {
+      versions_by_lpn_.erase(it);
+      return;
+    }
+  }
+}
+
 void XFtl::FreeSlot(int idx) {
   Slot& s = slots_[idx];
   EraseByLpn(s.lpn, idx);  // no-op for committed slots (unindexed at fold)
   auto pit = by_ppn_.find(s.new_ppn);
   if (pit != by_ppn_.end() && pit->second == idx) by_ppn_.erase(pit);
+  if (s.old_ppn != flash::kInvalidPpn) {
+    auto oit = by_old_ppn_.find(s.old_ppn);
+    if (oit != by_old_ppn_.end() && oit->second == idx) by_old_ppn_.erase(oit);
+    // The retained pre-image finally becomes garbage. Guard on the validity
+    // bitmap: if GC lost the page to an uncorrectable read, its ppn may have
+    // been erased and reprogrammed for someone else by now.
+    if (PpnHolds(s.old_ppn, s.lpn)) InvalidatePpn(s.old_ppn);
+  }
+  EraseVersion(s.lpn, idx);
   s = Slot{};
   free_slots_.push_back(idx);
 }
@@ -242,20 +259,103 @@ Status XFtl::TxCommit(TxId t) {
   XFTL_RETURN_IF_ERROR(PersistCommitState());
 
   // Step 4: fold the new physical addresses into the L2P (idempotent; the
-  // base FTL checkpoints the L2P lazily).
-  for (int idx : entries) {
-    Slot& s = slots_[idx];
-    flash::Ppn old = MappingOf(s.lpn);
-    if (old != flash::kInvalidPpn && old != s.new_ppn) InvalidatePpn(old);
-    SetMapping(s.lpn, s.new_ppn);
-    s.folded = true;
-  }
+  // base FTL checkpoints the L2P lazily). With a snapshot pin open the fold
+  // retains each displaced pre-image instead of invalidating it.
+  FoldEntries(entries);
 
   stats_.flush_barriers++;  // a commit doubles as the write barrier
   xstats_.commits++;
   TraceX(device(), trace::Op::kTxCommit, t0, t, entries.size(), 0,
          StatusCode::kOk);
   return Status::OK();
+}
+
+void XFtl::FoldEntries(const std::vector<int>& entries) {
+  const uint64_t epoch = ++commit_epoch_;
+  const bool retain = !pins_.empty();
+  for (int idx : entries) {
+    Slot& s = slots_[idx];
+    flash::Ppn old = MappingOf(s.lpn);
+    s.commit_epoch = epoch;
+    if (old != flash::kInvalidPpn && old != s.new_ppn) {
+      if (retain) {
+        // A pinned snapshot may still need the displaced version; keep it
+        // valid (GC relocates it like any live page) until the slot is
+        // released by a pin-aware checkpoint.
+        s.old_ppn = old;
+        by_old_ppn_[old] = idx;
+      } else {
+        InvalidatePpn(old);
+      }
+    }
+    // The slot itself is the visibility marker: even without a pre-image
+    // (first write of the lpn) it tells SnapshotRead the page was unmapped
+    // at any pinned epoch older than this commit.
+    if (retain) versions_by_lpn_.emplace(s.lpn, idx);
+    SetMapping(s.lpn, s.new_ppn);
+    s.folded = true;
+  }
+}
+
+uint64_t XFtl::PinSnapshot() {
+  SimNanos t0 = device()->clock()->Now();
+  const uint64_t epoch = commit_epoch_;
+  pins_[epoch]++;
+  xstats_.pins_opened++;
+  TraceX(device(), trace::Op::kSnapPin, t0, kNoTx, 0, epoch, StatusCode::kOk);
+  return epoch;
+}
+
+void XFtl::UnpinSnapshot(uint64_t epoch) {
+  SimNanos t0 = device()->clock()->Now();
+  auto it = pins_.find(epoch);
+  if (it != pins_.end()) {
+    xstats_.pins_closed++;
+    if (--it->second == 0) pins_.erase(it);
+  }
+  TraceX(device(), trace::Op::kSnapUnpin, t0, kNoTx, 0, epoch,
+         StatusCode::kOk);
+}
+
+Status XFtl::SnapshotRead(uint64_t epoch, Lpn p, uint8_t* data) {
+  if (p >= num_logical_pages()) {
+    return Status::OutOfRange("lpn " + std::to_string(p));
+  }
+  if (pins_.find(epoch) == pins_.end()) {
+    return Status::FailedPrecondition("epoch " + std::to_string(epoch) +
+                                      " is not pinned");
+  }
+  SimNanos t0 = device()->clock()->Now();
+  xstats_.snapshot_reads++;
+  // The version visible at `epoch` is the pre-image of the FIRST commit
+  // after the pin. No such retained slot means no commit superseded the
+  // page (pin-aware reclamation keeps every superseding slot alive while
+  // the pin is open), so the live copy is the right one.
+  int best = -1;
+  auto [lo, hi] = versions_by_lpn_.equal_range(p);
+  for (auto it = lo; it != hi; ++it) {
+    const Slot& s = slots_[it->second];
+    if (s.commit_epoch <= epoch) continue;
+    if (best < 0 || s.commit_epoch < slots_[best].commit_epoch) {
+      best = it->second;
+    }
+  }
+  if (best < 0) {
+    Status s = Read(p, data);
+    TraceX(device(), trace::Op::kSnapRead, t0, kNoTx, p, 0, s.code());
+    return s;
+  }
+  xstats_.version_hits++;
+  stats_.host_page_reads++;
+  Status s;
+  if (slots_[best].old_ppn == flash::kInvalidPpn) {
+    // The pinned epoch predates the page's first write.
+    std::memset(data, 0xff, page_size());
+  } else {
+    s = ReadPhysPage(slots_[best].old_ppn, data);
+  }
+  TraceX(device(), trace::Op::kSnapRead, t0, kNoTx, p, 1, s.code());
+  return s;
 }
 
 Status XFtl::TxAbort(TxId t) {
@@ -381,13 +481,7 @@ Status XFtl::ResolveInDoubt(TxId t, bool commit) {
       slots_[idx].folded = false;
       EraseByLpn(slots_[idx].lpn, idx);
     }
-    for (int idx : entries) {
-      Slot& s = slots_[idx];
-      flash::Ppn old = MappingOf(s.lpn);
-      if (old != flash::kInvalidPpn && old != s.new_ppn) InvalidatePpn(old);
-      SetMapping(s.lpn, s.new_ppn);
-      s.folded = true;
-    }
+    FoldEntries(entries);
     xstats_.resolved_forward++;
   } else {
     // Abort to the pre-image: the L2P never saw the new pages.
@@ -449,12 +543,59 @@ Status XFtl::PersistCommitState() {
   return Status::OK();
 }
 
-void XFtl::ReleaseCommittedSlots() {
+std::vector<int> XFtl::ReleasableCommittedSlots() const {
+  std::vector<int> out;
+  // With pins open, group the folded committed slots by lpn for the
+  // visibility analysis below; without pins everything is releasable.
+  std::unordered_map<Lpn, std::vector<int>> chains;
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].status == SlotStatus::kCommitted && slots_[i].folded) {
-      FreeSlot(int(i));
-      xl2p_dirty_ = true;
+    const Slot& s = slots_[i];
+    if (s.status != SlotStatus::kCommitted || !s.folded) continue;
+    if (pins_.empty()) {
+      out.push_back(int(i));
+    } else {
+      chains[s.lpn].push_back(int(i));
     }
+  }
+  // Pin E's visible version of a page is the pre-image of the FIRST commit
+  // after E. So in each lpn's chain of commits e1 < e2 < ... a slot e_k is
+  // still visible somewhere iff a pin lies in [e_{k-1}, e_k) — everything
+  // else, including later rewrites of a hot page, is releasable even while
+  // readers stay pinned.
+  for (auto& [lpn, chain] : chains) {
+    std::sort(chain.begin(), chain.end(), [this](int a, int b) {
+      return slots_[a].commit_epoch < slots_[b].commit_epoch;
+    });
+    uint64_t prev = 0;
+    for (int idx : chain) {
+      const uint64_t e = slots_[idx].commit_epoch;
+      auto pin = pins_.lower_bound(prev);
+      if (pin == pins_.end() || pin->first >= e) out.push_back(idx);
+      prev = e;
+    }
+  }
+  return out;
+}
+
+void XFtl::ReleaseCommittedSlots() {
+  uint64_t retained = 0;
+  for (const Slot& s : slots_) {
+    if (s.status == SlotStatus::kCommitted && s.folded) retained++;
+  }
+  const std::vector<int> releasable = ReleasableCommittedSlots();
+  for (int idx : releasable) {
+    FreeSlot(idx);
+    xl2p_dirty_ = true;
+  }
+  // Whatever stayed behind is a snapshot some reader can still see. Even a
+  // forced table-full checkpoint must not free these, or that reader would
+  // observe pages from after its pin.
+  const uint64_t deferred = retained - releasable.size();
+  if (deferred > 0) {
+    xstats_.reclaim_deferrals += deferred;
+    SimNanos now = device()->clock()->Now();
+    TraceX(device(), trace::Op::kSnapDefer, now, kNoTx, deferred,
+           pins_.begin()->first, StatusCode::kOk);
   }
 }
 
@@ -520,14 +661,26 @@ Status XFtl::WriteXl2pSnapshot() {
 void XFtl::OnPageRelocated(Lpn lpn, flash::Ppn from, flash::Ppn to) {
   // O(1): the ppn index covers both active and retained committed slots.
   auto it = by_ppn_.find(from);
-  if (it == by_ppn_.end()) return;
-  int idx = it->second;
-  Slot& s = slots_[idx];
-  DCHECK_EQ(s.new_ppn, from);
-  by_ppn_.erase(it);
-  s.new_ppn = to;
-  by_ppn_[to] = idx;
-  xl2p_dirty_ = true;
+  if (it != by_ppn_.end()) {
+    int idx = it->second;
+    Slot& s = slots_[idx];
+    DCHECK_EQ(s.new_ppn, from);
+    by_ppn_.erase(it);
+    s.new_ppn = to;
+    by_ppn_[to] = idx;
+    xl2p_dirty_ = true;
+  }
+  // A relocated page can simultaneously be one slot's new_ppn and another's
+  // retained pre-image (chained commits to the same lpn under a pin), so
+  // check both indexes.
+  auto oit = by_old_ppn_.find(from);
+  if (oit != by_old_ppn_.end()) {
+    int idx = oit->second;
+    DCHECK_EQ(slots_[idx].old_ppn, from);
+    by_old_ppn_.erase(oit);
+    slots_[idx].old_ppn = to;
+    by_old_ppn_[to] = idx;
+  }
 }
 
 void XFtl::OnMetaPageScanned(const flash::PageOob& oob,
@@ -572,6 +725,13 @@ Status XFtl::FinishRecovery() {
   by_ppn_.clear();
   by_tid_.clear();
   records_.clear();
+  // Snapshot pins are volatile by design: a reader that straddled the crash
+  // re-opens its transaction, and the pre-images it was pinning are absent
+  // from the durable snapshot (they become garbage), so recovery can never
+  // resurrect a snapshot-only version.
+  pins_.clear();
+  versions_by_lpn_.clear();
+  by_old_ppn_.clear();
   xl2p_dirty_ = false;
 
   // Latest complete snapshot wins. A crash mid-snapshot leaves a newer

@@ -102,6 +102,12 @@ struct XftlStats {
   uint64_t resolved_forward = 0;    // in-doubt transactions REDO-committed
   uint64_t resolved_aborted = 0;    // in-doubt transactions aborted
   SimNanos last_recovery_nanos = 0; // X-L2P load + reflect (paper Table 5)
+  // --- MVCC snapshot reads ------------------------------------------------
+  uint64_t pins_opened = 0;         // PinSnapshot calls
+  uint64_t pins_closed = 0;         // UnpinSnapshot calls that released a pin
+  uint64_t snapshot_reads = 0;      // SnapshotRead calls
+  uint64_t version_hits = 0;        // snapshot reads served from a pre-image
+  uint64_t reclaim_deferrals = 0;   // slot releases skipped for a pinned epoch
 };
 
 class XFtl : public PageFtl {
@@ -154,6 +160,31 @@ class XFtl : public PageFtl {
   // it is the forced-reclaim path and the PLP emergency checkpoint.
   Status Checkpoint();
 
+  // --- MVCC snapshot reads (beyond the paper; ROADMAP item) ---------------
+  // The X-L2P already retains every committed pre-image until the next L2P
+  // checkpoint; these commands serve those versions instead of discarding
+  // them. A pin latches the current commit epoch: every version visible at
+  // that epoch stays readable — reclamation (checkpoint, forced reclaim)
+  // keeps a retained slot alive while any pin predates its commit — and GC
+  // relocation re-points pre-images like any other X-L2P reference. Pins
+  // are volatile: a power cut discards them, and recovery never resurrects
+  // a snapshot-only version (pre-images are absent from the durable
+  // snapshot, so they become garbage).
+  //
+  // Pins the current commit epoch and returns it.
+  uint64_t PinSnapshot();
+  // Releases a pin. Lenient: unknown or already-released epochs are a no-op
+  // so hosts can unpin blindly across device reboots.
+  void UnpinSnapshot(uint64_t epoch);
+  // Reads `p` as of pinned epoch `epoch`: the retained pre-image of the
+  // first commit after the pin if one exists, the live L2P copy otherwise
+  // (0xff-filled if `p` was unmapped at the pin). FailedPrecondition if
+  // `epoch` is not currently pinned.
+  Status SnapshotRead(uint64_t epoch, Lpn p, uint8_t* data);
+  // Current commit epoch (bumped once per non-empty commit).
+  uint64_t CurrentEpoch() const { return commit_epoch_; }
+  size_t PinnedSnapshotCount() const { return pins_.size(); }
+
   const XftlStats& xstats() const { return xstats_; }
   bool plp_commit() const { return commit_mode() == CommitMode::kPlp; }
   void ResetXstats() { xstats_ = XftlStats{}; }
@@ -190,6 +221,12 @@ class XFtl : public PageFtl {
     // the middle of TxCommit's own snapshot write from freeing the very
     // entries being committed.
     bool folded = false;
+    // MVCC (volatile; not serialized into the X-L2P snapshot): the commit
+    // epoch the fold happened in, and the pre-image the fold displaced when
+    // a pin was open at commit time (kInvalidPpn = no pre-image retained —
+    // either no pin was open, or the lpn was unmapped before the commit).
+    uint64_t commit_epoch = 0;
+    flash::Ppn old_ppn = flash::kInvalidPpn;
   };
 
   // Finds the slot holding (t, p) with ACTIVE status, or -1.
@@ -201,9 +238,19 @@ class XFtl : public PageFtl {
   // committed slots when necessary.
   StatusOr<int> AllocateSlot();
   void FreeSlot(int idx);
-  // Releases every retained committed slot (call only after the L2P has been
-  // durably checkpointed).
+  // Releases every retained committed slot not still visible to a pinned
+  // snapshot (call only after the L2P has been durably checkpointed).
   void ReleaseCommittedSlots();
+  // The folded committed slots no pinned snapshot can still see: per lpn,
+  // pin E only needs the first commit after E, so later rewrites of the
+  // same page are releasable even while readers stay pinned.
+  std::vector<int> ReleasableCommittedSlots() const;
+  // Drops the versions_by_lpn_ entry pointing at `idx` (no-op if absent).
+  void EraseVersion(Lpn p, int idx);
+  // Fold epilogue shared by TxCommit and ResolveInDoubt's REDO: folds the
+  // new mappings into the L2P under a fresh commit epoch, retaining each
+  // displaced pre-image when a snapshot pin is open.
+  void FoldEntries(const std::vector<int>& entries);
   // Serializes occupied slots into meta pages (tag kTagXl2p).
   Status WriteXl2pSnapshot();
   // The ordering point at the head of a commit/prepare: kDrain waits for the
@@ -234,6 +281,17 @@ class XFtl : public PageFtl {
   // tid -> commit-record slot index (records have no page, so they live in
   // neither by_ppn_ nor by_lpn_).
   std::map<TxId, int> records_;
+  // --- MVCC snapshot state (volatile) -------------------------------------
+  // Bumped once per non-empty commit fold; PinSnapshot latches it.
+  uint64_t commit_epoch_ = 0;
+  // epoch -> pin refcount, ordered so the minimum pinned epoch is begin().
+  std::map<uint64_t, uint32_t> pins_;
+  // lpn -> retained committed slots folded while a pin was open; the
+  // version-visibility lookup of SnapshotRead.
+  std::unordered_multimap<Lpn, int> versions_by_lpn_;
+  // old_ppn -> slot index for retained pre-images, so GC relocation keeps
+  // the version store coherent in O(1) (mirrors by_ppn_ for new_ppn).
+  std::unordered_map<flash::Ppn, int> by_old_ppn_;
   bool xl2p_dirty_ = false;
   uint64_t snapshot_id_ = 0;
   uint64_t xl2p_pages_scanned_ = 0;  // recovery-time accounting

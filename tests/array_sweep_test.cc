@@ -160,6 +160,106 @@ void RunArrayCrashPoint(const ArrayPoint& point) {
   }
 }
 
+// A volume-level MVCC pin held across one member's power cut. Per-member
+// pins are volatile, so after the victim reboots the token is half dead:
+// the rebooted member must reject its stale epoch (FailedPrecondition —
+// never silently serving post-pin data), surviving members keep serving
+// theirs, unpinning the half-dead token stays a clean no-op, and a fresh
+// pin sees exactly the live state on every member.
+TEST(ArrayPinnedReaderTest, MemberPowerCutInvalidatesStaleEpoch) {
+  constexpr uint32_t kVictim = 1;
+  HarnessConfig hc;
+  hc.setup = Setup::kXftl;
+  hc.device_blocks = 96;
+  hc.num_devices = kDevices;
+  hc.stripe_pages = 4;
+  hc.fs_cache_pages = 64;
+  hc.db_cache_pages = 16;
+  hc.seed = 7;
+  Harness h(hc);
+  ASSERT_TRUE(h.Setup().ok());
+  host::StripedVolume* vol = h.volume();
+  ASSERT_NE(vol, nullptr);
+
+  // Pin the post-setup state on every member, then churn a workload over it
+  // so the pin actually retains pre-images while the writers commit.
+  auto pin = vol->SnapPin();
+  ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+  const uint64_t token = pin.value();
+  const uint32_t page_size = vol->page_size();
+  // One stripe page per member: with stripe_pages = 4 and 3 members, pages
+  // 0, 4 and 8 land on members 0, 1 and 2.
+  const uint64_t member_page[kDevices] = {0, 4, 8};
+  std::vector<uint8_t> pinned[kDevices];
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    pinned[m].resize(page_size);
+    ASSERT_TRUE(
+        vol->SnapRead(token, member_page[m], pinned[m].data()).ok());
+  }
+
+  MultiSessionConfig mc;
+  mc.sessions = 2;
+  mc.txns_per_session = 30;
+  mc.open_loop = false;
+  mc.think_time = 0;
+  mc.rows_per_txn = 3;
+  mc.explicit_txn = true;
+  auto r = h.RunMultiSession(mc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->run_status.ok()) << r->run_status.ToString();
+
+  // The pin still serves the pre-workload state on every member.
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    std::vector<uint8_t> buf(page_size);
+    ASSERT_TRUE(vol->SnapRead(token, member_page[m], buf.data()).ok());
+    EXPECT_EQ(buf, pinned[m]) << "member " << m;
+  }
+
+  // Pull one member's plug and let the array settle its reboot.
+  Status rec = h.CrashMemberAndRecover(kVictim);
+  ASSERT_TRUE(rec.ok()) << rec.ToString();
+  EXPECT_FALSE(vol->Degraded());
+
+  // The rebooted member discarded its side of the pin; the survivors kept
+  // theirs. The stale epoch is rejected on the victim's stripes only.
+  EXPECT_EQ(h.ssd(kVictim)->xftl()->PinnedSnapshotCount(), 0u);
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    if (m == kVictim) continue;
+    EXPECT_EQ(h.ssd(m)->xftl()->PinnedSnapshotCount(), 1u) << "member " << m;
+  }
+  std::vector<uint8_t> buf(page_size);
+  Status stale = vol->SnapRead(token, member_page[kVictim], buf.data());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition)
+      << stale.ToString();
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    if (m == kVictim) continue;
+    ASSERT_TRUE(vol->SnapRead(token, member_page[m], buf.data()).ok())
+        << "member " << m;
+    EXPECT_EQ(buf, pinned[m]) << "member " << m;
+  }
+
+  // Unpinning the half-dead token is a clean no-op on the rebooted member
+  // and releases the survivors' pins.
+  EXPECT_TRUE(vol->SnapUnpin(token).ok());
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    EXPECT_EQ(h.ssd(m)->xftl()->PinnedSnapshotCount(), 0u) << "member " << m;
+  }
+
+  // A fresh pin covers the whole array again and sees exactly the live
+  // state — no snapshot-only version survived the member's recovery.
+  auto repin = vol->SnapPin();
+  ASSERT_TRUE(repin.ok()) << repin.status().ToString();
+  for (uint32_t m = 0; m < kDevices; ++m) {
+    std::vector<uint8_t> live(page_size);
+    std::vector<uint8_t> snap(page_size);
+    ASSERT_TRUE(vol->Read(member_page[m], live.data()).ok());
+    ASSERT_TRUE(
+        vol->SnapRead(repin.value(), member_page[m], snap.data()).ok());
+    EXPECT_EQ(snap, live) << "member " << m;
+  }
+  EXPECT_TRUE(vol->SnapUnpin(repin.value()).ok());
+}
+
 class ArrayCrashSweepTest : public ::testing::TestWithParam<ArrayPoint> {};
 
 TEST_P(ArrayCrashSweepTest, CrossDeviceAtomicityHolds) {

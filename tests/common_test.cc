@@ -2,6 +2,7 @@
 // CRC-32C, coding helpers and Histogram.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 #include <vector>
@@ -269,6 +270,46 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.min(), 10u);
   EXPECT_EQ(a.max(), 20u);
+}
+
+// An empty histogram must report clean zeros, never NaN: per-session tables
+// in xftl_trace summary and bench JSON read these fields for sessions that
+// completed nothing (e.g. a read-only session on a degraded run).
+TEST(HistogramTest, EmptyHistogramReportsZerosNotNan) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+  EXPECT_FALSE(std::isnan(h.Mean()));
+  EXPECT_FALSE(std::isnan(h.Percentile(99)));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Add(10);
+  a.Add(30);
+  a.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+
+  Histogram b;
+  b.Merge(a);  // merging INTO an empty histogram copies the stats
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 30u);
+
+  Histogram c, d;
+  c.Merge(d);  // empty + empty stays empty and NaN-free
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0u);
+  EXPECT_DOUBLE_EQ(c.Percentile(99), 0.0);
 }
 
 }  // namespace

@@ -87,6 +87,16 @@ struct SweepParam {
   // (epoch-prefix durability) — only the "acked implies durable" lower
   // bound is relaxed.
   ftl::CommitMode commit_mode = ftl::CommitMode::kDrain;
+  // Keep an MVCC reader pinned from just after schema creation until the
+  // power cut. Pins are volatile: recovery must discard them cleanly (the
+  // stale epoch is rejected, not mis-served) and must never resurrect a
+  // snapshot-only pre-image into the live state.
+  bool pinned_reader = false;
+  // Pull the plug between transactions (after crash_after_programs-many
+  // commits) instead of arming a mid-program failure. kPlp needs this: an
+  // armed failure latches the flash dead, so the capacitor's emergency
+  // checkpoint — the only durability kPlp commits have — can never run.
+  bool clean_cut = false;
 };
 
 void RunCrashPoint(const SweepParam& param) {
@@ -123,7 +133,9 @@ void RunCrashPoint(const SweepParam& param) {
   // the post-recovery verification.
   ssd.flash()->ScriptProgramFailEvery(param.program_fail_every);
   ssd.flash()->ScriptEraseFailEvery(param.erase_fail_every);
-  if (param.seed != 0) {
+  if (param.clean_cut) {
+    // No armed failure: the cut lands between transactions, below.
+  } else if (param.seed != 0) {
     flash::CrashPlan plan;
     plan.crash_after_programs = param.crash_after_programs;
     plan.seed = param.seed;
@@ -132,10 +144,28 @@ void RunCrashPoint(const SweepParam& param) {
   } else {
     ssd.flash()->ArmPowerFailure(param.crash_after_programs);
   }
+  // A pinned reader alive at the cut point: pin the post-schema snapshot at
+  // the device and hold it across the crash. The snapshot read must keep
+  // serving the pinned state while the writer churns toward the cut.
+  uint64_t pin_epoch = 0;
+  std::vector<uint8_t> pinned_page0(spec.flash.page_size);
+  if (param.pinned_reader) {
+    auto pin = ssd.device()->SnapPin();
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+    pin_epoch = pin.value();
+    ASSERT_TRUE(ssd.device()->Read(0, pinned_page0.data()).ok());
+    std::vector<uint8_t> via_snap(spec.flash.page_size);
+    ASSERT_TRUE(
+        ssd.device()->SnapRead(pin_epoch, 0, via_snap.data()).ok());
+    EXPECT_EQ(via_snap, pinned_page0);
+  }
+
   int64_t acked = 0;
   // Long enough that every armed point fires even in the leanest mode
-  // (kOff + fdatasync writes the fewest pages per transaction).
-  const int64_t kMaxTxns = 400;
+  // (kOff + fdatasync writes the fewest pages per transaction). A clean cut
+  // reuses crash_after_programs as the transaction count instead.
+  const int64_t kMaxTxns =
+      param.clean_cut ? int64_t(param.crash_after_programs) : 400;
   bool crashed = false;
   for (int64_t txn = 1; txn <= kMaxTxns && !crashed; ++txn) {
     // Three related rows per transaction: ids 3t-2..3t, a = id * 7,
@@ -153,7 +183,9 @@ void RunCrashPoint(const SweepParam& param) {
       crashed = true;
     }
   }
-  if (!crashed) {
+  if (param.clean_cut) {
+    crashed = true;  // the plug-pull below IS the failure
+  } else if (!crashed) {
     GTEST_SKIP() << "failure point beyond this workload";
   }
 
@@ -177,6 +209,32 @@ void RunCrashPoint(const SweepParam& param) {
   EXPECT_EQ(ssd.device()->InflightCommands(), 0u);
   fs = std::move(fs::ExtFs::Mount(ssd.device(), fs_opt, &clock)).value();
   db = std::move(Database::Open(fs.get(), "sweep.db", db_opt)).value();
+
+  if (param.pinned_reader) {
+    // Pins are volatile: recovery discards them (count drops to zero), the
+    // stale epoch is rejected rather than mis-served, and unpinning the
+    // dead token stays a clean no-op.
+    EXPECT_EQ(ssd.xftl()->PinnedSnapshotCount(), 0u);
+    std::vector<uint8_t> buf(spec.flash.page_size);
+    Status stale = ssd.device()->SnapRead(pin_epoch, 0, buf.data());
+    EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition)
+        << stale.ToString();
+    EXPECT_TRUE(ssd.device()->SnapUnpin(pin_epoch).ok());
+    // No snapshot-only pre-image was resurrected into the live state: a
+    // fresh pin sees exactly what live reads see, page for page.
+    auto repin = ssd.device()->SnapPin();
+    ASSERT_TRUE(repin.ok()) << repin.status().ToString();
+    for (uint64_t lpn : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                         uint64_t{42}}) {
+      std::vector<uint8_t> live(spec.flash.page_size);
+      std::vector<uint8_t> snap(spec.flash.page_size);
+      ASSERT_TRUE(ssd.device()->Read(lpn, live.data()).ok());
+      ASSERT_TRUE(
+          ssd.device()->SnapRead(repin.value(), lpn, snap.data()).ok());
+      EXPECT_EQ(snap, live) << "lpn " << lpn;
+    }
+    EXPECT_TRUE(ssd.device()->SnapUnpin(repin.value()).ok());
+  }
 
   auto rows = db->Exec("SELECT id, a, b FROM t ORDER BY id");
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
@@ -297,6 +355,32 @@ std::vector<SweepParam> SweepPoints() {
       points.push_back(p);
     }
   }
+  // An MVCC reader pinned and alive at the cut point, across every journal
+  // mode and every firmware commit discipline. Crash points stay early so
+  // the retained pre-images (bounded by distinct pages written after the
+  // pin) fit the X-L2P table alongside the active transaction.
+  for (SqlJournalMode mode : {SqlJournalMode::kDelete, SqlJournalMode::kWal,
+                              SqlJournalMode::kOff}) {
+    for (ftl::CommitMode cm : {ftl::CommitMode::kDrain,
+                               ftl::CommitMode::kBarrier,
+                               ftl::CommitMode::kPlp}) {
+      // kPlp commits are durable only through the capacitor's emergency
+      // checkpoint, which an armed mid-program failure (dead flash) can
+      // never take — those rows pull the plug cleanly between transactions
+      // instead (the count reuses the crash_after_programs field).
+      const bool clean = cm == ftl::CommitMode::kPlp;
+      const std::vector<uint64_t> ks = clean
+                                           ? std::vector<uint64_t>{25, 60}
+                                           : std::vector<uint64_t>{41, 101};
+      for (uint64_t k : ks) {
+        SweepParam p{mode, k};
+        p.commit_mode = cm;
+        p.pinned_reader = true;
+        p.clean_cut = clean;
+        points.push_back(p);
+      }
+    }
+  }
   return points;
 }
 
@@ -315,6 +399,8 @@ INSTANTIATE_TEST_SUITE_P(
       }
       if (info.param.link_faults) name += "_lf";
       if (info.param.commit_mode == ftl::CommitMode::kBarrier) name += "_bar";
+      if (info.param.commit_mode == ftl::CommitMode::kPlp) name += "_plp";
+      if (info.param.pinned_reader) name += "_pin";
       return name;
     });
 

@@ -343,5 +343,40 @@ TEST_F(SqlEdgeTest, ConcatAndTextCoercion) {
   EXPECT_EQ(Scalar("SELECT LENGTH(1000)").AsInt(), 4);
 }
 
+// --- BEGIN modifiers ---------------------------------------------------------
+
+TEST_F(SqlEdgeTest, BeginReadonlyRejectsWrites) {
+  Q("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)");
+  Q("INSERT INTO t VALUES (1, 10), (2, 20)");
+
+  Q("BEGIN READONLY");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM t").AsInt(), 2);
+  Status s = db_->Exec("INSERT INTO t VALUES (3, 30)").status();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("read-only transaction"), std::string::npos);
+  // The rejected write must not have poisoned the read transaction.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM t").AsInt(), 2);
+  Q("COMMIT");
+
+  // Writes work again once the read transaction ends.
+  Q("INSERT INTO t VALUES (3, 30)");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM t").AsInt(), 3);
+}
+
+TEST_F(SqlEdgeTest, BeginUnknownModifierIsParseError) {
+  Status s = db_->Exec("BEGIN BOGUS").status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("unknown BEGIN modifier 'BOGUS'"),
+            std::string::npos);
+  // The failed parse must not have opened a transaction.
+  Q("BEGIN");
+  Q("COMMIT");
+  // Known modifiers all still parse.
+  Q("BEGIN DEFERRED");
+  Q("COMMIT");
+  Q("BEGIN TRANSACTION");
+  Q("COMMIT");
+}
+
 }  // namespace
 }  // namespace xftl::sql

@@ -273,5 +273,64 @@ TEST_F(ReplayTest, BothProfilesSeeTheFullStream) {
   EXPECT_GT(rx.ftl.flush_barriers + rx.sata.commit_commands, 0u);
 }
 
+// A histogram the tracer never touched (no events for that layer/op) must
+// read back as clean zeros — the summary tool prints whatever is there.
+TEST(TracerTest, UntouchedOpHistogramReportsZerosNotNan) {
+  Tracer tracer;
+  const Histogram& h = tracer.latency(Layer::kHost, Op::kTxn);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+// MVCC snapshot commands: captured pins/reads/unpins re-drive against a
+// fresh device (whose epochs may differ — the replayer maps them), stay
+// deterministic, and degrade to skips on the non-transactional FTL.
+TEST_F(ReplayTest, SnapshotCommandsReplayOnXftl) {
+  std::string path = TempPath("replay_snap.trace");
+  {
+    SimClock clock;
+    storage::SsdSpec spec = storage::OpenSsdSpec(/*num_blocks=*/64);
+    storage::SimSsd ssd(spec, &clock);
+    auto writer = TraceWriter::Open(path, /*events_per_frame=*/32).value();
+    Tracer tracer(writer.get());
+    ssd.SetTracer(&tracer);
+    storage::SataDevice* dev = ssd.device();
+
+    std::vector<uint8_t> v1(dev->page_size(), 0x11);
+    std::vector<uint8_t> v2(dev->page_size(), 0x22);
+    ASSERT_TRUE(dev->TxWrite(1, 0, v1.data()).ok());
+    ASSERT_TRUE(dev->TxCommit(1).ok());
+    uint64_t epoch = dev->SnapPin().value();
+    ASSERT_TRUE(dev->TxWrite(2, 0, v2.data()).ok());
+    ASSERT_TRUE(dev->TxCommit(2).ok());
+    // The capture-side snapshot read serves the pre-image...
+    std::vector<uint8_t> out(dev->page_size());
+    ASSERT_TRUE(dev->SnapRead(epoch, 0, out.data()).ok());
+    EXPECT_EQ(out, v1);
+    // ...while a live read sees the new version.
+    ASSERT_TRUE(dev->Read(0, out.data()).ok());
+    EXPECT_EQ(out, v2);
+    ASSERT_TRUE(dev->SnapUnpin(epoch).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  storage::SsdSpec spec = storage::OpenSsdSpec(64);
+  auto a = ReplayTrace(path, spec).value();
+  EXPECT_EQ(a.snap_pins, 2u);  // pin + unpin verbs
+  EXPECT_EQ(a.reads, 2u);      // snapshot read + live read
+  EXPECT_EQ(a.errors, 0u);
+  auto b = ReplayTrace(path, spec).value();
+  EXPECT_TRUE(a.ftl == b.ftl);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+
+  // The original FTL has no snapshot verbs: all three degrade to skips.
+  storage::SsdSpec page = storage::OpenSsdSpec(64);
+  page.transactional = false;
+  auto rp = ReplayTrace(path, page).value();
+  EXPECT_EQ(rp.snap_pins, 0u);
+  EXPECT_EQ(rp.skipped, 3u);  // pin, snapshot read, unpin
+}
+
 }  // namespace
 }  // namespace xftl::trace

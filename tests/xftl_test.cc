@@ -326,6 +326,179 @@ TEST_F(XFtlTest, RecoveryTimeIsTracked) {
   EXPECT_GT(ftl_.xstats().last_recovery_nanos, 0u);
 }
 
+// --- MVCC snapshot reads ----------------------------------------------------
+
+TEST_F(XFtlTest, SnapshotReadSeesPreImageAfterLaterCommit) {
+  auto v1 = Page(1);
+  ASSERT_TRUE(ftl_.TxWrite(1, 0, v1.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v2 = Page(2);
+  ASSERT_TRUE(ftl_.TxWrite(2, 0, v2.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(2).ok());
+
+  // Live readers see the new version; the pinned reader still sees v1.
+  EXPECT_EQ(ReadTag(0, 0), 2u);
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 0, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(ftl_.xstats().version_hits, 1u);
+  EXPECT_EQ(ftl_.xstats().pins_opened, 1u);
+
+  ftl_.UnpinSnapshot(epoch);
+  EXPECT_EQ(ftl_.xstats().pins_closed, 1u);
+  EXPECT_EQ(ftl_.PinnedSnapshotCount(), 0u);
+  // A released epoch is no longer a valid snapshot handle.
+  Status s = ftl_.SnapshotRead(epoch, 0, out.data());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(XFtlTest, SnapshotReadFallsThroughToLiveWhenUnmodified) {
+  auto v1 = Page(7);
+  ASSERT_TRUE(ftl_.Write(3, v1.data()).ok());
+  uint64_t epoch = ftl_.PinSnapshot();
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 3, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, 7u);
+  EXPECT_EQ(ftl_.xstats().version_hits, 0u);
+  ftl_.UnpinSnapshot(epoch);
+}
+
+TEST_F(XFtlTest, SnapshotReadOfPageUnmappedAtPinReadsAsErased) {
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v = Page(9);
+  ASSERT_TRUE(ftl_.TxWrite(1, 5, v.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+  // The page did not exist when the snapshot was pinned: it reads as
+  // erased flash, not as the post-pin content.
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 5, out.data()).ok());
+  for (uint8_t b : out) ASSERT_EQ(b, 0xff);
+  ftl_.UnpinSnapshot(epoch);
+}
+
+TEST_F(XFtlTest, SnapshotReadPicksFirstCommitAfterPin) {
+  // Three generations of lpn 0; the pin sits before the second. The correct
+  // pre-image is the one retained by the FIRST commit after the pin, not
+  // the newest.
+  auto v1 = Page(1);
+  ASSERT_TRUE(ftl_.TxWrite(1, 0, v1.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v2 = Page(2);
+  ASSERT_TRUE(ftl_.TxWrite(2, 0, v2.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(2).ok());
+  auto v3 = Page(3);
+  ASSERT_TRUE(ftl_.TxWrite(3, 0, v3.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(3).ok());
+
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 0, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(ReadTag(0, 0), 3u);
+  ftl_.UnpinSnapshot(epoch);
+}
+
+TEST_F(XFtlTest, ForcedCheckpointOnSlotExhaustionKeepsPinnedVersions) {
+  // Regression test: the table-full forced checkpoint used to release every
+  // folded committed slot unconditionally. With a reader pinned it must
+  // defer the slots whose pre-images that reader can still see — the
+  // snapshot read below has to survive an arbitrary amount of write
+  // pressure on a full table.
+  auto v1 = Page(1);
+  ASSERT_TRUE(ftl_.TxWrite(1, 0, v1.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v2 = Page(2);
+  ASSERT_TRUE(ftl_.TxWrite(2, 0, v2.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(2).ok());
+
+  // Exhaust the 24-slot table many times over with commits hammering a
+  // small set of hot pages. Pin-aware reclamation must hold exactly the
+  // versions the reader can see (one per lpn) and release the rest, so the
+  // writers never stall.
+  auto d = Page(99);
+  for (TxId t = 10; t < 90; ++t) {
+    ASSERT_TRUE(ftl_.TxWrite(t, Lpn(10 + t % 5), d.data()).ok()) << t;
+    ASSERT_TRUE(ftl_.TxCommit(t).ok()) << t;
+  }
+  ASSERT_GT(ftl_.xstats().forced_checkpoints, 0u);
+  EXPECT_GT(ftl_.xstats().reclaim_deferrals, 0u);
+
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 0, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, 1u);
+
+  // Releasing the pin lets the next checkpoint reclaim the versions.
+  ftl_.UnpinSnapshot(epoch);
+  ASSERT_TRUE(ftl_.Checkpoint().ok());
+  EXPECT_EQ(ftl_.Xl2pOccupancy(), 0u);
+}
+
+TEST_F(XFtlTest, GcRelocationKeepsPinnedPreImageReadable) {
+  auto v1 = Page(1);
+  ASSERT_TRUE(ftl_.TxWrite(1, 0, v1.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v2 = Page(2);
+  ASSERT_TRUE(ftl_.TxWrite(2, 0, v2.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(2).ok());
+
+  // Churn until GC has moved blocks around; the retained pre-image must be
+  // treated as live (not collected) and its relocation re-pointed.
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    auto d = Page(1000 + i);
+    ASSERT_TRUE(ftl_.Write(10 + rng.Uniform(100), d.data()).ok());
+  }
+  ASSERT_GT(ftl_.stats().gc_runs, 0u);
+
+  std::vector<uint8_t> out(dev_.config().page_size);
+  ASSERT_TRUE(ftl_.SnapshotRead(epoch, 0, out.data()).ok());
+  uint64_t got;
+  std::memcpy(&got, out.data(), sizeof(got));
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(ReadTag(0, 0), 2u);
+  ftl_.UnpinSnapshot(epoch);
+}
+
+TEST_F(XFtlTest, RecoveryDiscardsPinsAndSnapshotOnlyVersions) {
+  auto v1 = Page(1);
+  ASSERT_TRUE(ftl_.TxWrite(1, 0, v1.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(1).ok());
+  uint64_t epoch = ftl_.PinSnapshot();
+  auto v2 = Page(2);
+  ASSERT_TRUE(ftl_.TxWrite(2, 0, v2.data()).ok());
+  ASSERT_TRUE(ftl_.TxCommit(2).ok());
+
+  // Power cut: pins are volatile. Recovery must drop them, keep the newest
+  // committed data, and never resurrect the snapshot-only pre-image.
+  ASSERT_TRUE(ftl_.Recover().ok());
+  EXPECT_EQ(ftl_.PinnedSnapshotCount(), 0u);
+  std::vector<uint8_t> out(dev_.config().page_size);
+  Status s = ftl_.SnapshotRead(epoch, 0, out.data());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ReadTag(0, 0), 2u);
+}
+
+TEST_F(XFtlTest, UnpinIsLenientAboutUnknownEpochs) {
+  ftl_.UnpinSnapshot(12345);  // never pinned: no-op
+  uint64_t epoch = ftl_.PinSnapshot();
+  ftl_.UnpinSnapshot(epoch);
+  ftl_.UnpinSnapshot(epoch);  // double release: no-op
+  EXPECT_EQ(ftl_.PinnedSnapshotCount(), 0u);
+  EXPECT_EQ(ftl_.xstats().pins_closed, 1u);
+}
+
 TEST(XFtlTornSnapshotTest, TornNewestSnapshotEpochFallsBackToOlder) {
   // The newest X-L2P snapshot spans two pages and the second page tore at
   // the power cut. Recovery must detect the incomplete epoch, count the

@@ -52,7 +52,8 @@ int Usage() {
       "  dump     print events as text (--limit=N caps the output)\n"
       "  summary  per-layer/op latency percentiles, per-transaction page\n"
       "           counts, per-session transaction latency (multi-session\n"
-      "           host traces), write-amplification breakdown\n"
+      "           host traces), snapshot-read accounting (MVCC traces),\n"
+      "           write-amplification breakdown\n"
       "  replay   re-drive the SATA command stream on a fresh device and\n"
       "           check replay determinism\n"
       "           --profile=openssd|s830   device profile (default openssd)\n"
@@ -138,6 +139,12 @@ int Summary(const std::string& path) {
   uint64_t prepares = 0, record_writes = 0, record_releases = 0;
   uint64_t resolved_forward = 0, resolved_abort = 0;
   uint64_t member_faults = 0;
+  // MVCC snapshot reads: kSata kSnapPin/kSnapUnpin/kSnapRead are the device
+  // commands; the XFTL layer's kSnapRead carries hit(1)/live(0) in `b` and
+  // kSnapDefer carries committed slots kept alive for a pinned reader in `a`.
+  uint64_t snap_pins = 0, snap_unpins = 0, snap_reads = 0;
+  uint64_t snap_version_hits = 0, snap_live_reads = 0;
+  uint64_t snap_defer_scans = 0, snap_deferred_slots = 0;
   // Barrier ordering (kBarrier firmware): host/sata barrier commands, and
   // the flash scheduler's bookkeeping — kFlash kBarrier events carry the
   // kind in `b` (0 = epoch opened, `a` = epoch id, `tid` = epochs in
@@ -198,6 +205,19 @@ int Summary(const std::string& path) {
         if (e.a == 0) resolved_abort++;
       }
       if (e.op == Op::kBarrier) host_barriers++;
+      if (e.op == Op::kSnapPin) snap_pins++;
+      if (e.op == Op::kSnapUnpin) snap_unpins++;
+      if (e.op == Op::kSnapRead) snap_reads++;
+    }
+    if (e.layer == Layer::kXftl) {
+      if (e.op == Op::kSnapRead && e.status == StatusCode::kOk) {
+        if (e.b == 1) snap_version_hits++;
+        else snap_live_reads++;
+      }
+      if (e.op == Op::kSnapDefer) {
+        snap_defer_scans++;
+        snap_deferred_slots += e.a;
+      }
     }
     if (e.layer == Layer::kFtl && e.op == Op::kBarrier) ftl_barriers++;
     if (e.layer == Layer::kFlash && e.op == Op::kBarrier) {
@@ -280,6 +300,25 @@ int Summary(const std::string& path) {
       std::printf("  ->  %.0f txn/s", double(host_txns) / span_sec);
     }
     std::printf("\n");
+  }
+
+  // MVCC snapshot reads (traces with pinned-snapshot readers only).
+  if (snap_pins + snap_unpins + snap_reads + snap_defer_scans > 0) {
+    std::printf("\nsnapshot reads (MVCC pinned readers)\n");
+    std::printf("  pins opened: %llu, closed: %llu%s\n",
+                (unsigned long long)snap_pins,
+                (unsigned long long)snap_unpins,
+                snap_pins > snap_unpins ? "  [PIN STILL OPEN AT TRACE END]"
+                                        : "");
+    std::printf("  snapshot read commands: %llu (%llu version hits, "
+                "%llu served live)\n",
+                (unsigned long long)snap_reads,
+                (unsigned long long)snap_version_hits,
+                (unsigned long long)snap_live_reads);
+    std::printf("  reclaim deferrals: %llu slots held across %llu release "
+                "scans\n",
+                (unsigned long long)snap_deferred_slots,
+                (unsigned long long)snap_defer_scans);
   }
 
   if (!txn_pages.empty()) {
@@ -435,13 +474,14 @@ int Replay(const std::string& path, int argc, char** argv) {
   }
   const ReplayResult& r = first_or.value();
   std::printf("replayed %llu commands on %s/%s: %llu reads, %llu writes, "
-              "%llu trims, %llu flushes, %llu commits, %llu aborts "
-              "(%llu skipped, %llu errors)%s\n",
+              "%llu trims, %llu flushes, %llu commits, %llu aborts, "
+              "%llu snapshot pins/unpins (%llu skipped, %llu errors)%s\n",
               (unsigned long long)r.Commands(), profile.c_str(), ftl.c_str(),
               (unsigned long long)r.reads, (unsigned long long)r.writes,
               (unsigned long long)r.trims, (unsigned long long)r.flushes,
               (unsigned long long)r.commits, (unsigned long long)r.aborts,
-              (unsigned long long)r.skipped, (unsigned long long)r.errors,
+              (unsigned long long)r.snap_pins, (unsigned long long)r.skipped,
+              (unsigned long long)r.errors,
               r.truncated ? " [torn tail skipped]" : "");
   std::printf("device: %llu page programs, %llu reads, %llu erases, "
               "%llu gc runs, elapsed %.3f ms\n",
